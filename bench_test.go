@@ -1,0 +1,194 @@
+// Benchmarks regenerating every paper artifact (one per table/figure, per
+// the experiment index in DESIGN.md). Each iteration produces the complete
+// data behind the artifact, so ns/op measures the cost of a full
+// reproduction; run with
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/swapsim"
+	"repro/internal/timeline"
+	"repro/internal/utility"
+)
+
+// benchGen runs a figure generator b.N times.
+func benchGen(b *testing.B, gen func(utility.Params) ([]figures.Figure, error)) {
+	b.Helper()
+	p := utility.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := gen(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no figures generated")
+		}
+	}
+}
+
+// BenchmarkTableI_BalanceChange regenerates Table I: one honest protocol
+// execution on the two simulated ledgers with balance verification.
+func BenchmarkTableI_BalanceChange(b *testing.B) {
+	benchGen(b, figures.TableI)
+}
+
+// BenchmarkTableIII_Defaults regenerates the Table III parameter listing.
+func BenchmarkTableIII_Defaults(b *testing.B) {
+	benchGen(b, figures.TableIII)
+}
+
+// BenchmarkFig2_Timeline regenerates the Fig. 2 timelines (Eqs. 12–13).
+func BenchmarkFig2_Timeline(b *testing.B) {
+	p := utility.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := timeline.Idealized(p.Chains); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := timeline.WithWaits(p.Chains, 1, 2, 1, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3_UtilityT3 regenerates Alice's t3 utility panels (Eq. 14/16).
+func BenchmarkFig3_UtilityT3(b *testing.B) {
+	benchGen(b, figures.Fig3)
+}
+
+// BenchmarkFig4_UtilityT2 regenerates Bob's t2 utility panels (Eq. 21/23),
+// including the root-finding for (P̲_t2, P̄_t2).
+func BenchmarkFig4_UtilityT2(b *testing.B) {
+	benchGen(b, figures.Fig4)
+}
+
+// BenchmarkFig5_UtilityT1 regenerates Alice's t1 utilities and the feasible
+// range of Eq. 29.
+func BenchmarkFig5_UtilityT1(b *testing.B) {
+	benchGen(b, figures.Fig5)
+}
+
+// BenchmarkFig6_SuccessRateSweeps regenerates all eight sensitivity panels
+// (8 parameters × 4 values × a 41-point SR curve).
+func BenchmarkFig6_SuccessRateSweeps(b *testing.B) {
+	benchGen(b, figures.Fig6)
+}
+
+// BenchmarkFig7_CollateralUtilityT2 regenerates the six collateral utility
+// panels with their indifference points (Eq. 35).
+func BenchmarkFig7_CollateralUtilityT2(b *testing.B) {
+	benchGen(b, figures.Fig7)
+}
+
+// BenchmarkFig8_CollateralUtilityT1 regenerates the collateral t1 panels
+// and engagement sets (Eqs. 36–39).
+func BenchmarkFig8_CollateralUtilityT1(b *testing.B) {
+	benchGen(b, figures.Fig8)
+}
+
+// BenchmarkFig9_CollateralSuccessRate regenerates SR(P*) for
+// Q ∈ {0, 0.01, 0.1} (Eq. 40).
+func BenchmarkFig9_CollateralSuccessRate(b *testing.B) {
+	benchGen(b, figures.Fig9)
+}
+
+// BenchmarkFig10a_OptimalAmount regenerates B's best-response curves
+// X*(P_t2) (Eq. 44, holdings-capped).
+func BenchmarkFig10a_OptimalAmount(b *testing.B) {
+	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
+		return figures.Fig10a(p, figures.DefaultBobBudget)
+	})
+}
+
+// BenchmarkFig10b_ExcessUtility regenerates A's excess-utility curve
+// (Eq. 45) with its break-even range — each point contains a nested
+// best-response optimisation per quadrature node.
+func BenchmarkFig10b_ExcessUtility(b *testing.B) {
+	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
+		return figures.Fig10b(p, figures.DefaultBobBudget)
+	})
+}
+
+// BenchmarkFig11_SRComparison regenerates the basic-vs-uncertain success
+// rate comparison (Eq. 46).
+func BenchmarkFig11_SRComparison(b *testing.B) {
+	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
+		return figures.Fig11(p, figures.DefaultBobBudget)
+	})
+}
+
+// BenchmarkMC_ProtocolSuccessRate measures full protocol Monte Carlo on the
+// ledger simulator (2000 swaps per iteration, 8 workers).
+func BenchmarkMC_ProtocolSuccessRate(b *testing.B) {
+	p := utility.Default()
+	m, err := core.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strat, err := m.Strategy(2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := swapsim.MonteCarlo(swapsim.MCConfig{
+			Config:  swapsim.Config{Params: p, Strategy: strat, Seed: int64(i)},
+			Runs:    2000,
+			Workers: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SuccessRate.N != 2000 {
+			b.Fatal("short run")
+		}
+	}
+}
+
+// BenchmarkBaseline_InitiatorOption regenerates the related-work comparison
+// (one-sided optionality vs the paper's two-sided game).
+func BenchmarkBaseline_InitiatorOption(b *testing.B) {
+	benchGen(b, figures.BaselineComparison)
+}
+
+// BenchmarkSolve_SingleRun measures one full basic-game solve (thresholds,
+// feasible range, SR) — the unit of work behind every figure point.
+func BenchmarkSolve_SingleRun(b *testing.B) {
+	p := utility.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.SuccessRate(2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocol_SingleSwap measures one honest swap on the ledger
+// simulator end to end.
+func BenchmarkProtocol_SingleSwap(b *testing.B) {
+	p := utility.Default()
+	strat := agent.HonestStrategy(2.0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := swapsim.Run(swapsim.Config{Params: p, Strategy: strat, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Atomic {
+			b.Fatal("non-atomic honest swap")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (see the experiment index in DESIGN.md), rendering ASCII
+// charts to stdout and, with -csv, writing the underlying series to CSV
+// files for external plotting.
+//
+// Usage:
+//
+//	figures                 # all artifacts
+//	figures -only fig6,fig9 # a subset
+//	figures -csv out/       # also write CSV data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+	"repro/internal/plot"
+	"repro/internal/utility"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		only   = fs.String("only", "", "comma-separated artifact IDs (default: all; see DESIGN.md)")
+		csvDir = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		width  = fs.Int("width", 72, "ASCII chart width")
+		height = fs.Int("height", 18, "ASCII chart height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	figs, err := figures.Generate(utility.Default(), *only)
+	if err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating csv dir: %w", err)
+		}
+	}
+	for _, f := range figs {
+		body, err := f.Render(*width, *height)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "==== %s ====\n%s\n", f.ID, body)
+		if *csvDir != "" && len(f.Series) > 0 {
+			if err := writeCSV(filepath.Join(*csvDir, f.ID+".csv"), f.Series); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(out, "generated %d artifacts\n", len(figs))
+	return nil
+}
+
+func writeCSV(path string, series []plot.Series) (err error) {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := file.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing %s: %w", path, cerr)
+		}
+	}()
+	return plot.WriteCSV(file, series...)
+}

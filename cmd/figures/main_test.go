@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateSubsetWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig5,fig9", "-csv", dir}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"==== fig5 ====", "==== fig9 ====", "generated 2 artifacts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, f := range []string{"fig5.csv", "fig9.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("reading %s: %v", f, err)
+		}
+		if !strings.HasPrefix(string(data), "series,x,y\n") {
+			t.Errorf("%s: missing csv header", f)
+		}
+	}
+}
+
+func TestTablesHaveNoCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "tableIII", "-csv", dir}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("tables should not emit CSV, found %d files", len(entries))
+	}
+}
+
+func TestUnknownFigureFails(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "figNaN"}, &sb); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,160 @@
+// Command swapsim executes atomic swaps on the simulated ledgers: a single
+// traced run (-trace) or a Monte Carlo estimate of the success rate, which
+// it compares against the analytic SR of the game solver. Failure injection
+// flags reproduce the crash-induced atomicity violation discussed in §II.
+//
+// Usage:
+//
+//	swapsim -runs 50000 -pstar 2.0
+//	swapsim -trace -seed 7
+//	swapsim -trace -haltb-from 7.5 -haltb-until 40   # atomicity violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/packetized"
+	"repro/internal/swapsim"
+	"repro/internal/utility"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swapsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("swapsim", flag.ContinueOnError)
+	var (
+		pstar      = fs.Float64("pstar", 2.0, "agreed exchange rate P*")
+		q          = fs.Float64("q", 0, "per-agent collateral deposit")
+		runs       = fs.Int("runs", 20000, "Monte Carlo runs")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		workers    = fs.Int("workers", 8, "parallel workers")
+		trace      = fs.Bool("trace", false, "run once and print the decision trace")
+		haltBFrom  = fs.Float64("haltb-from", 0, "chain_b crash start (hours)")
+		haltBUntil = fs.Float64("haltb-until", 0, "chain_b crash end (0 = no crash)")
+		haltAFrom  = fs.Float64("halta-from", 0, "chain_a crash start (hours)")
+		haltAUntil = fs.Float64("halta-until", 0, "chain_a crash end (0 = no crash)")
+		packets    = fs.Int("packets", 0, "split the swap into n packets (companion protocol [20]; 0 = single shot)")
+		requote    = fs.Bool("requote", false, "with -packets: re-quote the rate per packet")
+		keepGoing  = fs.Bool("continue", false, "with -packets: continue after a failed packet instead of aborting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := utility.Default()
+	m, err := core.New(params)
+	if err != nil {
+		return err
+	}
+
+	if *packets < 0 {
+		return fmt.Errorf("swapsim: -packets must be >= 0, got %d", *packets)
+	}
+	if *packets > 0 {
+		res, err := packetized.Run(packetized.Config{
+			Params:               params,
+			PStar:                *pstar,
+			Packets:              *packets,
+			Requote:              *requote,
+			ContinueAfterFailure: *keepGoing,
+			Runs:                 *runs,
+			Seed:                 *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "packetized swap: n=%d packets at P*=%g (requote=%v continue=%v, %d runs)\n",
+			*packets, *pstar, *requote, *keepGoing, *runs)
+		fmt.Fprintf(out, "  full completion:    %v\n", res.FullCompletion)
+		fmt.Fprintf(out, "  expected fraction:  %.4f ± %.4f\n", res.ExpectedFraction, res.FractionStdErr)
+		fmt.Fprintf(out, "  mean packets done:  %.2f\n", res.MeanPacketsDone)
+		fmt.Fprintf(out, "  per-round exposure: %.4f TokenA (vs %.4f single-shot)\n", res.ExposurePerRound, *pstar)
+		return nil
+	}
+
+	var strat core.Strategy
+	var analytic float64
+	if *q > 0 {
+		col, err := m.Collateral(*q)
+		if err != nil {
+			return err
+		}
+		if strat, err = col.Strategy(*pstar); err != nil {
+			return err
+		}
+		if analytic, err = col.SuccessRate(*pstar); err != nil {
+			return err
+		}
+	} else {
+		if strat, err = m.Strategy(*pstar); err != nil {
+			return err
+		}
+		if analytic, err = m.SuccessRate(*pstar); err != nil {
+			return err
+		}
+	}
+
+	cfg := swapsim.Config{
+		Params:     params,
+		Strategy:   strat,
+		Collateral: *q,
+		Seed:       *seed,
+		HaltA:      swapsim.HaltWindow{From: *haltAFrom, Until: *haltAUntil},
+		HaltB:      swapsim.HaltWindow{From: *haltBFrom, Until: *haltBUntil},
+	}
+
+	if *trace {
+		outc, err := swapsim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stage:    %s (success=%v, atomic=%v)\n", outc.Stage, outc.Success, outc.Atomic)
+		fmt.Fprintf(out, "balances: Alice Δ(TokenA, TokenB) = (%+.4f, %+.4f)\n", outc.AliceDeltaA, outc.AliceDeltaB)
+		fmt.Fprintf(out, "          Bob   Δ(TokenA, TokenB) = (%+.4f, %+.4f)\n", outc.BobDeltaA, outc.BobDeltaB)
+		if *q > 0 {
+			fmt.Fprintf(out, "collateral: Alice %+.4f, Bob %+.4f\n", outc.CollateralDeltaAlice, outc.CollateralDeltaBob)
+		}
+		fmt.Fprintf(out, "prices:   P_t2 = %.4f, P_t3 = %.4f\n", outc.PT2, outc.PT3)
+		fmt.Fprintf(out, "finished at t = %.1fh\n", outc.EndTime)
+		fmt.Fprintln(out, "alice decisions:")
+		for _, d := range outc.AliceDecisions {
+			fmt.Fprintf(out, "  %-3s t=%5.1f price=%.4f %-4s %s\n", d.Stage, d.Time, d.Price, d.Action, d.Reason)
+		}
+		fmt.Fprintln(out, "bob decisions:")
+		for _, d := range outc.BobDecisions {
+			fmt.Fprintf(out, "  %-3s t=%5.1f price=%.4f %-4s %s\n", d.Stage, d.Time, d.Price, d.Action, d.Reason)
+		}
+		return nil
+	}
+
+	res, err := swapsim.MonteCarlo(swapsim.MCConfig{Config: cfg, Runs: *runs, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Monte Carlo success rate: %v\n", res.SuccessRate)
+	fmt.Fprintf(out, "analytic success rate:    %.4f (agrees: %v)\n",
+		analytic, analytic >= res.SuccessRate.Lo-0.01 && analytic <= res.SuccessRate.Hi+0.01)
+	fmt.Fprintf(out, "mean completion time:     %.2fh\n", res.MeanDurationHours)
+	fmt.Fprintf(out, "violations:               %d\n", res.Violations)
+	stages := make([]string, 0, len(res.Stages))
+	for s := range res.Stages {
+		stages = append(stages, string(s))
+	}
+	sort.Strings(stages)
+	fmt.Fprintln(out, "outcomes by stage:")
+	for _, s := range stages {
+		n := res.Stages[swapsim.Stage(s)]
+		fmt.Fprintf(out, "  %-20s %7d (%.2f%%)\n", s, n, 100*float64(n)/float64(*runs))
+	}
+	return nil
+}

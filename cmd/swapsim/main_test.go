@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace", "-seed", "7"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stage:", "alice decisions:", "bob decisions:", "balances:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMonteCarloRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-runs", "800", "-seed", "3", "-workers", "4"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Monte Carlo success rate", "analytic success rate", "outcomes by stage:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "violations:               0") {
+		t.Errorf("expected zero violations:\n%s", out)
+	}
+}
+
+func TestCollateralTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace", "-q", "0.1", "-seed", "2"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "collateral:") {
+		t.Errorf("collateral line missing:\n%s", sb.String())
+	}
+}
+
+func TestAtomicityViolationScenario(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-trace", "-seed", "7", "-haltb-from", "7.5", "-haltb-until", "40"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "atomic=false") && !strings.Contains(out, "atomicity-violated") {
+		t.Errorf("expected a violation trace:\n%s", out)
+	}
+}
+
+func TestPacketizedMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-packets", "4", "-requote", "-continue", "-runs", "2000"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"packetized swap", "full completion", "per-round exposure: 0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-packets", "-3"}, &sb); err == nil {
+		t.Error("negative packets should fail through single-shot path or validation")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-pstar", "-2"}, &sb); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := run([]string{"-runs", "0"}, &sb); err == nil {
+		t.Error("zero runs should fail")
+	}
+}

@@ -1,0 +1,187 @@
+// Command swapsolve solves the HTLC atomic-swap game of arXiv:2011.11325
+// for a given parameter set and prints the subgame-perfect thresholds, the
+// feasible exchange-rate range (Eq. 29), the success rate (Eq. 31), and —
+// with -q or -uncertain — the corresponding extension results.
+//
+// Usage:
+//
+//	swapsolve [-pstar 2.0] [-q 0.1] [-uncertain] [-budget 5] [model flags]
+//
+// Model flags default to Table III (see -help).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gbm"
+	"repro/internal/timeline"
+	"repro/internal/utility"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swapsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("swapsolve", flag.ContinueOnError)
+	var (
+		pstar     = fs.Float64("pstar", 2.0, "agreed exchange rate P* (Token_a per Token_b)")
+		q         = fs.Float64("q", 0, "per-agent collateral deposit Q (0 = basic game)")
+		uncertain = fs.Bool("uncertain", false, "solve the uncertain-exchange-rate extension (§IV.B)")
+		budget    = fs.Float64("budget", 0, "Bob's Token_b holdings cap for -uncertain (0 = unconstrained Eq. 44)")
+
+		alphaA = fs.Float64("alphaA", 0.3, "Alice's success premium")
+		alphaB = fs.Float64("alphaB", 0.3, "Bob's success premium")
+		rA     = fs.Float64("rA", 0.01, "Alice's hourly discount rate")
+		rB     = fs.Float64("rB", 0.01, "Bob's hourly discount rate")
+		tauA   = fs.Float64("tauA", 3, "Chain_a confirmation time (hours)")
+		tauB   = fs.Float64("tauB", 4, "Chain_b confirmation time (hours)")
+		epsB   = fs.Float64("epsB", 1, "Chain_b mempool discoverability lag (hours)")
+		p0     = fs.Float64("p0", 2, "Token_b price at t0 (Token_a)")
+		mu     = fs.Float64("mu", 0.002, "price drift per hour")
+		sigma  = fs.Float64("sigma", 0.1, "price volatility per sqrt-hour")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := utility.Params{
+		Alice:  utility.AgentParams{Alpha: *alphaA, R: *rA},
+		Bob:    utility.AgentParams{Alpha: *alphaB, R: *rB},
+		Chains: timeline.Chains{TauA: *tauA, TauB: *tauB, EpsB: *epsB},
+		Price:  gbm.Process{Mu: *mu, Sigma: *sigma},
+		P0:     *p0,
+	}
+
+	m, err := core.New(params)
+	if err != nil {
+		return err
+	}
+
+	if *uncertain {
+		return solveUncertain(out, m, *pstar, *budget)
+	}
+	if *q > 0 {
+		return solveCollateral(out, m, *pstar, *q)
+	}
+	return solveBasic(out, m, *pstar)
+}
+
+func solveBasic(out *os.File, m *core.Model, pstar float64) error {
+	cut, err := m.CutoffT3(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "basic HTLC swap game at P* = %g\n", pstar)
+	fmt.Fprintf(out, "  Alice's t3 reveal cut-off P̄_t3 (Eq. 18): %.4f\n", cut)
+
+	iv, ok, err := m.ContRangeT2(pstar)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Fprintf(out, "  Bob's t2 continuation range (Eq. 24):    (%.4f, %.4f)\n", iv.Lo, iv.Hi)
+	} else {
+		fmt.Fprintf(out, "  Bob's t2 continuation range (Eq. 24):    empty — B never locks\n")
+	}
+
+	rng, ok, err := m.FeasibleRateRange()
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Fprintf(out, "  feasible exchange-rate range (Eq. 29):   (%.4f, %.4f)\n", rng.Lo, rng.Hi)
+	} else {
+		fmt.Fprintf(out, "  feasible exchange-rate range (Eq. 29):   empty — A never initiates\n")
+	}
+
+	sr, err := m.SuccessRate(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  success rate SR(P*) (Eq. 31):            %.4f\n", sr)
+
+	if opt, srOpt, err := m.OptimalRate(); err == nil {
+		fmt.Fprintf(out, "  SR-maximising rate:                      %.4f (SR = %.4f)\n", opt, srOpt)
+	}
+	strat, err := m.Strategy(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  Alice initiates at this rate:            %v\n", strat.AliceInitiates)
+	return nil
+}
+
+func solveCollateral(out *os.File, m *core.Model, pstar, q float64) error {
+	col, err := m.Collateral(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "collateral HTLC swap game at P* = %g, Q = %g\n", pstar, q)
+	cut, err := col.CutoffT3(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  Alice's t3 cut-off P̄_t3,c (Eq. 33):      %.4f\n", cut)
+	set, err := col.ContSetT2(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  Bob's t2 continuation set 𝒫_t2:          %v\n", set)
+	fmt.Fprintf(out, "  Alice's engagement rates 𝒫^A:            %v\n", col.FeasibleRatesAlice())
+	fmt.Fprintf(out, "  Bob's engagement rates 𝒫^B:              %v\n", col.FeasibleRatesBob())
+	fmt.Fprintf(out, "  joint engagement (intersection):         %v\n", col.FeasibleRatesIntersection())
+	sr, err := col.SuccessRate(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  success rate SR_c(P*) (Eq. 40):          %.4f\n", sr)
+	srBasic, err := m.SuccessRate(pstar)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  improvement over Q=0:                    %+.4f\n", sr-srBasic)
+	return nil
+}
+
+func solveUncertain(out *os.File, m *core.Model, aLock, budget float64) error {
+	u := m.Uncertain()
+	label := "unconstrained (printed Eq. 44)"
+	if budget > 0 {
+		var err error
+		if u, err = m.UncertainWithBudget(budget); err != nil {
+			return err
+		}
+		label = fmt.Sprintf("budget-capped at %g Token_b", budget)
+	}
+	fmt.Fprintf(out, "uncertain-exchange-rate game, Alice locks a = %g Token_a (%s)\n", aLock, label)
+	for _, y := range []float64{0.5, 1, 2, 4, 8} {
+		x, excess, err := u.OptimalLockB(y, aLock)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  X*(P_t2=%g) = %.4f (Bob's excess utility %.4f)\n", y, x, excess)
+	}
+	ex, err := u.AliceExcessUtilityT1(aLock)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  Alice's excess utility (Eq. 45):          %.4f\n", ex)
+	sr, err := u.SuccessRate(aLock)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  success rate SR_x (Eq. 46):               %.4f\n", sr)
+	srBasic, err := m.SuccessRate(aLock)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  basic-game SR at the same P*:             %.4f\n", srBasic)
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a temp file and returns the
+// printed text.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestBasicSolve(t *testing.T) {
+	out, err := capture(t, []string{"-pstar", "2"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"1.4811", "Eq. 29", "0.7143", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollateralSolve(t *testing.T) {
+	out, err := capture(t, []string{"-pstar", "2", "-q", "0.1"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Q = 0.1", "Eq. 40", "improvement over Q=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUncertainSolve(t *testing.T) {
+	out, err := capture(t, []string{"-uncertain", "-budget", "5", "-pstar", "4"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"budget-capped", "Eq. 46", "X*(P_t2=2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Unconstrained variant.
+	out2, err := capture(t, []string{"-uncertain", "-pstar", "4"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out2, "unconstrained") {
+		t.Errorf("output missing unconstrained label:\n%s", out2)
+	}
+}
+
+func TestNonViableParameters(t *testing.T) {
+	out, err := capture(t, []string{"-rA", "0.2", "-rB", "0.2"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "empty") {
+		t.Errorf("expected empty ranges under extreme impatience:\n%s", out)
+	}
+}
+
+func TestBadFlagsAndParams(t *testing.T) {
+	if _, err := capture(t, []string{"-sigma", "0"}); err == nil {
+		t.Error("sigma=0 should fail validation")
+	}
+	if _, err := capture(t, []string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if _, err := capture(t, []string{"-pstar", "-1"}); err == nil {
+		t.Error("negative rate should fail")
+	}
+}

@@ -1,0 +1,80 @@
+// Uncertainswap: the §IV.B extension — instead of fixing the exchange rate
+// up front, Alice picks how much Token_a to commit and Bob best-responds
+// with the amount of Token_b to lock after seeing the price at t2. This
+// example traces Bob's best response across prices, finds Alice's optimal
+// commitment under Bob's holdings budget, and shows the success-rate gain
+// over the fixed-rate game (Figs. 10–11).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/utility"
+)
+
+func main() {
+	model, err := core.New(utility.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob holds 5 Token_b (the budget reproducing Fig. 10a; see DESIGN.md).
+	u, err := model.UncertainWithBudget(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const aLock = 4.0 // Alice commits 4 Token_a
+	fmt.Printf("Alice commits %.1f Token_a; Bob's best response X*(P_t2):\n", aLock)
+	for _, price := range []float64{0.25, 0.5, 1, 2, 4, 8, 12} {
+		x, excess, err := u.OptimalLockB(price, aLock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "locks"
+		if x == 0 {
+			verdict = "declines (even the full budget cannot deter Alice's withdrawal)"
+		}
+		fmt.Printf("  P_t2 = %5.2f → X* = %.3f, excess utility %.4f — Bob %s\n", price, x, excess, verdict)
+	}
+
+	aStar, exStar, err := u.OptimalLockA(14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng, ok, err := u.BreakEvenRange(14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAlice's optimal commitment: a* = %.3f Token_a (excess utility %.4f)\n", aStar, exStar)
+	if ok {
+		fmt.Printf("Worthwhile commitments: a ∈ (%.3f, %.3f) (Fig. 10b's break-even range)\n", rng.Lo, rng.Hi)
+	}
+
+	srX, err := u.SuccessRate(aLock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srBasic, err := model.SuccessRate(aLock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, srBest, err := model.OptimalRate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSuccess rates at P* = %.1f:\n", aLock)
+	fmt.Printf("  fixed-rate game:            %.4f (fixed rates far from P0 rarely survive)\n", srBasic)
+	fmt.Printf("  fixed-rate game, best P*:   %.4f\n", srBest)
+	fmt.Printf("  uncertain-exchange game:    %.4f — dynamic amounts dominate (Fig. 11)\n", srX)
+
+	// The unconstrained printed equations (Eq. 44) for comparison.
+	free := model.Uncertain()
+	srFree, err := free.SuccessRate(aLock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  unconstrained Eq. 44:       %.4f (scale-invariant; see DESIGN.md deviation 6)\n", srFree)
+}

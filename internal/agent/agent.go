@@ -1,0 +1,382 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/htlc"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// ErrBadAgent reports invalid agent configuration.
+var ErrBadAgent = errors.New("agent: invalid configuration")
+
+// Decision records one choice made at a decision point, for post-run
+// analysis and tests.
+type Decision struct {
+	// Stage is the decision point ("t1", "t2", "t3", "t4").
+	Stage string
+	// Time is the simulated time of the decision.
+	Time float64
+	// Price is the observed Token_b price (0 when not price-driven).
+	Price float64
+	// Action is the choice taken.
+	Action core.Action
+	// Reason explains the choice ("price>cutoff", "counterparty-missing"…).
+	Reason string
+}
+
+// Env bundles the shared simulation environment the agents act in.
+type Env struct {
+	// Sched drives simulated time.
+	Sched *sim.Scheduler
+	// ChainA hosts Token_a; ChainB hosts Token_b.
+	ChainA, ChainB *chain.Chain
+	// Feed is the shared market price of Token_b in Token_a.
+	Feed *PriceFeed
+	// Timeline fixes the idealized decision times (Eq. 13).
+	Timeline timeline.Timeline
+}
+
+func (e Env) validate() error {
+	if e.Sched == nil || e.ChainA == nil || e.ChainB == nil || e.Feed == nil {
+		return fmt.Errorf("%w: nil environment component", ErrBadAgent)
+	}
+	return nil
+}
+
+// Alice is the swap initiator: she generates the secret, locks P* Token_a
+// on Chain_a at t1, and decides at t3 whether to reveal on Chain_b.
+type Alice struct {
+	// Account is Alice's address on both chains.
+	Account string
+	// Counterparty is Bob's address.
+	Counterparty string
+	// Strategy holds the solved thresholds.
+	Strategy core.Strategy
+	// TokenBAmount is the Token_b quantity expected from Bob (1 in the
+	// basic game).
+	TokenBAmount float64
+	// SecretSource feeds secret generation; nil uses crypto/rand.
+	SecretSource io.Reader
+
+	env        Env
+	secret     htlc.Secret
+	hash       htlc.Hash
+	contractA  string // Alice's lock on Chain_a
+	contractB  string // Bob's lock on Chain_b, discovered at t3
+	claimTxB   string
+	decisions  []Decision
+	cutoffEval func(p float64) bool
+}
+
+// NewAlice validates and binds an Alice agent to the environment.
+func NewAlice(env Env, account, counterparty string, strat core.Strategy, tokenB float64, secretSource io.Reader) (*Alice, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if account == "" || counterparty == "" || account == counterparty {
+		return nil, fmt.Errorf("%w: accounts %q/%q", ErrBadAgent, account, counterparty)
+	}
+	if tokenB <= 0 {
+		return nil, fmt.Errorf("%w: tokenB amount %g", ErrBadAgent, tokenB)
+	}
+	a := &Alice{
+		Account:      account,
+		Counterparty: counterparty,
+		Strategy:     strat,
+		TokenBAmount: tokenB,
+		SecretSource: secretSource,
+		env:          env,
+	}
+	a.cutoffEval = func(p float64) bool { return p > strat.AliceCutoffT3 }
+	return a, nil
+}
+
+// Decisions returns the decision log in order.
+func (a *Alice) Decisions() []Decision {
+	out := make([]Decision, len(a.decisions))
+	copy(out, a.decisions)
+	return out
+}
+
+// ContractA returns the ID of Alice's lock on Chain_a ("" before t1).
+func (a *Alice) ContractA() string { return a.contractA }
+
+// Secret exposes the generated secret (tests only need its existence).
+func (a *Alice) Secret() htlc.Secret { return append(htlc.Secret(nil), a.secret...) }
+
+// Start schedules Alice's protocol actions.
+func (a *Alice) Start() error {
+	return a.env.Sched.Schedule(a.env.Timeline.T1, "alice-t1", a.actT1)
+}
+
+func (a *Alice) record(stage string, price float64, action core.Action, reason string) {
+	a.decisions = append(a.decisions, Decision{
+		Stage:  stage,
+		Time:   a.env.Sched.Now(),
+		Price:  price,
+		Action: action,
+		Reason: reason,
+	})
+}
+
+// actT1 initiates the swap when the strategy says so (Eq. 30).
+func (a *Alice) actT1() {
+	if !a.Strategy.AliceInitiates {
+		a.record("t1", 0, core.Stop, "rate-outside-feasible-range")
+		return
+	}
+	secret, hash, err := htlc.NewSecret(a.SecretSource)
+	if err != nil {
+		a.record("t1", 0, core.Stop, "secret-generation-failed: "+err.Error())
+		return
+	}
+	a.secret, a.hash = secret, hash
+	_, ctID, err := a.env.ChainA.SubmitLock(a.Account, a.Counterparty, a.Strategy.PStar, hash, a.env.Timeline.TA)
+	if err != nil {
+		a.record("t1", 0, core.Stop, "lock-submission-failed: "+err.Error())
+		return
+	}
+	a.contractA = ctID
+	a.record("t1", 0, core.Cont, "initiate")
+	// t3 decision and the safety refund at expiry.
+	if err := a.env.Sched.Schedule(a.env.Timeline.T3, "alice-t3", a.actT3); err != nil {
+		a.record("t3", 0, core.Stop, "scheduling-failed: "+err.Error())
+	}
+	if err := a.env.Sched.Schedule(a.env.Timeline.TA, "alice-refund", a.refund); err != nil {
+		a.record("t8", 0, core.Stop, "scheduling-failed: "+err.Error())
+	}
+}
+
+// actT3 verifies Bob's contract and applies the cut-off rule (Eq. 19).
+func (a *Alice) actT3() {
+	ct, ok := a.env.ChainB.FindContract(func(c *htlc.Contract) bool {
+		return c.Lock == a.hash &&
+			c.Recipient == a.Account &&
+			c.State() == htlc.Locked &&
+			c.Amount >= a.TokenBAmount &&
+			c.Expiry >= a.env.Timeline.TB
+	})
+	if !ok {
+		a.record("t3", 0, core.Stop, "counterparty-contract-missing")
+		return
+	}
+	a.contractB = ct.ID
+	price, err := a.env.Feed.At(a.env.Sched.Now())
+	if err != nil {
+		a.record("t3", 0, core.Stop, "price-feed-failed: "+err.Error())
+		return
+	}
+	if !a.cutoffEval(price) {
+		a.record("t3", price, core.Stop, "price<=cutoff")
+		return
+	}
+	if tx, err := a.env.ChainB.SubmitClaim(a.contractB, a.secret); err != nil {
+		a.record("t3", price, core.Stop, "claim-submission-failed: "+err.Error())
+	} else {
+		a.claimTxB = tx
+		a.record("t3", price, core.Cont, "reveal-secret")
+	}
+}
+
+// refund reclaims Alice's escrow if her contract is still locked at expiry.
+func (a *Alice) refund() {
+	retryRefund(a.env, a.env.ChainA, a.contractA, "alice-refund-retry", func(reason string) {
+		a.record("t8", 0, core.Stop, reason)
+	})
+}
+
+// Bob is the responder: he verifies Alice's lock at t2, decides by the
+// continuation region whether to lock 1 Token_b, and claims Token_a the
+// moment the secret appears in Chain_b's mempool (t4, §III.E.1).
+type Bob struct {
+	// Account is Bob's address on both chains.
+	Account string
+	// Counterparty is Alice's address.
+	Counterparty string
+	// Strategy holds the solved thresholds.
+	Strategy core.Strategy
+	// TokenBAmount is the Token_b quantity Bob locks (1 in the basic game).
+	TokenBAmount float64
+
+	env       Env
+	contractA string // Alice's lock, verified at t2
+	contractB string // Bob's own lock
+	claimed   bool
+	decisions []Decision
+}
+
+// NewBob validates and binds a Bob agent to the environment.
+func NewBob(env Env, account, counterparty string, strat core.Strategy, tokenB float64) (*Bob, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if account == "" || counterparty == "" || account == counterparty {
+		return nil, fmt.Errorf("%w: accounts %q/%q", ErrBadAgent, account, counterparty)
+	}
+	if tokenB <= 0 {
+		return nil, fmt.Errorf("%w: tokenB amount %g", ErrBadAgent, tokenB)
+	}
+	return &Bob{
+		Account:      account,
+		Counterparty: counterparty,
+		Strategy:     strat,
+		TokenBAmount: tokenB,
+		env:          env,
+	}, nil
+}
+
+// Decisions returns the decision log in order.
+func (b *Bob) Decisions() []Decision {
+	out := make([]Decision, len(b.decisions))
+	copy(out, b.decisions)
+	return out
+}
+
+// ContractB returns the ID of Bob's lock on Chain_b ("" if he never locked).
+func (b *Bob) ContractB() string { return b.contractB }
+
+// Start schedules Bob's protocol actions and mempool watching.
+func (b *Bob) Start() error {
+	b.env.ChainB.WatchSecrets(b.onSecret)
+	return b.env.Sched.Schedule(b.env.Timeline.T2, "bob-t2", b.actT2)
+}
+
+func (b *Bob) record(stage string, price float64, action core.Action, reason string) {
+	b.decisions = append(b.decisions, Decision{
+		Stage:  stage,
+		Time:   b.env.Sched.Now(),
+		Price:  price,
+		Action: action,
+		Reason: reason,
+	})
+}
+
+// actT2 verifies Alice's contract and applies the continuation region
+// (Eq. 24).
+func (b *Bob) actT2() {
+	ct, ok := b.env.ChainA.FindContract(func(c *htlc.Contract) bool {
+		return c.Recipient == b.Account &&
+			c.State() == htlc.Locked &&
+			c.Amount >= b.Strategy.PStar-1e-12 &&
+			c.Expiry >= b.env.Timeline.TA-1e-12
+	})
+	if !ok {
+		b.record("t2", 0, core.Stop, "initiator-contract-missing")
+		return
+	}
+	b.contractA = ct.ID
+	price, err := b.env.Feed.At(b.env.Sched.Now())
+	if err != nil {
+		b.record("t2", 0, core.Stop, "price-feed-failed: "+err.Error())
+		return
+	}
+	if !b.Strategy.BobContT2.Contains(price) {
+		b.record("t2", price, core.Stop, "price-outside-cont-region")
+		return
+	}
+	_, ctID, err := b.env.ChainB.SubmitLock(b.Account, b.Counterparty, b.TokenBAmount, ct.Lock, b.env.Timeline.TB)
+	if err != nil {
+		b.record("t2", price, core.Stop, "lock-submission-failed: "+err.Error())
+		return
+	}
+	b.contractB = ctID
+	b.record("t2", price, core.Cont, "lock-token-b")
+	if err := b.env.Sched.Schedule(b.env.Timeline.TB, "bob-refund", b.refund); err != nil {
+		b.record("t7", 0, core.Stop, "scheduling-failed: "+err.Error())
+	}
+}
+
+// onSecret claims Token_a as soon as the preimage is visible (t4): "B
+// chooses to continue with certainty" (§III.E.1).
+func (b *Bob) onSecret(contractID string, secret htlc.Secret) {
+	if b.claimed || contractID != b.contractB || b.contractA == "" {
+		return
+	}
+	b.claimed = true
+	if _, err := b.env.ChainA.SubmitClaim(b.contractA, secret); err != nil {
+		b.record("t4", 0, core.Stop, "claim-submission-failed: "+err.Error())
+		return
+	}
+	b.record("t4", 0, core.Cont, "claim-with-revealed-secret")
+}
+
+// refund reclaims Bob's escrow if his contract is still locked at expiry.
+func (b *Bob) refund() {
+	retryRefund(b.env, b.env.ChainB, b.contractB, "bob-refund-retry", func(reason string) {
+		b.record("t7", 0, core.Stop, reason)
+	})
+}
+
+// retryRefund submits a refund for a still-locked contract, re-arming after
+// a crash window when the lock has not even executed yet (a halted chain
+// creates the escrow only after recovery).
+func retryRefund(env Env, c *chain.Chain, contractID, label string, onErr func(string)) {
+	if contractID == "" {
+		return
+	}
+	ct, err := c.Contract(contractID)
+	if err != nil {
+		// Lock not yet executed. If the chain is down, check again at
+		// recovery; otherwise the lock failed and there is nothing to do.
+		if until := c.HaltedUntil(); until > env.Sched.Now() {
+			if err := env.Sched.Schedule(until, label, func() {
+				retryRefund(env, c, contractID, label, onErr)
+			}); err != nil {
+				onErr("refund-retry-scheduling-failed: " + err.Error())
+			}
+		}
+		return
+	}
+	if ct.State() != htlc.Locked {
+		return
+	}
+	if _, err := c.SubmitRefund(contractID); err != nil {
+		onErr("refund-submission-failed: " + err.Error())
+	}
+}
+
+// HonestStrategy returns thresholds that always continue: Alice reveals at
+// any price and Bob locks at any price — the protocol-following behaviour
+// against which rational deviations are measured.
+func HonestStrategy(pstar float64) core.Strategy {
+	return core.Strategy{
+		PStar:          pstar,
+		AliceInitiates: true,
+		BobContT2:      fullPriceRange(),
+		AliceCutoffT3:  0,
+	}
+}
+
+// WithdrawingAliceStrategy returns thresholds where Alice initiates but
+// never reveals the secret (the "free option" abandonment).
+func WithdrawingAliceStrategy(pstar float64) core.Strategy {
+	return core.Strategy{
+		PStar:          pstar,
+		AliceInitiates: true,
+		BobContT2:      fullPriceRange(),
+		AliceCutoffT3:  math.Inf(1),
+	}
+}
+
+// WithdrawingBobStrategy returns thresholds where Bob never locks,
+// leaving Alice to wait for her refund.
+func WithdrawingBobStrategy(pstar float64) core.Strategy {
+	return core.Strategy{
+		PStar:          pstar,
+		AliceInitiates: true,
+		AliceCutoffT3:  0,
+		// BobContT2 left empty: stop at every price.
+	}
+}
+
+func fullPriceRange() mathx.IntervalSet {
+	return mathx.NewIntervalSet(mathx.Interval{Lo: 0, Hi: math.Inf(1)})
+}

@@ -1,0 +1,438 @@
+package agent
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/gbm"
+	"repro/internal/htlc"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/utility"
+)
+
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	p := utility.Default()
+	sched := sim.NewScheduler()
+	tl, err := timeline.Idealized(p.Chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := chain.New(chain.Config{Name: "chain_a", Asset: "TokenA", Tau: p.Chains.TauA, Eps: 0}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := chain.New(chain.Config{Name: "chain_b", Asset: "TokenB", Tau: p.Chains.TauB, Eps: p.Chains.EpsB}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := NewPriceFeed(p.Price, p.P0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{Sched: sched, ChainA: ca, ChainB: cb, Feed: feed, Timeline: tl}
+}
+
+func TestPriceFeed(t *testing.T) {
+	proc := gbm.Process{Mu: 0.002, Sigma: 0.1}
+	feed, err := NewPriceFeed(proc, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("NewPriceFeed: %v", err)
+	}
+	p0, err := feed.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != 2 {
+		t.Errorf("At(0) = %v, want 2", p0)
+	}
+	p3, err := feed.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 <= 0 {
+		t.Errorf("At(3) = %v, want > 0", p3)
+	}
+	// Repeated query at the same time returns the cached value.
+	p3b, err := feed.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3b != p3 {
+		t.Errorf("repeat At(3) = %v, want %v", p3b, p3)
+	}
+	// Going backwards is an error.
+	if _, err := feed.At(1); !errors.Is(err, ErrFeed) {
+		t.Errorf("backwards query err = %v, want ErrFeed", err)
+	}
+	lt, lp := feed.Last()
+	if lt != 3 || lp != p3 {
+		t.Errorf("Last() = (%v, %v), want (3, %v)", lt, lp, p3)
+	}
+}
+
+func TestPriceFeedValidation(t *testing.T) {
+	proc := gbm.Process{Mu: 0, Sigma: 0.1}
+	if _, err := NewPriceFeed(proc, 0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrFeed) {
+		t.Errorf("p0=0 err = %v, want ErrFeed", err)
+	}
+	if _, err := NewPriceFeed(proc, 2, nil); !errors.Is(err, ErrFeed) {
+		t.Errorf("nil rng err = %v, want ErrFeed", err)
+	}
+}
+
+func TestNewAliceValidation(t *testing.T) {
+	env := testEnv(t)
+	strat := HonestStrategy(2)
+	if _, err := NewAlice(Env{}, "alice", "bob", strat, 1, nil); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("empty env err = %v", err)
+	}
+	if _, err := NewAlice(env, "", "bob", strat, 1, nil); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("empty account err = %v", err)
+	}
+	if _, err := NewAlice(env, "x", "x", strat, 1, nil); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("self-trade err = %v", err)
+	}
+	if _, err := NewAlice(env, "alice", "bob", strat, 0, nil); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("zero amount err = %v", err)
+	}
+	if _, err := NewBob(env, "bob", "alice", strat, -1); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("bob bad amount err = %v", err)
+	}
+	if _, err := NewBob(Env{}, "bob", "alice", strat, 1); !errors.Is(err, ErrBadAgent) {
+		t.Errorf("bob empty env err = %v", err)
+	}
+}
+
+func TestAliceDoesNotInitiateOutsideFeasibleRange(t *testing.T) {
+	env := testEnv(t)
+	strat := HonestStrategy(2)
+	strat.AliceInitiates = false
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	dec := alice.Decisions()
+	if len(dec) != 1 || dec[0].Stage != "t1" || dec[0].Action != core.Stop {
+		t.Errorf("decisions = %+v, want single t1 stop", dec)
+	}
+	if alice.ContractA() != "" {
+		t.Error("no contract should exist")
+	}
+}
+
+func TestHonestAgentsCompleteSwap(t *testing.T) {
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ChainB.Mint("bob", 2); err != nil {
+		t.Fatal(err)
+	}
+	strat := HonestStrategy(2)
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", strat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+
+	// Table I: A −2 TokenA +1 TokenB; B +2 TokenA −1 TokenB.
+	if got := env.ChainA.Balance("alice"); got != 3 {
+		t.Errorf("alice TokenA = %v, want 3", got)
+	}
+	if got := env.ChainA.Balance("bob"); got != 2 {
+		t.Errorf("bob TokenA = %v, want 2", got)
+	}
+	if got := env.ChainB.Balance("alice"); got != 1 {
+		t.Errorf("alice TokenB = %v, want 1", got)
+	}
+	if got := env.ChainB.Balance("bob"); got != 1 {
+		t.Errorf("bob TokenB = %v, want 1", got)
+	}
+	// Receipt times: Alice at t5 = tb = 11, Bob at t6 = ta = 11 (Eq. 13).
+	if env.Sched.Now() != 11 {
+		t.Errorf("final event at %v, want 11", env.Sched.Now())
+	}
+	// Decision logs show the full cont path.
+	wantAlice := map[string]core.Action{"t1": core.Cont, "t3": core.Cont}
+	for _, d := range alice.Decisions() {
+		if want, ok := wantAlice[d.Stage]; ok && d.Action != want {
+			t.Errorf("alice %s action = %v, want %v", d.Stage, d.Action, want)
+		}
+	}
+	for _, d := range bob.Decisions() {
+		if d.Action != core.Cont {
+			t.Errorf("bob %s action = %v, want cont", d.Stage, d.Action)
+		}
+	}
+	if len(alice.Secret()) == 0 {
+		t.Error("alice should have generated a secret")
+	}
+}
+
+func TestBobStopsWhenAliceNeverLocks(t *testing.T) {
+	env := testEnv(t)
+	if err := env.ChainB.Mint("bob", 2); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", HonestStrategy(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	dec := bob.Decisions()
+	if len(dec) != 1 || dec[0].Reason != "initiator-contract-missing" {
+		t.Errorf("decisions = %+v, want initiator-contract-missing stop", dec)
+	}
+	if bob.ContractB() != "" {
+		t.Error("bob must not lock without a verified initiation")
+	}
+}
+
+func TestWithdrawingAliceLeadsToRefunds(t *testing.T) {
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ChainB.Mint("bob", 2); err != nil {
+		t.Fatal(err)
+	}
+	strat := WithdrawingAliceStrategy(2)
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", strat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	// Everyone is made whole: refunds at t7 = 15 and t8 = 14.
+	if got := env.ChainA.Balance("alice"); got != 5 {
+		t.Errorf("alice TokenA = %v, want 5", got)
+	}
+	if got := env.ChainB.Balance("bob"); got != 2 {
+		t.Errorf("bob TokenB = %v, want 2", got)
+	}
+	if env.Sched.Now() != 15 {
+		t.Errorf("last refund at %v, want 15 (t7 = tb + τb)", env.Sched.Now())
+	}
+}
+
+func TestBobIgnoresForeignSecrets(t *testing.T) {
+	env := testEnv(t)
+	bob, err := NewBob(env, "bob", "alice", HonestStrategy(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A secret for an unrelated contract must not trigger a claim.
+	bob.onSecret("someone-elses-contract", []byte("secret"))
+	if len(bob.Decisions()) != 0 {
+		t.Errorf("bob acted on a foreign secret: %+v", bob.Decisions())
+	}
+}
+
+func TestStrategyPresets(t *testing.T) {
+	h := HonestStrategy(2.5)
+	if !h.AliceInitiates || h.AliceCutoffT3 != 0 || !h.BobContT2.Contains(1e9) || h.PStar != 2.5 {
+		t.Errorf("HonestStrategy = %+v", h)
+	}
+	wa := WithdrawingAliceStrategy(2)
+	if !wa.BobContT2.Contains(0.5) {
+		t.Error("withdrawing-alice preset should keep Bob honest")
+	}
+	p3 := wa.AliceCutoffT3
+	if !(p3 > 1e308) {
+		t.Errorf("withdrawing alice cutoff = %v, want +Inf", p3)
+	}
+	wb := WithdrawingBobStrategy(2)
+	if !wb.BobContT2.Empty() {
+		t.Error("withdrawing-bob preset should have an empty cont region")
+	}
+}
+
+// errReader always fails, for exercising secret-generation failures.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("entropy exhausted") }
+
+func TestAliceSecretGenerationFailure(t *testing.T) {
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewAlice(env, "alice", "bob", HonestStrategy(2), 1, errReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	dec := alice.Decisions()
+	if len(dec) != 1 || dec[0].Action != core.Stop ||
+		!strings.Contains(dec[0].Reason, "secret-generation-failed") {
+		t.Errorf("decisions = %+v, want secret-generation stop", dec)
+	}
+	if alice.ContractA() != "" {
+		t.Error("no lock should exist after a failed secret generation")
+	}
+}
+
+func TestAliceLockSubmissionFailure(t *testing.T) {
+	// A malformed strategy (non-positive amount) is rejected at submission
+	// and recorded as a t1 stop.
+	env := testEnv(t)
+	strat := HonestStrategy(2)
+	strat.PStar = -2
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	dec := alice.Decisions()
+	if len(dec) != 1 || !strings.Contains(dec[0].Reason, "lock-submission-failed") {
+		t.Errorf("decisions = %+v, want lock-submission failure", dec)
+	}
+}
+
+func TestBobRejectsUnderfundedInitiation(t *testing.T) {
+	// Alice locks less than the agreed P*: Bob's verification fails and he
+	// stops, even though a contract exists.
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	secret, hash, err := htlc.NewSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = secret
+	if _, _, err := env.ChainA.SubmitLock("alice", "bob", 1.5, hash, env.Timeline.TA); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", HonestStrategy(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	dec := bob.Decisions()
+	if len(dec) != 1 || dec[0].Reason != "initiator-contract-missing" {
+		t.Errorf("decisions = %+v, want verification failure", dec)
+	}
+}
+
+func TestAliceRejectsUnderfundedResponse(t *testing.T) {
+	// Bob locks less Token_b than expected: Alice's t3 verification fails,
+	// she never reveals, and both parties are refunded.
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ChainB.Mint("bob", 2); err != nil {
+		t.Fatal(err)
+	}
+	strat := HonestStrategy(2)
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob locks only half the expected amount.
+	bob, err := NewBob(env, "bob", "alice", strat, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	var t3 *Decision
+	for i := range alice.Decisions() {
+		d := alice.Decisions()[i]
+		if d.Stage == "t3" {
+			t3 = &d
+		}
+	}
+	if t3 == nil || t3.Action != core.Stop || t3.Reason != "counterparty-contract-missing" {
+		t.Errorf("alice t3 = %+v, want verification stop", t3)
+	}
+	// Everyone whole again after refunds.
+	if env.ChainA.Balance("alice") != 5 {
+		t.Errorf("alice TokenA = %v, want 5", env.ChainA.Balance("alice"))
+	}
+	if env.ChainB.Balance("bob") != 2 {
+		t.Errorf("bob TokenB = %v, want 2", env.ChainB.Balance("bob"))
+	}
+}
+
+func TestBobClaimsOnlyOnce(t *testing.T) {
+	env := testEnv(t)
+	if err := env.ChainA.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ChainB.Mint("bob", 2); err != nil {
+		t.Fatal(err)
+	}
+	strat := HonestStrategy(2)
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", strat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	// Re-delivering the secret must not trigger a second claim.
+	before := len(bob.Decisions())
+	bob.onSecret(bob.ContractB(), alice.Secret())
+	if len(bob.Decisions()) != before {
+		t.Error("bob acted on a duplicate secret delivery")
+	}
+}

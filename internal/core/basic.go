@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// cutoffT3 returns the t3 cut-off price P̄_t3 of Eq. 18, generalised with a
+// collateral amount q (Eq. 33, §IV.A.2). q = 0 recovers the basic game. The
+// cut-off is clamped at zero: with enough collateral at stake A continues at
+// any price.
+func (m *Model) cutoffT3(pstar, q float64) float64 {
+	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
+	net := pstar*math.Exp(-a.R*(c.EpsB+2*c.TauA)) - q*math.Exp(-a.R*(c.EpsB+c.TauA))
+	if net <= 0 {
+		return 0
+	}
+	return math.Exp((a.R-pr.Mu)*c.TauB) * net / (1 + a.Alpha)
+}
+
+// CutoffT3 returns the cut-off price P̄_t3 of Eq. 18: A continues at t3 when
+// P_t3 exceeds it and stops otherwise (Eq. 19).
+func (m *Model) CutoffT3(pstar float64) (float64, error) {
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	return m.cutoffT3(pstar, 0), nil
+}
+
+// ---- Stage t3 (Eqs. 14–17) ----
+
+// aliceContT3 is U^A_t3(cont) as a function of the t3 price x (Eq. 14):
+// (1+αA)·E(x,τb)·e^{−rA·τb}.
+func (m *Model) aliceContT3(x float64) float64 {
+	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
+	return (1 + a.Alpha) * x * math.Exp((pr.Mu-a.R)*c.TauB)
+}
+
+// aliceStopT3 is U^A_t3(stop) (Eq. 16): the refund P* received at t8.
+func (m *Model) aliceStopT3(pstar float64) float64 {
+	a, c := m.params.Alice, m.params.Chains
+	return pstar * math.Exp(-a.R*(c.EpsB+2*c.TauA))
+}
+
+// bobContT3 is U^B_t3(cont) (Eq. 15): B banks P* Token_a at t6.
+func (m *Model) bobContT3(pstar float64) float64 {
+	b, c := m.params.Bob, m.params.Chains
+	return (1 + b.Alpha) * pstar * math.Exp(-b.R*(c.EpsB+c.TauA))
+}
+
+// bobStopT3 is U^B_t3(stop) as a function of the t3 price x (Eq. 17):
+// B's Token_b returns at t7 = t3 + 2τb.
+func (m *Model) bobStopT3(x float64) float64 {
+	b, c, pr := m.params.Bob, m.params.Chains, m.params.Price
+	return x * math.Exp(2*(pr.Mu-b.R)*c.TauB)
+}
+
+// AliceUtilityT3 evaluates U^A_t3 (Eqs. 14 and 16) at t3 price pT3 for the
+// given action. pT3 only affects the cont branch but is validated for both.
+func (m *Model) AliceUtilityT3(action Action, pT3, pstar float64) (float64, error) {
+	if err := checkPrice(pT3); err != nil {
+		return 0, err
+	}
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.aliceContT3(pT3), nil
+	case Stop:
+		return m.aliceStopT3(pstar), nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// BobUtilityT3 evaluates U^B_t3 (Eqs. 15 and 17) at t3 price pT3. The cont
+// branch reflects that B claims with certainty once the secret is revealed
+// (§III.E.1).
+func (m *Model) BobUtilityT3(action Action, pT3, pstar float64) (float64, error) {
+	if err := checkPrice(pT3); err != nil {
+		return 0, err
+	}
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.bobContT3(pstar), nil
+	case Stop:
+		return m.bobStopT3(pT3), nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// ---- Stage t2 (Eqs. 20–23), generalised with collateral q ----
+
+// aliceContT2 is U^A_t2(cont) at t2 price y (Eq. 20; Eq. 34 when q > 0).
+// The success branch integrates A's t3 cont utility above the cut-off in
+// closed form via the truncated lognormal moment; with collateral, A's
+// returned deposit q·e^{−rA(εb+τa)} rides on the same branch.
+func (m *Model) aliceContT2(y, pstar, q float64) float64 {
+	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
+	pbar := m.cutoffT3(pstar, q)
+	tr := m.transition(y, c.TauB)
+	cont := (1+a.Alpha)*math.Exp((pr.Mu-a.R)*c.TauB)*tr.PartialExpectationAbove(pbar) +
+		q*math.Exp(-a.R*(c.EpsB+c.TauA))*tr.TailProb(pbar)
+	stop := tr.CDF(pbar) * m.aliceStopT3(pstar)
+	return math.Exp(-a.R*c.TauB) * (cont + stop)
+}
+
+// aliceStopT2 is U^A_t2(stop) (Eq. 22): A's refund arrives at
+// t8 = t2 + τb + εb + 2τa after B walks away.
+func (m *Model) aliceStopT2(pstar float64) float64 {
+	a, c := m.params.Alice, m.params.Chains
+	return pstar * math.Exp(-a.R*(c.TauB+c.EpsB+2*c.TauA))
+}
+
+// bobContT2 is U^B_t2(cont) at t2 price y (Eq. 21; Eq. 35 when q > 0).
+// With collateral, B's own deposit is released at t3 and received at t3+τa,
+// and A's forfeited deposit accrues to B on the branch where A stops.
+func (m *Model) bobContT2(y, pstar, q float64) float64 {
+	b, c, pr := m.params.Bob, m.params.Chains, m.params.Price
+	pbar := m.cutoffT3(pstar, q)
+	tr := m.transition(y, c.TauB)
+	val := q*math.Exp(-b.R*c.TauA) +
+		tr.TailProb(pbar)*m.bobContT3(pstar) +
+		math.Exp(2*(pr.Mu-b.R)*c.TauB)*tr.PartialExpectationBelow(pbar) +
+		q*math.Exp(-b.R*(c.EpsB+c.TauA))*tr.CDF(pbar)
+	return math.Exp(-b.R*c.TauB) * val
+}
+
+// bobStopT2 is U^B_t2(stop) (Eq. 23): B simply keeps his Token_b (and, with
+// collateral, forfeits the deposit — Eq. 23 is reused unchanged in §IV.A.3).
+func (m *Model) bobStopT2(y float64) float64 { return y }
+
+// AliceUtilityT2 evaluates U^A_t2 (Eqs. 20 and 22) at t2 price pT2.
+func (m *Model) AliceUtilityT2(action Action, pT2, pstar float64) (float64, error) {
+	if err := checkPrice(pT2); err != nil {
+		return 0, err
+	}
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.aliceContT2(pT2, pstar, 0), nil
+	case Stop:
+		return m.aliceStopT2(pstar), nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// BobUtilityT2 evaluates U^B_t2 (Eqs. 21 and 23) at t2 price pT2.
+func (m *Model) BobUtilityT2(action Action, pT2, pstar float64) (float64, error) {
+	if err := checkPrice(pT2); err != nil {
+		return 0, err
+	}
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.bobContT2(pT2, pstar, 0), nil
+	case Stop:
+		return m.bobStopT2(pT2), nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// contSetT2 computes B's continuation region at t2,
+// {y > 0 : U^B_t2(cont)(y) > U^B_t2(stop)(y)}, as a union of intervals.
+// In the basic game (q = 0) this is the single interval (P̲_t2, P̄_t2] of
+// Eq. 24; with collateral the difference can have one or three roots
+// (Fig. 7), hence the general interval-set machinery. The scan happens in
+// log-price space, matching the lognormal geometry of the transition law.
+func (m *Model) contSetT2(pstar, q float64) mathx.IntervalSet {
+	diff := func(y float64) float64 { return m.bobContT2(y, pstar, q) - m.bobStopT2(y) }
+	b := m.params.Bob
+	pbar := m.cutoffT3(pstar, q)
+	// Upper bound: U^B_t2(cont) ≤ q + (1+αB)P* + e^{2(µ−rB)τb}·P̄_t3 up to
+	// discount factors ≤ e^{|µ|τ}, so cont < stop surely beyond a small
+	// multiple of that bound.
+	growth := math.Exp(2 * math.Max(m.params.Price.Mu-b.R, 0) * m.params.Chains.TauB)
+	hi := 4*((1+b.Alpha)*pstar+growth*pbar+q+1) + 2*m.params.P0
+	lo := 1e-7 * math.Min(m.params.P0, pstar)
+	logDiff := func(u float64) float64 { return diff(math.Exp(u)) }
+	logRoots := mathx.FindAllRoots(logDiff, math.Log(lo), math.Log(hi), m.scanN, m.tol)
+	roots := make([]float64, len(logRoots))
+	for i, u := range logRoots {
+		roots[i] = math.Exp(u)
+	}
+	return mathx.FromSignChanges(diff, lo, hi, roots)
+}
+
+// ContRangeT2 returns the continuation range (P̲_t2, P̄_t2) of Eq. 24: B
+// writes his HTLC at t2 only when the observed price lies inside it. ok is
+// false when B never continues (for instance when αB is too small,
+// §III.E.3). In the basic game the region is a single interval; its bounds
+// are returned.
+func (m *Model) ContRangeT2(pstar float64) (mathx.Interval, bool, error) {
+	if err := checkRate(pstar); err != nil {
+		return mathx.Interval{}, false, err
+	}
+	set := m.contSetT2(pstar, 0)
+	if set.Empty() {
+		return mathx.Interval{Lo: 1, Hi: 0}, false, nil
+	}
+	return set.Bounds(), true, nil
+}
+
+// ---- Stage t1 (Eqs. 25–28) ----
+
+// aliceContT1 is U^A_t1(cont) (Eq. 25): the discounted expectation of A's
+// t2 position over B's continuation region, plus her refund on the stop
+// region. The q generalisation implements Eq. 36 excluding the collateral
+// constant in the stop branch, which aliceContT1Collateral adds.
+func (m *Model) aliceContT1(pstar float64) float64 {
+	a, c := m.params.Alice, m.params.Chains
+	set := m.contSetT2(pstar, 0)
+	tr := m.transition(m.params.P0, c.TauA)
+	var contPart, prob float64
+	for _, iv := range set.Intervals() {
+		contPart += m.gl.Integrate(func(y float64) float64 {
+			return tr.PDF(y) * m.aliceContT2(y, pstar, 0)
+		}, iv.Lo, iv.Hi)
+		prob += tr.CDF(iv.Hi) - tr.CDF(iv.Lo)
+	}
+	stopPart := (1 - prob) * m.aliceStopT2(pstar)
+	return math.Exp(-a.R*c.TauA) * (contPart + stopPart)
+}
+
+// bobContT1 is U^B_t1(cont) (Eq. 26, with the upper stop region restored —
+// see DESIGN.md deviation 1): B's expected t2 position whether or not he
+// ends up continuing.
+func (m *Model) bobContT1(pstar float64) float64 {
+	b, c := m.params.Bob, m.params.Chains
+	set := m.contSetT2(pstar, 0)
+	tr := m.transition(m.params.P0, c.TauA)
+	var contPart, peInside float64
+	for _, iv := range set.Intervals() {
+		contPart += m.gl.Integrate(func(y float64) float64 {
+			return tr.PDF(y) * m.bobContT2(y, pstar, 0)
+		}, iv.Lo, iv.Hi)
+		peInside += tr.PartialExpectationBelow(iv.Hi) - tr.PartialExpectationBelow(iv.Lo)
+	}
+	// On the stop region B's utility is the price itself (Eq. 23), so the
+	// stop contribution is the complementary partial expectation.
+	stopPart := tr.Mean() - peInside
+	return math.Exp(-b.R*c.TauA) * (contPart + stopPart)
+}
+
+// AliceUtilityT1 evaluates U^A_t1 (Eqs. 25 and 27).
+func (m *Model) AliceUtilityT1(action Action, pstar float64) (float64, error) {
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.aliceContT1(pstar), nil
+	case Stop:
+		return pstar, nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// BobUtilityT1 evaluates U^B_t1 (Eqs. 26 and 28).
+func (m *Model) BobUtilityT1(action Action, pstar float64) (float64, error) {
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	switch action {
+	case Cont:
+		return m.bobContT1(pstar), nil
+	case Stop:
+		return m.params.P0, nil
+	default:
+		return 0, fmt.Errorf("%w: action %v", ErrBadParam, action)
+	}
+}
+
+// rateScanBound returns the upper end of the exchange-rate scan: beyond it
+// A's cont utility (bounded by the discounted, premium-weighted expected
+// token value) cannot reach P*.
+func (m *Model) rateScanBound() float64 {
+	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
+	horizon := c.TauA + 2*c.TauB + c.EpsB + 2*c.TauA
+	return 5*(1+a.Alpha)*m.params.P0*math.Exp(math.Max(pr.Mu, 0)*horizon) + 2
+}
+
+// FeasibleRateRange returns the exchange-rate range (P̲*, P̄*) of Eq. 30
+// within which A initiates the swap at t1; with Table III parameters this is
+// the paper's Eq. 29, approximately (1.5, 2.5). ok is false when no rate is
+// viable (for instance under an exceedingly high discount rate, §III.F.2).
+func (m *Model) FeasibleRateRange() (mathx.Interval, bool, error) {
+	diff := func(pstar float64) float64 { return m.aliceContT1(pstar) - pstar }
+	lo, hi := 1e-3, m.rateScanBound()
+	roots := mathx.FindAllRoots(diff, lo, hi, m.scanN/2, m.tol)
+	set := mathx.FromSignChanges(diff, lo, hi, roots)
+	if set.Empty() {
+		return mathx.Interval{Lo: 1, Hi: 0}, false, nil
+	}
+	return set.Bounds(), true, nil
+}
+
+// SuccessRate evaluates SR(P*) of Eq. 31: the probability, at initiation,
+// that B continues at t2 and A then continues at t3. It returns 0 when B's
+// continuation region is empty. The rate is a conditional probability given
+// initiation; whether A would rationally initiate is a separate check via
+// FeasibleRateRange.
+func (m *Model) SuccessRate(pstar float64) (float64, error) {
+	if err := checkRate(pstar); err != nil {
+		return 0, err
+	}
+	return m.successRate(pstar, 0), nil
+}
+
+func (m *Model) successRate(pstar, q float64) float64 {
+	c := m.params.Chains
+	set := m.contSetT2(pstar, q)
+	if set.Empty() {
+		return 0
+	}
+	pbar := m.cutoffT3(pstar, q)
+	tr := m.transition(m.params.P0, c.TauA)
+	var sr float64
+	for _, iv := range set.Intervals() {
+		sr += m.gl.Integrate(func(y float64) float64 {
+			succ := m.transition(y, c.TauB).TailProb(pbar)
+			return tr.PDF(y) * succ
+		}, iv.Lo, iv.Hi)
+	}
+	return mathx.Clamp(sr, 0, 1)
+}
+
+// OptimalRate returns the exchange rate maximising SR(P*) over the feasible
+// range (the concave optimum of §III.F), along with the achieved success
+// rate. It returns ErrNotViable when no rate is feasible at t1.
+func (m *Model) OptimalRate() (pstar, sr float64, err error) {
+	rng, ok, err := m.FeasibleRateRange()
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: no feasible exchange rate at t1", ErrNotViable)
+	}
+	arg, val := mathx.GridMax(func(p float64) float64 { return m.successRate(p, 0) },
+		rng.Lo, rng.Hi, 64, 1e-9)
+	return arg, val, nil
+}
+
+// Strategy summarises the subgame-perfect strategies for a given exchange
+// rate, in the threshold form used by the protocol simulator:
+// A initiates iff AliceInitiates; B continues at t2 iff P_t2 ∈ BobContT2;
+// A reveals at t3 iff P_t3 > AliceCutoffT3; B always claims at t4.
+type Strategy struct {
+	// PStar is the agreed exchange rate the strategy was solved for.
+	PStar float64
+	// AliceInitiates reports whether cont is optimal for A at t1.
+	AliceInitiates bool
+	// BobContT2 is B's continuation region at t2.
+	BobContT2 mathx.IntervalSet
+	// AliceCutoffT3 is the cut-off price P̄_t3 of Eq. 18.
+	AliceCutoffT3 float64
+}
+
+// Strategy solves the game at the given exchange rate and returns the
+// subgame-perfect threshold strategies.
+func (m *Model) Strategy(pstar float64) (Strategy, error) {
+	if err := checkRate(pstar); err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{
+		PStar:          pstar,
+		AliceInitiates: m.aliceContT1(pstar) > pstar,
+		BobContT2:      m.contSetT2(pstar, 0),
+		AliceCutoffT3:  m.cutoffT3(pstar, 0),
+	}, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTypePriorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		prior   TypePrior
+		wantErr bool
+	}{
+		{"point", PointPrior(0.3), false},
+		{"twoPoint", TypePrior{Values: []float64{0.1, 0.5}, Probs: []float64{0.5, 0.5}}, false},
+		{"empty", TypePrior{}, true},
+		{"lengthMismatch", TypePrior{Values: []float64{0.3}, Probs: []float64{0.5, 0.5}}, true},
+		{"negativePremium", TypePrior{Values: []float64{-0.1}, Probs: []float64{1}}, true},
+		{"probsDontSum", TypePrior{Values: []float64{0.1, 0.5}, Probs: []float64{0.5, 0.2}}, true},
+		{"negativeProb", TypePrior{Values: []float64{0.1, 0.5}, Probs: []float64{-0.5, 1.5}}, true},
+		{"nanValue", TypePrior{Values: []float64{math.NaN()}, Probs: []float64{1}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.prior.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTypePriorMean(t *testing.T) {
+	tp := TypePrior{Values: []float64{0.1, 0.5}, Probs: []float64{0.25, 0.75}}
+	if got := tp.Mean(); math.Abs(got-0.4) > 1e-15 {
+		t.Errorf("Mean = %v, want 0.4", got)
+	}
+}
+
+func TestBayesianConstruction(t *testing.T) {
+	m := newDefaultModel(t)
+	if _, err := m.Bayesian(TypePrior{}, PointPrior(0.3)); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad priorA err = %v", err)
+	}
+	if _, err := m.Bayesian(PointPrior(0.3), TypePrior{}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad priorB err = %v", err)
+	}
+	if _, err := m.Bayesian(PointPrior(0.3), PointPrior(0.3)); err != nil {
+		t.Errorf("valid priors err = %v", err)
+	}
+}
+
+func TestBayesianDegeneratePriorsReproduceBasicGame(t *testing.T) {
+	// Point priors at the Table III premia must reproduce the
+	// complete-information solution exactly.
+	m := newDefaultModel(t)
+	b, err := m.Bayesian(PointPrior(0.3), PointPrior(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pstar = 2.0
+
+	cut, err := b.CutoffT3(0.3, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCut, _ := m.CutoffT3(pstar)
+	if !almostEqual(cut, wantCut, 1e-12) {
+		t.Errorf("cutoff %v, want %v", cut, wantCut)
+	}
+
+	set, err := b.ContSetT2(0.3, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok, _ := m.ContRangeT2(pstar)
+	if !ok {
+		t.Fatal("basic range missing")
+	}
+	bounds := set.Bounds()
+	if !almostEqual(bounds.Lo, iv.Lo, 1e-6) || !almostEqual(bounds.Hi, iv.Hi, 1e-6) {
+		t.Errorf("region %v, want %v", bounds, iv)
+	}
+
+	sr, ok, err := b.SuccessRate(pstar)
+	if err != nil || !ok {
+		t.Fatalf("SuccessRate: %v ok=%v", err, ok)
+	}
+	wantSR, _ := m.SuccessRate(pstar)
+	if !almostEqual(sr, wantSR, 1e-9) {
+		t.Errorf("SR %v, want %v", sr, wantSR)
+	}
+
+	init, err := b.AliceInitiates(0.3, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, _ := m.Strategy(pstar)
+	if init != strat.AliceInitiates {
+		t.Errorf("initiation %v, want %v", init, strat.AliceInitiates)
+	}
+}
+
+func TestBayesianRegionMonotoneInOwnPremium(t *testing.T) {
+	// A more eager B (higher own αB) continues on a weakly larger region,
+	// whatever his belief about A.
+	m := newDefaultModel(t)
+	priorA := TypePrior{Values: []float64{0.15, 0.45}, Probs: []float64{0.5, 0.5}}
+	b, err := m.Bayesian(priorA, PointPrior(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevLen float64
+	for i, alphaB := range []float64{0.15, 0.3, 0.45} {
+		set, err := b.ContSetT2(alphaB, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := set.TotalLen()
+		if i > 0 && l < prevLen-1e-9 {
+			t.Errorf("region length shrank with αB: %v then %v", prevLen, l)
+		}
+		prevLen = l
+	}
+}
+
+func TestBayesianUncertaintyAboutBobLowersSR(t *testing.T) {
+	// A mean-preserving spread over αB that puts mass on a type who never
+	// locks must lower the success rate versus the point prior at the mean:
+	// the low-α type contributes zero success.
+	m := newDefaultModel(t)
+	const pstar = 2.0
+	point, err := m.Bayesian(PointPrior(0.3), PointPrior(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srPoint, ok, err := point.SuccessRate(pstar)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// αB ∈ {0.05, 0.55}: the low type's continuation region is empty
+	// (§III.E.3), the high type's is wide; mean preserved at 0.3.
+	spread, err := m.Bayesian(PointPrior(0.3),
+		TypePrior{Values: []float64{0.05, 0.55}, Probs: []float64{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srSpread, ok, err := spread.SuccessRate(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("spread prior: nobody initiates")
+	}
+	if srSpread >= srPoint {
+		t.Errorf("spread SR %v should be below point SR %v", srSpread, srPoint)
+	}
+	if srSpread <= 0 || srSpread >= 1 {
+		t.Errorf("spread SR %v out of (0,1)", srSpread)
+	}
+}
+
+func TestBayesianTypeDependentInitiation(t *testing.T) {
+	// At a rate favourable to B, a low-premium A stays out while a
+	// high-premium A initiates — initiation is genuinely type-dependent.
+	m := newDefaultModel(t)
+	b, err := m.Bayesian(
+		TypePrior{Values: []float64{0.05, 0.6}, Probs: []float64{0.5, 0.5}},
+		PointPrior(0.3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pstar = 1.9
+	lowInit, err := b.AliceInitiates(0.05, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highInit, err := b.AliceInitiates(0.6, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowInit {
+		t.Error("low-premium A should not initiate at 1.9")
+	}
+	if !highInit {
+		t.Error("high-premium A should initiate at 1.9")
+	}
+	// SR conditions on the initiating types only.
+	sr, ok, err := b.SuccessRate(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || sr <= 0 {
+		t.Errorf("SR = %v ok=%v, want positive conditional SR", sr, ok)
+	}
+}
+
+func TestBayesianNoInitiation(t *testing.T) {
+	// With hopeless premia on both sides nobody initiates.
+	m := newDefaultModel(t)
+	b, err := m.Bayesian(PointPrior(0.01), PointPrior(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := b.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("expected no initiation with tiny premia")
+	}
+}
+
+func TestBayesianArgumentValidation(t *testing.T) {
+	m := newDefaultModel(t)
+	b, err := m.Bayesian(PointPrior(0.3), PointPrior(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CutoffT3(-0.1, 2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative type err = %v", err)
+	}
+	if _, err := b.CutoffT3(0.3, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad rate err = %v", err)
+	}
+	if _, err := b.ContSetT2(math.NaN(), 2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("NaN type err = %v", err)
+	}
+	if _, err := b.AliceInitiates(-1, 2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad type err = %v", err)
+	}
+	if _, _, err := b.SuccessRate(-2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad rate err = %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements the paper's primary contribution: backward
+// induction over the HTLC atomic-swap game of Xu, Ackerer and Dubovitskaya
+// (arXiv:2011.11325, ICDCS 2021).
+//
+// Three solvers are provided:
+//
+//   - Model: the basic game of §III — stage utilities at t3/t2/t1
+//     (Eqs. 14–28), the cut-off price P̄_t3 (Eq. 18), the continuation range
+//     (P̲_t2, P̄_t2) (Eq. 24), the feasible exchange-rate range (P̲*, P̄*)
+//     (Eqs. 29–30), and the success rate SR(P*) (Eq. 31).
+//   - Collateral: the escrowed-collateral extension of §IV.A (Eqs. 32–40),
+//     where the t2 continuation region 𝒫_t2 may be a union of intervals.
+//   - Uncertain: the uncertain-exchange-rate extension of §IV.B
+//     (Eqs. 41–46), where B picks the amount X* to lock and A picks the
+//     amount P* to commit.
+//
+// The stage integrals are evaluated in closed form through the truncated
+// lognormal moments of internal/dist wherever the integrand is affine in the
+// future price, and by Gauss–Legendre or Gauss–Hermite quadrature otherwise.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+	"repro/internal/utility"
+)
+
+// Errors returned by the solvers.
+var (
+	// ErrBadParam reports an invalid model parameter or argument.
+	ErrBadParam = errors.New("core: invalid parameter")
+	// ErrNotViable reports that no viable configuration exists (for example
+	// OptimalRate when no exchange rate makes A initiate).
+	ErrNotViable = errors.New("core: no viable configuration")
+)
+
+// Action is a decision in the two-element action set {cont, stop} of §III.C.
+type Action int
+
+const (
+	// Stop withdraws from the swap at the current decision point.
+	Stop Action = iota + 1
+	// Cont continues the protocol at the current decision point.
+	Cont
+)
+
+// String returns the paper's name for the action.
+func (a Action) String() string {
+	switch a {
+	case Stop:
+		return "stop"
+	case Cont:
+		return "cont"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Model solves the basic swap game for a fixed parameter set.
+// Construct with New; the zero value is not usable.
+type Model struct {
+	params utility.Params
+	gl     *mathx.GaussLegendre
+	gh     *mathx.GaussHermite
+	scanN  int
+	tol    float64
+}
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithQuadOrder sets the Gauss–Legendre order used for the finite-interval
+// stage integrals (default 64).
+func WithQuadOrder(n int) Option {
+	return func(m *Model) {
+		m.gl = mathx.MustGaussLegendre(n)
+	}
+}
+
+// WithHermiteOrder sets the Gauss–Hermite order used for full-line
+// expectations in the uncertain-amount extension (default 48).
+func WithHermiteOrder(n int) Option {
+	return func(m *Model) {
+		m.gh = mathx.MustGaussHermite(n)
+	}
+}
+
+// WithScanPoints sets the number of panels used when scanning for utility
+// crossings (default 600).
+func WithScanPoints(n int) Option {
+	return func(m *Model) {
+		m.scanN = n
+	}
+}
+
+// New validates the parameters and returns a solver.
+func New(p utility.Params, opts ...Option) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m := &Model{
+		params: p,
+		gl:     mathx.MustGaussLegendre(64),
+		gh:     mathx.MustGaussHermite(48),
+		scanN:  600,
+		tol:    1e-11,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+// Params returns the model's parameter set.
+func (m *Model) Params() utility.Params { return m.params }
+
+// transition returns the lognormal law of the price tau hours ahead of
+// price p. p and tau are validated by construction at every call site.
+func (m *Model) transition(p, tau float64) dist.LogNormal {
+	l, err := m.params.Price.Transition(p, tau)
+	if err != nil {
+		// Unreachable for validated prices; fail loudly in development.
+		panic(err)
+	}
+	return l
+}
+
+// checkRate validates an exchange-rate (or locked-amount) argument.
+func checkRate(pstar float64) error {
+	if pstar <= 0 || math.IsNaN(pstar) || math.IsInf(pstar, 0) {
+		return fmt.Errorf("%w: exchange rate P*=%g must be > 0", ErrBadParam, pstar)
+	}
+	return nil
+}
+
+// checkPrice validates a price argument.
+func checkPrice(p float64) error {
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return fmt.Errorf("%w: price %g must be > 0", ErrBadParam, p)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/utility"
+)
+
+// ExampleModel_SuccessRate reproduces the headline numbers of the paper at
+// Table III defaults: the Eq. 18 cut-off, the Eq. 24 continuation range,
+// the Eq. 29 feasible band and the Eq. 31 success rate.
+func ExampleModel_SuccessRate() {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cut, err := m.CutoffT3(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iv, _, err := m.ContRangeT2(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng, _, err := m.FeasibleRateRange()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := m.SuccessRate(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cutoff %.4f\n", cut)
+	fmt.Printf("t2 range (%.3f, %.3f)\n", iv.Lo, iv.Hi)
+	fmt.Printf("feasible rates (%.2f, %.2f)\n", rng.Lo, rng.Hi)
+	fmt.Printf("SR %.4f\n", sr)
+	// Output:
+	// cutoff 1.4811
+	// t2 range (1.182, 2.389)
+	// feasible rates (1.53, 2.53)
+	// SR 0.7143
+}
+
+// ExampleCollateral_SuccessRate shows the §IV.A result: a symmetric deposit
+// escrowed with the Oracle raises the success rate.
+func ExampleCollateral_SuccessRate() {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.1} {
+		col, err := m.Collateral(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err := col.SuccessRate(2.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q=%.1f SR=%.4f\n", q, sr)
+	}
+	// Output:
+	// Q=0.0 SR=0.7143
+	// Q=0.1 SR=0.8018
+}
+
+// ExampleUncertain_SuccessRate shows the §IV.B result: letting Bob choose
+// the amount to lock beats any fixed exchange rate.
+func ExampleUncertain_SuccessRate() {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := m.Uncertain()
+	srX, err := u.SuccessRate(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, srBest, err := m.OptimalRate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uncertain-exchange SR %.3f > best fixed-rate SR %.3f: %v\n",
+		srX, srBest, srX > srBest)
+	// Output:
+	// uncertain-exchange SR 0.794 > best fixed-rate SR 0.722: true
+}
+
+// ExampleModel_Bayesian shows the incomplete-information extension: not
+// knowing the counterparty's success premium costs success probability at
+// the fair rate even when the mean premium is unchanged.
+func ExampleModel_Bayesian() {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := m.Bayesian(
+		core.PointPrior(0.3),
+		core.TypePrior{Values: []float64{0.05, 0.55}, Probs: []float64{0.5, 0.5}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, ok, err := b.SuccessRate(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uncertain counterparty: SR %.4f (initiated: %v)\n", sr, ok)
+	// Output:
+	// uncertain counterparty: SR 0.5156 (initiated: true)
+}

@@ -1,0 +1,303 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/plot"
+	"repro/internal/swapsim"
+	"repro/internal/timeline"
+	"repro/internal/utility"
+)
+
+// ratePanels are the exchange rates of the paper's three-panel utility
+// figures (Figs. 3, 4 and 7).
+var ratePanels = []float64{1.6, 2.0, 2.4}
+
+// TableI reproduces Table I (expected balance change by swap) and verifies
+// it end-to-end: an honest protocol run on the chain simulator must realise
+// exactly those deltas.
+func TableI(p utility.Params) ([]Figure, error) {
+	const pstar = 2.0
+	out, err := swapsim.Run(swapsim.Config{
+		Params:   p,
+		Strategy: agent.HonestStrategy(pstar),
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := Figure{
+		ID:    "tableI",
+		Title: "Table I: agents' expected balance change by swap (expected vs simulated)",
+		TableHeader: []string{
+			"Agent", "on Chain_a (expected)", "on Chain_a (simulated)",
+			"on Chain_b (expected)", "on Chain_b (simulated)",
+		},
+		TableRows: [][]string{
+			{
+				"Alice (A)",
+				fmt.Sprintf("%+.2f TokenA", -pstar), fmt.Sprintf("%+.2f TokenA", out.AliceDeltaA),
+				"+1.00 TokenB", fmt.Sprintf("%+.2f TokenB", out.AliceDeltaB),
+			},
+			{
+				"Bob (B)",
+				fmt.Sprintf("%+.2f TokenA", pstar), fmt.Sprintf("%+.2f TokenA", out.BobDeltaA),
+				"-1.00 TokenB", fmt.Sprintf("%+.2f TokenB", out.BobDeltaB),
+			},
+		},
+		Notes: []string{
+			fmt.Sprintf("simulated stage: %s, atomic: %v, receipts by t=%.0fh", out.Stage, out.Atomic, out.EndTime),
+		},
+	}
+	if !out.Success {
+		return nil, fmt.Errorf("figures: honest run failed: %+v", out.Stage)
+	}
+	return []Figure{f}, nil
+}
+
+// TableIII lists the default parameter values.
+func TableIII(p utility.Params) ([]Figure, error) {
+	f := Figure{
+		ID:          "tableIII",
+		Title:       "Table III: default value of parameters",
+		TableHeader: []string{"Parameter", "Value", "Unit"},
+		TableRows: [][]string{
+			{"alphaA", fmt.Sprintf("%g", p.Alice.Alpha), "-"},
+			{"alphaB", fmt.Sprintf("%g", p.Bob.Alpha), "-"},
+			{"rA", fmt.Sprintf("%g", p.Alice.R), "/hour"},
+			{"rB", fmt.Sprintf("%g", p.Bob.R), "/hour"},
+			{"tauA", fmt.Sprintf("%g", p.Chains.TauA), "hour"},
+			{"tauB", fmt.Sprintf("%g", p.Chains.TauB), "hour"},
+			{"epsB", fmt.Sprintf("%g", p.Chains.EpsB), "hour"},
+			{"P_t0", fmt.Sprintf("%g", p.P0), "TokenA"},
+			{"mu", fmt.Sprintf("%g", p.Price.Mu), "/hour"},
+			{"sigma", fmt.Sprintf("%g", p.Price.Sigma), "/sqrt(hour)"},
+		},
+	}
+	return []Figure{f}, nil
+}
+
+// Fig2 reproduces the swap timelines: the idealized zero-waiting-time
+// timeline (Fig. 2b / Eq. 13) and a general one with waits (Fig. 2a).
+func Fig2(p utility.Params) ([]Figure, error) {
+	ideal, err := timeline.Idealized(p.Chains)
+	if err != nil {
+		return nil, err
+	}
+	waited, err := timeline.WithWaits(p.Chains, 1, 2, 1, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	row := func(tl timeline.Timeline) []string {
+		f := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+		return []string{
+			f(tl.T0), f(tl.T1), f(tl.T2), f(tl.T3), f(tl.T4),
+			f(tl.T5), f(tl.T6), f(tl.T7), f(tl.T8), f(tl.TA), f(tl.TB),
+		}
+	}
+	header := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "ta", "tb"}
+	fig := Figure{
+		ID:          "fig2",
+		Title:       "Fig. 2: swap timeline (hours; top row idealized Eq. 13, bottom row with waits 1/2/1/0.5)",
+		TableHeader: header,
+		TableRows:   [][]string{row(ideal), row(waited)},
+		Notes: []string{
+			fmt.Sprintf("idealized: t5=tb=%.1f, t6=ta=%.1f, t7=%.1f, t8=%.1f", ideal.T5, ideal.T6, ideal.T7, ideal.T8),
+		},
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig3 reproduces Alice's t3 utilities (cont vs stop) for the three panel
+// exchange rates, with the cut-off price P̄_t3 in the notes.
+func Fig3(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure
+	grid := mathx.LinSpace(0.05, 3.0, 60)
+	for _, pstar := range ratePanels {
+		cont := make([]float64, len(grid))
+		stop := make([]float64, len(grid))
+		for i, x := range grid {
+			if cont[i], err = m.AliceUtilityT3(core.Cont, x, pstar); err != nil {
+				return nil, err
+			}
+			if stop[i], err = m.AliceUtilityT3(core.Stop, x, pstar); err != nil {
+				return nil, err
+			}
+		}
+		cut, err := m.CutoffT3(pstar)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure{
+			ID:     fmt.Sprintf("fig3-pstar%.1f", pstar),
+			Title:  fmt.Sprintf("Fig. 3: Alice's utility at t3, P* = %.1f", pstar),
+			XLabel: "Token_b price at t3, P_t3",
+			YLabel: "U^A_t3",
+			Series: []plot.Series{
+				{Name: "U^A_t3(cont)", X: grid, Y: cont},
+				{Name: "U^A_t3(stop)", X: grid, Y: stop},
+			},
+			Notes: []string{fmt.Sprintf("cut-off P̄_t3 = %.4f (Eq. 18)", cut)},
+		})
+	}
+	return out, nil
+}
+
+// Fig4 reproduces Bob's t2 utilities (cont vs stop) for the three panel
+// exchange rates, with the continuation range (P̲_t2, P̄_t2) in the notes.
+func Fig4(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure
+	grid := mathx.LinSpace(0.05, 3.0, 60)
+	for _, pstar := range ratePanels {
+		cont := make([]float64, len(grid))
+		stop := make([]float64, len(grid))
+		for i, x := range grid {
+			if cont[i], err = m.BobUtilityT2(core.Cont, x, pstar); err != nil {
+				return nil, err
+			}
+			if stop[i], err = m.BobUtilityT2(core.Stop, x, pstar); err != nil {
+				return nil, err
+			}
+		}
+		iv, ok, err := m.ContRangeT2(pstar)
+		if err != nil {
+			return nil, err
+		}
+		note := "no continuation range (B never locks)"
+		if ok {
+			note = fmt.Sprintf("continuation range (P̲_t2, P̄_t2) = (%.4f, %.4f)", iv.Lo, iv.Hi)
+		}
+		out = append(out, Figure{
+			ID:     fmt.Sprintf("fig4-pstar%.1f", pstar),
+			Title:  fmt.Sprintf("Fig. 4: Bob's utility at t2, P* = %.1f", pstar),
+			XLabel: "Token_b price at t2, P_t2",
+			YLabel: "U^B_t2",
+			Series: []plot.Series{
+				{Name: "U^B_t2(cont)", X: grid, Y: cont},
+				{Name: "U^B_t2(stop)", X: grid, Y: stop},
+			},
+			Notes: []string{note},
+		})
+	}
+	return out, nil
+}
+
+// Fig5 reproduces Alice's t1 utilities over the exchange rate, with the
+// feasible range (P̲*, P̄*) of Eq. 29 in the notes.
+func Fig5(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	grid := mathx.LinSpace(0.1, 3.0, 59)
+	cont := make([]float64, len(grid))
+	stop := make([]float64, len(grid))
+	for i, pstar := range grid {
+		if cont[i], err = m.AliceUtilityT1(core.Cont, pstar); err != nil {
+			return nil, err
+		}
+		stop[i] = pstar
+	}
+	rng, ok, err := m.FeasibleRateRange()
+	if err != nil {
+		return nil, err
+	}
+	note := "no feasible exchange rate (swap never initiated)"
+	if ok {
+		note = fmt.Sprintf("feasible range (P̲*, P̄*) = (%.4f, %.4f); paper Eq. 29: (1.5, 2.5)", rng.Lo, rng.Hi)
+	}
+	return []Figure{{
+		ID:     "fig5",
+		Title:  "Fig. 5: Alice's utility at t1 vs exchange rate P*",
+		XLabel: "Exchange rate P*",
+		YLabel: "U^A_t1",
+		Series: []plot.Series{
+			{Name: "U^A_t1(cont)", X: grid, Y: cont},
+			{Name: "U^A_t1(stop)", X: grid, Y: stop},
+		},
+		Notes: []string{note},
+	}}, nil
+}
+
+// fig6Panel describes one sensitivity panel of Fig. 6.
+type fig6Panel struct {
+	id     string
+	label  string
+	values []float64
+	with   func(utility.Params, float64) utility.Params
+}
+
+// fig6Panels lists the eight swept parameters with the paper's values.
+func fig6Panels() []fig6Panel {
+	return []fig6Panel{
+		{"alphaA", "αA", []float64{0.1, 0.2, 0.3, 0.4}, func(p utility.Params, v float64) utility.Params { return p.WithAliceAlpha(v) }},
+		{"alphaB", "αB", []float64{0.1, 0.2, 0.3, 0.4}, func(p utility.Params, v float64) utility.Params { return p.WithBobAlpha(v) }},
+		{"rA", "rA", []float64{0.005, 0.01, 0.015, 0.02}, func(p utility.Params, v float64) utility.Params { return p.WithAliceR(v) }},
+		{"rB", "rB", []float64{0.005, 0.01, 0.02, 0.03}, func(p utility.Params, v float64) utility.Params { return p.WithBobR(v) }},
+		{"tauA", "τa", []float64{1, 3, 5, 7}, func(p utility.Params, v float64) utility.Params { return p.WithTauA(v) }},
+		{"tauB", "τb", []float64{2, 4, 6, 8}, func(p utility.Params, v float64) utility.Params { return p.WithTauB(v) }},
+		{"mu", "µ", []float64{-0.002, 0, 0.002, 0.004}, func(p utility.Params, v float64) utility.Params { return p.WithMu(v) }},
+		{"sigma", "σ", []float64{0.05, 0.1, 0.15, 0.2}, func(p utility.Params, v float64) utility.Params { return p.WithSigma(v) }},
+	}
+}
+
+// Fig6 reproduces the eight success-rate sensitivity panels: SR(P*) curves
+// for four values of each parameter, with per-value t1-viability flags
+// (the paper marks non-viable values with □).
+func Fig6(p utility.Params) ([]Figure, error) {
+	grid := mathx.LinSpace(0.2, 3.2, 41)
+	var out []Figure
+	for _, panel := range fig6Panels() {
+		fig := Figure{
+			ID:     "fig6-" + panel.id,
+			Title:  fmt.Sprintf("Fig. 6: success rate SR(P*) sweeping %s", panel.label),
+			XLabel: "Exchange rate P*",
+			YLabel: "SR",
+		}
+		for _, v := range panel.values {
+			m, err := core.New(panel.with(p, v))
+			if err != nil {
+				return nil, err
+			}
+			ys := make([]float64, len(grid))
+			for i, pstar := range grid {
+				sr, err := m.SuccessRate(pstar)
+				if err != nil {
+					return nil, err
+				}
+				ys[i] = sr
+			}
+			rng, viable, err := m.FeasibleRateRange()
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("%s=%g", panel.label, v)
+			fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: ys})
+			if viable {
+				maxSR := 0.0
+				for _, y := range ys {
+					maxSR = math.Max(maxSR, y)
+				}
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"%s: viable, (P̲*, P̄*) = (%.3f, %.3f), max SR on grid = %.3f",
+					name, rng.Lo, rng.Hi, maxSR))
+			} else {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s: NON-VIABLE (□ in the paper: swap never initiated)", name))
+			}
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/plot"
+	"repro/internal/utility"
+)
+
+// collateralPanels are the deposit levels of Figs. 7–9.
+var collateralPanels = []float64{0.01, 0.1}
+
+// Fig7 reproduces Bob's t2 utilities in the collateral game for
+// Q ∈ {0.01, 0.1} and the three panel rates, with the indifference points
+// (1 or 3 of them) in the notes.
+func Fig7(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure
+	grid := mathx.LinSpace(0.05, 3.0, 60)
+	for _, q := range collateralPanels {
+		col, err := m.Collateral(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, pstar := range ratePanels {
+			cont := make([]float64, len(grid))
+			stop := make([]float64, len(grid))
+			for i, x := range grid {
+				if cont[i], err = col.BobUtilityT2(core.Cont, x, pstar); err != nil {
+					return nil, err
+				}
+				if stop[i], err = col.BobUtilityT2(core.Stop, x, pstar); err != nil {
+					return nil, err
+				}
+			}
+			set, err := col.ContSetT2(pstar)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure{
+				ID:     fmt.Sprintf("fig7-q%g-pstar%.1f", q, pstar),
+				Title:  fmt.Sprintf("Fig. 7: Bob's utility at t2 with collateral Q = %g, P* = %.1f", q, pstar),
+				XLabel: "Token_b price at t2, P_t2",
+				YLabel: "U^B_t2",
+				Series: []plot.Series{
+					{Name: "U^B_t2,c(cont)", X: grid, Y: cont},
+					{Name: "U^B_t2(stop)", X: grid, Y: stop},
+				},
+				Notes: []string{
+					fmt.Sprintf("continuation set 𝒫_t2 = %v (%d interval(s) → %d indifference point(s))",
+						set, len(set.Intervals()), indifferenceCount(set)),
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+// indifferenceCount counts interior indifference points of a continuation
+// set whose lowest interval starts at the scan floor (price ≈ 0).
+func indifferenceCount(set mathx.IntervalSet) int {
+	ivs := set.Intervals()
+	if len(ivs) == 0 {
+		return 0
+	}
+	// Each interval contributes two edges; the near-zero lower edge of the
+	// first interval is not an indifference point.
+	return 2*len(ivs) - 1
+}
+
+// Fig8 reproduces both agents' t1 utilities in the collateral game over the
+// exchange rate, with each agent's engagement set in the notes.
+func Fig8(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure
+	grid := mathx.LinSpace(0.1, 3.0, 59)
+	for _, q := range collateralPanels {
+		col, err := m.Collateral(q)
+		if err != nil {
+			return nil, err
+		}
+		contA := make([]float64, len(grid))
+		stopA := make([]float64, len(grid))
+		contB := make([]float64, len(grid))
+		stopB := make([]float64, len(grid))
+		for i, pstar := range grid {
+			if contA[i], err = col.AliceUtilityT1(core.Cont, pstar); err != nil {
+				return nil, err
+			}
+			if stopA[i], err = col.AliceUtilityT1(core.Stop, pstar); err != nil {
+				return nil, err
+			}
+			if contB[i], err = col.BobUtilityT1(core.Cont, pstar); err != nil {
+				return nil, err
+			}
+			if stopB[i], err = col.BobUtilityT1(core.Stop, pstar); err != nil {
+				return nil, err
+			}
+		}
+		fa := col.FeasibleRatesAlice()
+		fb := col.FeasibleRatesBob()
+		out = append(out, Figure{
+			ID:     fmt.Sprintf("fig8-q%g", q),
+			Title:  fmt.Sprintf("Fig. 8: Alice's and Bob's utility at t1 with collateral Q = %g", q),
+			XLabel: "Exchange rate P*",
+			YLabel: "U_t1",
+			Series: []plot.Series{
+				{Name: "U^A_t1,c(cont)", X: grid, Y: contA},
+				{Name: "U^A_t1,c(stop)", X: grid, Y: stopA},
+				{Name: "U^B_t1,c(cont)", X: grid, Y: contB},
+				{Name: "U^B_t1,c(stop)", X: grid, Y: stopB},
+			},
+			Notes: []string{
+				fmt.Sprintf("Alice engages on 𝒫^A = %v", fa),
+				fmt.Sprintf("Bob engages on 𝒫^B = %v", fb),
+				fmt.Sprintf("intersection (both engage) = %v", fa.Intersect(fb)),
+				fmt.Sprintf("union (as printed in §IV.A.4) = %v", fa.Union(fb)),
+			},
+		})
+	}
+	return out, nil
+}
+
+// Fig9 reproduces the success rate under collateral for Q ∈ {0, 0.01, 0.1}.
+func Fig9(p utility.Params) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	grid := mathx.LinSpace(0.2, 3.2, 41)
+	fig := Figure{
+		ID:     "fig9",
+		Title:  "Fig. 9: success rate SR(P*) with collateral",
+		XLabel: "Exchange rate P*",
+		YLabel: "SR",
+	}
+	for _, q := range []float64{0, 0.01, 0.1} {
+		col, err := m.Collateral(q)
+		if err != nil {
+			return nil, err
+		}
+		ys := make([]float64, len(grid))
+		maxSR := 0.0
+		for i, pstar := range grid {
+			sr, err := col.SuccessRate(pstar)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = sr
+			maxSR = math.Max(maxSR, sr)
+		}
+		name := fmt.Sprintf("Q=%g", q)
+		if q == 0 {
+			name = "Q=0 (basic setup)"
+		}
+		fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: ys})
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: max SR on grid = %.3f", name, maxSR))
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig10a reproduces B's optimal lock amount X*(P_t2) for the three
+// committed amounts, under the holdings budget (DESIGN.md deviation 6).
+func Fig10a(p utility.Params, budget float64) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	u, err := m.UncertainWithBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	grid := mathx.LinSpace(0.25, 12, 48)
+	fig := Figure{
+		ID:     "fig10a",
+		Title:  fmt.Sprintf("Fig. 10a: optimal Token_b amount X* for Bob (budget %g)", budget),
+		XLabel: "Token_b price at t2, P_t2",
+		YLabel: "X*",
+	}
+	for _, a := range []float64{0.02, 4, 8.91} {
+		ys := make([]float64, len(grid))
+		peak := 0.0
+		for i, y := range grid {
+			x, _, err := u.OptimalLockB(y, a)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = x
+			peak = math.Max(peak, x)
+		}
+		fig.Series = append(fig.Series, plot.Series{
+			Name: fmt.Sprintf("P*=%.2f", a), X: grid, Y: ys,
+		})
+		fig.Notes = append(fig.Notes, fmt.Sprintf("P*=%.2f: peak X* = %.3f", a, peak))
+	}
+	fig.Notes = append(fig.Notes,
+		"unconstrained Eq. 44 gives X* ∝ 1/P_t2 (no hump); see DESIGN.md deviation 6")
+	return []Figure{fig}, nil
+}
+
+// Fig10b reproduces A's excess utility at t1 over the committed amount,
+// with the break-even range and optimum in the notes.
+func Fig10b(p utility.Params, budget float64) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	u, err := m.UncertainWithBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	grid := mathx.LinSpace(0.1, 12, 40)
+	ys := make([]float64, len(grid))
+	for i, a := range grid {
+		ex, err := u.AliceExcessUtilityT1(a)
+		if err != nil {
+			return nil, err
+		}
+		ys[i] = ex
+	}
+	fig := Figure{
+		ID:     "fig10b",
+		Title:  fmt.Sprintf("Fig. 10b: Alice's excess utility at t1 (budget %g)", budget),
+		XLabel: "Amount Token_a locked, P*",
+		YLabel: "U^A_t1,x",
+		Series: []plot.Series{{Name: "U^A_t1,x", X: grid, Y: ys}},
+	}
+	if rng, ok, err := u.BreakEvenRange(14); err != nil {
+		return nil, err
+	} else if ok {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("break-even range (P̲*, P̄*) = (%.3f, %.3f)", rng.Lo, rng.Hi))
+	}
+	aStar, exStar, err := u.OptimalLockA(14)
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf("optimal commitment a* = %.3f with excess utility %.4f", aStar, exStar))
+	return []Figure{fig}, nil
+}
+
+// Fig11 compares the success rate of the basic setup against the
+// uncertain-exchange-rate game (both capped and unconstrained responders).
+func Fig11(p utility.Params, budget float64) ([]Figure, error) {
+	m, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	uCap, err := m.UncertainWithBudget(budget)
+	if err != nil {
+		return nil, err
+	}
+	uFree := m.Uncertain()
+	grid := mathx.LinSpace(0.25, 8, 32)
+	basic := make([]float64, len(grid))
+	capped := make([]float64, len(grid))
+	free := make([]float64, len(grid))
+	for i, a := range grid {
+		if basic[i], err = m.SuccessRate(a); err != nil {
+			return nil, err
+		}
+		if capped[i], err = uCap.SuccessRate(a); err != nil {
+			return nil, err
+		}
+		if free[i], err = uFree.SuccessRate(a); err != nil {
+			return nil, err
+		}
+	}
+	maxBasic, maxCapped := 0.0, 0.0
+	for i := range grid {
+		maxBasic = math.Max(maxBasic, basic[i])
+		maxCapped = math.Max(maxCapped, capped[i])
+	}
+	fig := Figure{
+		ID:     "fig11",
+		Title:  "Fig. 11: success rate, basic setup vs uncertain exchange rate",
+		XLabel: "Amount Token_a locked by Alice, P*",
+		YLabel: "SR",
+		Series: []plot.Series{
+			{Name: "basic setup", X: grid, Y: basic},
+			{Name: fmt.Sprintf("uncertain exchange (budget %g)", budget), X: grid, Y: capped},
+			{Name: "uncertain exchange (unconstrained Eq. 44)", X: grid, Y: free},
+		},
+		Notes: []string{
+			fmt.Sprintf("max SR: basic %.3f, uncertain (budget) %.3f, uncertain (unconstrained) %.3f",
+				maxBasic, maxCapped, free[0]),
+			"dynamic amounts dominate the basic game across the locked-amount axis (§IV.B / §V.A)",
+		},
+	}
+	return []Figure{fig}, nil
+}

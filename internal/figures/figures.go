@@ -1,0 +1,138 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the solvers and simulators in this repository. Each
+// generator returns structured Figure data (series for curves, rows for
+// tables, notes for derived scalars such as thresholds and feasible
+// ranges); rendering to ASCII or CSV is delegated to internal/plot.
+//
+// The experiment index in DESIGN.md maps each generator to its paper
+// artifact; EXPERIMENTS.md records the measured values these generators
+// produce against the paper's claims.
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/utility"
+)
+
+// ErrUnknownFigure reports a request for an unregistered figure ID.
+var ErrUnknownFigure = errors.New("figures: unknown figure")
+
+// Figure is one renderable artifact: either a chart (Series non-empty) or a
+// table (TableHeader non-empty), with measured notes either way.
+type Figure struct {
+	// ID is the artifact identifier ("fig6-alphaA", "tableI").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// XLabel and YLabel annotate chart axes.
+	XLabel, YLabel string
+	// Series holds chart curves (empty for tables).
+	Series []plot.Series
+	// TableHeader and TableRows hold tabular artifacts (empty for charts).
+	TableHeader []string
+	TableRows   [][]string
+	// Notes records derived scalars (thresholds, ranges, viability flags).
+	Notes []string
+}
+
+// Render produces the ASCII form of the figure (chart or table) followed by
+// its notes.
+func (f Figure) Render(w, h int) (string, error) {
+	var body string
+	var err error
+	switch {
+	case len(f.Series) > 0:
+		body, err = plot.ASCII(f.Title, f.XLabel, f.YLabel, w, h, f.Series...)
+	case len(f.TableHeader) > 0:
+		body, err = plot.Table(f.TableHeader, f.TableRows)
+		if err == nil {
+			body = f.Title + "\n" + body
+		}
+	default:
+		return "", fmt.Errorf("figures: %q has no content", f.ID)
+	}
+	if err != nil {
+		return "", fmt.Errorf("figures: rendering %q: %w", f.ID, err)
+	}
+	if len(f.Notes) > 0 {
+		body += "notes:\n"
+		for _, n := range f.Notes {
+			body += "  - " + n + "\n"
+		}
+	}
+	return body, nil
+}
+
+// Generator produces one or more figures from a parameter set.
+type Generator func(p utility.Params) ([]Figure, error)
+
+// Registry maps artifact group IDs to generators, in the paper's order.
+// MC validation scale and the §IV.B budget are fixed defaults here;
+// cmd/figures exposes flags for heavier runs.
+func Registry() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"tableI", TableI},
+		{"tableIII", TableIII},
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10a", func(p utility.Params) ([]Figure, error) { return Fig10a(p, DefaultBobBudget) }},
+		{"fig10b", func(p utility.Params) ([]Figure, error) { return Fig10b(p, DefaultBobBudget) }},
+		{"fig11", func(p utility.Params) ([]Figure, error) { return Fig11(p, DefaultBobBudget) }},
+		{"montecarlo", func(p utility.Params) ([]Figure, error) { return MCValidation(p, DefaultMCRuns) }},
+		{"baseline", BaselineComparison},
+		{"uncertainty", Uncertainty},
+		{"reputation", Reputation},
+		{"packetized", Packetized},
+	}
+}
+
+// DefaultBobBudget is B's Token_b holdings used to reproduce Figs. 10–11
+// (see DESIGN.md deviation 6: Fig. 10a's axis tops out at 5).
+const DefaultBobBudget = 5.0
+
+// DefaultMCRuns sizes the Monte Carlo validation in the registry.
+const DefaultMCRuns = 20000
+
+// Generate runs the registered generator(s). only filters by a
+// comma-separated list of IDs; empty means all.
+func Generate(p utility.Params, only string) ([]Figure, error) {
+	wanted := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+	var out []Figure
+	matched := 0
+	for _, entry := range Registry() {
+		if len(wanted) > 0 && !wanted[entry.ID] {
+			continue
+		}
+		matched++
+		figs, err := entry.Gen(p)
+		if err != nil {
+			return nil, fmt.Errorf("figures: generating %s: %w", entry.ID, err)
+		}
+		out = append(out, figs...)
+	}
+	if len(wanted) > 0 && matched != len(wanted) {
+		return nil, fmt.Errorf("%w: requested %q", ErrUnknownFigure, only)
+	}
+	return out, nil
+}

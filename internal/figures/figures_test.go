@@ -1,0 +1,424 @@
+package figures
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"tableI", "tableIII", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11",
+		"montecarlo", "baseline", "uncertainty", "reputation", "packetized",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+}
+
+func TestTableIVerifiesSimulatedDeltas(t *testing.T) {
+	figs, err := TableI(utility.Default())
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if len(figs) != 1 || len(figs[0].TableRows) != 2 {
+		t.Fatalf("unexpected shape: %+v", figs)
+	}
+	out, err := figs[0].Render(80, 20)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"Alice (A)", "Bob (B)", "-2.00 TokenA", "+2.00 TokenA", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Expected and simulated columns must agree cell-by-cell.
+	for _, row := range figs[0].TableRows {
+		if row[1] != row[2] || row[3] != row[4] {
+			t.Errorf("expected/simulated mismatch in row %v", row)
+		}
+	}
+}
+
+func TestTableIIIListsAllParameters(t *testing.T) {
+	figs, err := TableIII(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs[0].TableRows) != 10 {
+		t.Errorf("got %d parameter rows, want 10", len(figs[0].TableRows))
+	}
+}
+
+func TestFig2TimelineValues(t *testing.T) {
+	figs, err := Fig2(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := figs[0].Render(80, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idealized Table III timeline: t3=7, t5=tb=11, t7=15, t8=14.
+	for _, want := range []string{"7.0", "11.0", "15.0", "14.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3PanelsAndCutoffs(t *testing.T) {
+	figs, err := Fig3(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d panels, want 3", len(figs))
+	}
+	// Cut-offs increase with P* (Eq. 18) and the middle one is ≈ 1.481.
+	if !strings.Contains(figs[1].Notes[0], "1.481") {
+		t.Errorf("P*=2 cut-off note = %q, want ≈ 1.481", figs[1].Notes[0])
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Errorf("%s: %d series, want 2", f.ID, len(f.Series))
+		}
+		if _, err := f.Render(70, 15); err != nil {
+			t.Errorf("%s render: %v", f.ID, err)
+		}
+	}
+}
+
+func TestFig4PanelsHaveRanges(t *testing.T) {
+	figs, err := Fig4(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d panels, want 3", len(figs))
+	}
+	for _, f := range figs {
+		if !strings.Contains(f.Notes[0], "continuation range") {
+			t.Errorf("%s: missing range note: %v", f.ID, f.Notes)
+		}
+	}
+}
+
+func TestFig5FeasibleRange(t *testing.T) {
+	figs, err := Fig5(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := figs[0].Notes[0]
+	if !strings.Contains(note, "feasible range") || !strings.Contains(note, "1.5") {
+		t.Errorf("note = %q, want feasible range ≈ (1.5, 2.5)", note)
+	}
+}
+
+func TestFig6AllPanels(t *testing.T) {
+	figs, err := Fig6(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 8 {
+		t.Fatalf("got %d panels, want 8", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 4 {
+			t.Errorf("%s: %d series, want 4", f.ID, len(f.Series))
+		}
+		if len(f.Notes) != 4 {
+			t.Errorf("%s: %d notes, want 4", f.ID, len(f.Notes))
+		}
+		// SR values are probabilities.
+		for _, s := range f.Series {
+			for i, y := range s.Y {
+				if y < 0 || y > 1 || math.IsNaN(y) {
+					t.Fatalf("%s %s: SR[%d] = %v", f.ID, s.Name, i, y)
+				}
+			}
+		}
+	}
+	// The σ panel must flag at least one non-viable value (σ=0.2).
+	var sigmaNotes string
+	for _, f := range figs {
+		if f.ID == "fig6-sigma" {
+			sigmaNotes = strings.Join(f.Notes, "\n")
+		}
+	}
+	if !strings.Contains(sigmaNotes, "NON-VIABLE") {
+		t.Errorf("σ panel should flag a non-viable value:\n%s", sigmaNotes)
+	}
+}
+
+func TestFig7IndifferencePoints(t *testing.T) {
+	figs, err := Fig7(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("got %d panels, want 6", len(figs))
+	}
+	// Q=0.01, P*=2.0 exhibits three indifference points (Fig. 7 top row).
+	found := false
+	for _, f := range figs {
+		if f.ID == "fig7-q0.01-pstar2.0" {
+			found = true
+			if !strings.Contains(f.Notes[0], "3 indifference point(s)") {
+				t.Errorf("note = %q, want 3 indifference points", f.Notes[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("missing fig7-q0.01-pstar2.0 panel")
+	}
+}
+
+func TestFig8EngagementSets(t *testing.T) {
+	figs, err := Fig8(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d panels, want 2", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 4 {
+			t.Errorf("%s: %d series, want 4 (both agents, cont and stop)", f.ID, len(f.Series))
+		}
+		joined := strings.Join(f.Notes, "\n")
+		if !strings.Contains(joined, "intersection") || !strings.Contains(joined, "union") {
+			t.Errorf("%s: notes missing engagement sets:\n%s", f.ID, joined)
+		}
+	}
+}
+
+func TestFig9MonotoneInQ(t *testing.T) {
+	figs, err := Fig9(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(f.Series))
+	}
+	// At each grid point the SR ordering Q=0 <= Q=0.01 <= Q=0.1 holds.
+	for i := range f.Series[0].X {
+		if f.Series[1].Y[i] < f.Series[0].Y[i]-1e-9 || f.Series[2].Y[i] < f.Series[1].Y[i]-1e-9 {
+			t.Errorf("x=%v: SR not monotone in Q: %v %v %v",
+				f.Series[0].X[i], f.Series[0].Y[i], f.Series[1].Y[i], f.Series[2].Y[i])
+		}
+	}
+}
+
+func TestFig10aHumpShape(t *testing.T) {
+	figs, err := Fig10a(utility.Default(), DefaultBobBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(f.Series))
+	}
+	// The a=8.91 curve starts at zero, peaks within the budget, declines.
+	var s *int
+	for i := range f.Series {
+		if f.Series[i].Name == "P*=8.91" {
+			s = &i
+			break
+		}
+	}
+	if s == nil {
+		t.Fatal("missing P*=8.91 series")
+	}
+	ys := f.Series[*s].Y
+	if ys[0] != 0 {
+		t.Errorf("X* at lowest price = %v, want 0", ys[0])
+	}
+	peak, peakIdx := 0.0, 0
+	for i, y := range ys {
+		if y > peak {
+			peak, peakIdx = y, i
+		}
+	}
+	if peak <= 1 || peak > DefaultBobBudget+1e-9 {
+		t.Errorf("peak X* = %v, want in (1, budget]", peak)
+	}
+	if peakIdx == 0 || peakIdx == len(ys)-1 {
+		t.Errorf("peak at boundary index %d; want interior hump", peakIdx)
+	}
+	if ys[len(ys)-1] >= peak {
+		t.Error("no decline after the peak")
+	}
+}
+
+func TestFig10bNotes(t *testing.T) {
+	figs, err := Fig10b(utility.Default(), DefaultBobBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(figs[0].Notes, "\n")
+	if !strings.Contains(joined, "break-even") || !strings.Contains(joined, "optimal commitment") {
+		t.Errorf("notes = %s", joined)
+	}
+}
+
+func TestFig11Dominance(t *testing.T) {
+	figs, err := Fig11(utility.Default(), DefaultBobBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(f.Series))
+	}
+	// Uncertain exchange dominates the basic game on the shared grid
+	// (§IV.B: "absence of pre-determined interest rate boosts the success
+	// rate").
+	for i := range f.Series[0].X {
+		if f.Series[1].Y[i] < f.Series[0].Y[i]-1e-9 {
+			t.Errorf("x=%v: uncertain SR %v below basic %v",
+				f.Series[0].X[i], f.Series[1].Y[i], f.Series[0].Y[i])
+		}
+	}
+}
+
+func TestMCValidationAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo validation is slow")
+	}
+	figs, err := MCValidation(utility.Default(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range figs[0].TableRows {
+		if row[4] != "true" {
+			t.Errorf("configuration %q: analytic SR outside MC interval (%v)", row[0], row)
+		}
+	}
+}
+
+func TestBaselineComparisonGap(t *testing.T) {
+	figs, err := BaselineComparison(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	// One-sided SR dominates two-sided SR pointwise.
+	for i := range f.Series[0].X {
+		if f.Series[1].Y[i] < f.Series[0].Y[i]-1e-9 {
+			t.Errorf("x=%v: baseline SR below two-sided SR", f.Series[0].X[i])
+		}
+	}
+}
+
+func TestUncertaintyMonotoneInSpreadNearFairRate(t *testing.T) {
+	// Near the fair rate, wider mean-preserving spreads about αB lower SR:
+	// the low type drops out and cannot be priced back in. (At rates far
+	// below fair the effect reverses — SR is convex in αB there, so the
+	// high type's wide region dominates the mixture; the figure shows both
+	// regimes.)
+	figs, err := Uncertainty(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(f.Series))
+	}
+	for i, x := range f.Series[0].X {
+		if x < 1.9 || x > 2.4 {
+			continue
+		}
+		for s := 1; s < len(f.Series); s++ {
+			narrow := f.Series[s-1].Y[i]
+			wide := f.Series[s].Y[i]
+			if narrow == 0 || wide == 0 {
+				continue // initiation failed for one prior at this rate
+			}
+			if wide > narrow+1e-9 {
+				t.Errorf("x=%v: spread %d SR %v exceeds narrower %v", x, s, wide, narrow)
+			}
+		}
+	}
+}
+
+func TestReputationRegimes(t *testing.T) {
+	figs, err := Reputation(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(f.Series))
+	}
+	// Static regime keeps αA constant; fragile ends lower than it starts.
+	static := f.Series[0].Y
+	for i, v := range static {
+		if v != static[0] {
+			t.Fatalf("static αA moved at round %d: %v", i, v)
+		}
+	}
+	fragile := f.Series[1].Y
+	if fragile[len(fragile)-1] >= fragile[0] {
+		t.Errorf("fragile αA should end below start: %v -> %v",
+			fragile[0], fragile[len(fragile)-1])
+	}
+}
+
+func TestPacketizedFigure(t *testing.T) {
+	figs, err := Packetized(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if len(f.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(f.Series))
+	}
+	// Expected fraction dominates full completion for the fixed-rate rows.
+	frac, full := f.Series[0].Y, f.Series[1].Y
+	for i := range frac {
+		if frac[i] < full[i]-1e-9 {
+			t.Errorf("n=%v: fraction %v below completion %v", f.Series[0].X[i], frac[i], full[i])
+		}
+	}
+	// Full completion decays with n under a fixed rate.
+	if full[len(full)-1] > full[0]+0.01 {
+		t.Errorf("full completion should decay: %v -> %v", full[0], full[len(full)-1])
+	}
+	// Continue semantics hold the fraction near the stage optimum at n=16.
+	contFrac := f.Series[3].Y
+	if contFrac[len(contFrac)-1] < 0.65 {
+		t.Errorf("continue fraction at n=16 = %v, want near the stage optimum", contFrac[len(contFrac)-1])
+	}
+}
+
+func TestGenerateFiltering(t *testing.T) {
+	figs, err := Generate(utility.Default(), "fig5,tableIII")
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(figs) != 2 {
+		t.Errorf("got %d figures, want 2", len(figs))
+	}
+	if _, err := Generate(utility.Default(), "nope"); !errors.Is(err, ErrUnknownFigure) {
+		t.Errorf("unknown id err = %v", err)
+	}
+}
+
+func TestRenderEmptyFigureFails(t *testing.T) {
+	if _, err := (Figure{ID: "empty"}).Render(70, 15); err == nil {
+		t.Error("empty figure should fail to render")
+	}
+}

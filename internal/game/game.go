@@ -1,0 +1,328 @@
+// Package game is a generic finite-stage, two-player, continuous-state game
+// engine solved by backward induction on a discretised state grid. The state
+// is one-dimensional (the Token_b price) and evolves between stages under a
+// caller-supplied Markov kernel (the GBM transition law).
+//
+// Each stage has a decider choosing from {cont, stop}: stop ends the game
+// with state-dependent terminal payoffs; cont either ends the game at the
+// final stage or hands the (transitioned, discounted) state to the next
+// stage. Stages may also be automatic (no decision — the protocol step
+// always proceeds), which expresses related-work baselines such as the
+// honest-responder model.
+//
+// The engine exists as an *independent numerical check* of the closed-form
+// solver in internal/core: the two share only the leaf payoff definitions,
+// so agreement of thresholds and value functions validates the entire
+// backward-induction chain (see the cross-check tests and DESIGN.md §7).
+package game
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrBadGame reports an invalid game specification.
+	ErrBadGame = errors.New("game: invalid specification")
+	// ErrBadGrid reports an unusable state grid.
+	ErrBadGrid = errors.New("game: invalid grid")
+)
+
+// Player identifies a decision maker.
+type Player int
+
+const (
+	// PlayerA is the swap initiator (Alice).
+	PlayerA Player = iota + 1
+	// PlayerB is the responder (Bob).
+	PlayerB
+	// Auto marks a stage with no decision: the game always continues.
+	Auto
+)
+
+// String names the player.
+func (p Player) String() string {
+	switch p {
+	case PlayerA:
+		return "A"
+	case PlayerB:
+		return "B"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Player(%d)", int(p))
+	}
+}
+
+// Payoff maps the stage state to a terminal present value.
+type Payoff func(x float64) float64
+
+// Stage is one decision point.
+type Stage struct {
+	// Name labels the stage ("t2").
+	Name string
+	// Decider chooses cont/stop (or Auto for protocol-forced continuation).
+	Decider Player
+	// StopA and StopB are terminal payoffs if the decider stops. They are
+	// required unless Decider == Auto.
+	StopA, StopB Payoff
+	// ContA and ContB are terminal payoffs when the game continues out of
+	// the final stage; intermediate stages leave them nil.
+	ContA, ContB Payoff
+	// Horizon is the time to the next stage (ignored on the final stage).
+	Horizon float64
+	// DiscountA and DiscountB multiply next-stage values (e^{−r·Horizon});
+	// ignored on the final stage.
+	DiscountA, DiscountB float64
+}
+
+// Game is an ordered list of stages over a shared transition kernel.
+type Game struct {
+	// Stages in temporal order (earliest first).
+	Stages []Stage
+	// Kernel returns the law of the next state given the current state and
+	// elapsed time.
+	Kernel func(x, dt float64) dist.LogNormal
+}
+
+// Validate checks the specification.
+func (g *Game) Validate() error {
+	if len(g.Stages) == 0 {
+		return fmt.Errorf("%w: no stages", ErrBadGame)
+	}
+	if g.Kernel == nil {
+		return fmt.Errorf("%w: nil kernel", ErrBadGame)
+	}
+	for i, st := range g.Stages {
+		last := i == len(g.Stages)-1
+		if st.Decider != PlayerA && st.Decider != PlayerB && st.Decider != Auto {
+			return fmt.Errorf("%w: stage %q decider %v", ErrBadGame, st.Name, st.Decider)
+		}
+		if st.Decider != Auto && (st.StopA == nil || st.StopB == nil) {
+			return fmt.Errorf("%w: stage %q missing stop payoffs", ErrBadGame, st.Name)
+		}
+		if last {
+			if st.ContA == nil || st.ContB == nil {
+				return fmt.Errorf("%w: final stage %q missing cont payoffs", ErrBadGame, st.Name)
+			}
+		} else {
+			if st.Horizon <= 0 {
+				return fmt.Errorf("%w: stage %q horizon %g", ErrBadGame, st.Name, st.Horizon)
+			}
+			if st.DiscountA <= 0 || st.DiscountA > 1 || st.DiscountB <= 0 || st.DiscountB > 1 {
+				return fmt.Errorf("%w: stage %q discounts (%g, %g)", ErrBadGame, st.Name, st.DiscountA, st.DiscountB)
+			}
+		}
+	}
+	return nil
+}
+
+// StageSolution holds the solved values and policy on the grid.
+type StageSolution struct {
+	// Name echoes the stage name.
+	Name string
+	// ValueA and ValueB are the stage value functions on the grid
+	// (after the decider's optimal choice).
+	ValueA, ValueB []float64
+	// ContValueA and ContValueB are the values of choosing cont.
+	ContValueA, ContValueB []float64
+	// PolicyCont reports whether the decider continues at each grid point.
+	PolicyCont []bool
+}
+
+// Solution is the solved game.
+type Solution struct {
+	// Grid is the state grid shared by all stages.
+	Grid []float64
+	// Stages are ordered like Game.Stages.
+	Stages []StageSolution
+}
+
+// Solve runs backward induction on the supplied state grid. Value functions
+// are represented as piecewise-linear interpolants on the grid, and the
+// inter-stage expectations E[V(X')] are evaluated *exactly* for that
+// representation through truncated lognormal segment moments — Gaussian
+// quadrature would converge slowly across the jump discontinuities that
+// optimal policies induce (B's t3 value jumps at A's reveal cut-off).
+// The grid must be positive and strictly increasing.
+func (g *Game) Solve(grid []float64) (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(grid) < 4 {
+		return nil, fmt.Errorf("%w: need >= 4 points, got %d", ErrBadGrid, len(grid))
+	}
+	for i, x := range grid {
+		if x <= 0 {
+			return nil, fmt.Errorf("%w: grid[%d] = %g must be > 0", ErrBadGrid, i, x)
+		}
+		if i > 0 && x <= grid[i-1] {
+			return nil, fmt.Errorf("%w: grid not strictly increasing at %d", ErrBadGrid, i)
+		}
+	}
+
+	sol := &Solution{Grid: grid, Stages: make([]StageSolution, len(g.Stages))}
+	n := len(grid)
+
+	// nextA/nextB hold the value functions of the following stage.
+	var nextA, nextB []float64
+	for k := len(g.Stages) - 1; k >= 0; k-- {
+		st := g.Stages[k]
+		last := k == len(g.Stages)-1
+		ss := StageSolution{
+			Name:       st.Name,
+			ValueA:     make([]float64, n),
+			ValueB:     make([]float64, n),
+			ContValueA: make([]float64, n),
+			ContValueB: make([]float64, n),
+			PolicyCont: make([]bool, n),
+		}
+		for i, x := range grid {
+			var contA, contB float64
+			if last {
+				contA, contB = st.ContA(x), st.ContB(x)
+			} else {
+				law := g.Kernel(x, st.Horizon)
+				eA, eB := expectPair(grid, nextA, nextB, law)
+				contA = st.DiscountA * eA
+				contB = st.DiscountB * eB
+			}
+			ss.ContValueA[i], ss.ContValueB[i] = contA, contB
+
+			cont := true
+			if st.Decider == PlayerA {
+				cont = contA > st.StopA(x)
+			} else if st.Decider == PlayerB {
+				cont = contB > st.StopB(x)
+			}
+			ss.PolicyCont[i] = cont
+			if cont {
+				ss.ValueA[i], ss.ValueB[i] = contA, contB
+			} else {
+				ss.ValueA[i], ss.ValueB[i] = st.StopA(x), st.StopB(x)
+			}
+		}
+		sol.Stages[k] = ss
+		nextA, nextB = ss.ValueA, ss.ValueB
+	}
+	return sol, nil
+}
+
+// expectPair computes E[V_A(X)] and E[V_B(X)] for X ~ law, where V_A and
+// V_B are the piecewise-linear interpolants of vA and vB on the grid with
+// linear tail extrapolation. On each segment V(x) = a·x + b, so the segment
+// contribution is a·(PE(hi) − PE(lo)) + b·(CDF(hi) − CDF(lo)) with PE the
+// lower partial expectation — exact for the interpolant, jumps included.
+func expectPair(grid, vA, vB []float64, law dist.LogNormal) (ea, eb float64) {
+	n := len(grid)
+	mean := law.Mean()
+	prevCDF := law.CDF(grid[0])
+	prevPE := law.PartialExpectationBelow(grid[0])
+
+	// Lower tail: extend the first segment's line to (0, grid[0]].
+	aA, bA := lineThrough(grid[0], vA[0], grid[1], vA[1])
+	aB, bB := lineThrough(grid[0], vB[0], grid[1], vB[1])
+	ea += aA*prevPE + bA*prevCDF
+	eb += aB*prevPE + bB*prevCDF
+
+	for j := 0; j+1 < n; j++ {
+		cdf := law.CDF(grid[j+1])
+		pe := law.PartialExpectationBelow(grid[j+1])
+		dCDF, dPE := cdf-prevCDF, pe-prevPE
+		aA, bA = lineThrough(grid[j], vA[j], grid[j+1], vA[j+1])
+		aB, bB = lineThrough(grid[j], vB[j], grid[j+1], vB[j+1])
+		ea += aA*dPE + bA*dCDF
+		eb += aB*dPE + bB*dCDF
+		prevCDF, prevPE = cdf, pe
+	}
+
+	// Upper tail: extend the last segment's line beyond grid[n-1].
+	tailPE := mean - prevPE
+	tailProb := 1 - prevCDF
+	aA, bA = lineThrough(grid[n-2], vA[n-2], grid[n-1], vA[n-1])
+	aB, bB = lineThrough(grid[n-2], vB[n-2], grid[n-1], vB[n-1])
+	ea += aA*tailPE + bA*tailProb
+	eb += aB*tailPE + bB*tailProb
+	return ea, eb
+}
+
+// lineThrough returns slope and intercept of the line through two points.
+func lineThrough(x0, v0, x1, v1 float64) (slope, intercept float64) {
+	slope = (v1 - v0) / (x1 - x0)
+	return slope, v0 - slope*x0
+}
+
+// interp linearly interpolates v (defined on the sorted grid) at y,
+// extrapolating linearly from the boundary segments. Linear extrapolation
+// matters because several payoffs grow linearly in the price.
+func interp(grid, v []float64, y float64) float64 {
+	n := len(grid)
+	switch {
+	case y <= grid[0]:
+		return extrapolate(grid[0], v[0], grid[1], v[1], y)
+	case y >= grid[n-1]:
+		return extrapolate(grid[n-2], v[n-2], grid[n-1], v[n-1], y)
+	}
+	i := sort.SearchFloat64s(grid, y)
+	// grid[i-1] < y <= grid[i]
+	x0, x1 := grid[i-1], grid[i]
+	w := (y - x0) / (x1 - x0)
+	return v[i-1]*(1-w) + v[i]*w
+}
+
+func extrapolate(x0, v0, x1, v1, y float64) float64 {
+	slope := (v1 - v0) / (x1 - x0)
+	return v0 + slope*(y-x0)
+}
+
+// ContRegion extracts, for the stage with the given name, the set of grid
+// points where the decider continues, expressed as an interval set over the
+// state (using midpoints between grid neighbours as interval edges).
+func (s *Solution) ContRegion(stage string) (mathx.IntervalSet, error) {
+	for _, ss := range s.Stages {
+		if ss.Name != stage {
+			continue
+		}
+		var ivs []mathx.Interval
+		var start float64
+		open := false
+		for i, cont := range ss.PolicyCont {
+			switch {
+			case cont && !open:
+				start = edgeBelow(s.Grid, i)
+				open = true
+			case !cont && open:
+				ivs = append(ivs, mathx.Interval{Lo: start, Hi: edgeBelow(s.Grid, i)})
+				open = false
+			}
+		}
+		if open {
+			ivs = append(ivs, mathx.Interval{Lo: start, Hi: s.Grid[len(s.Grid)-1]})
+		}
+		return mathx.NewIntervalSet(ivs...), nil
+	}
+	return mathx.IntervalSet{}, fmt.Errorf("%w: unknown stage %q", ErrBadGame, stage)
+}
+
+// edgeBelow returns the midpoint between grid[i-1] and grid[i] (or grid[0]).
+func edgeBelow(grid []float64, i int) float64 {
+	if i == 0 {
+		return grid[0]
+	}
+	return 0.5 * (grid[i-1] + grid[i])
+}
+
+// StageByName returns the solved stage.
+func (s *Solution) StageByName(name string) (StageSolution, error) {
+	for _, ss := range s.Stages {
+		if ss.Name == name {
+			return ss, nil
+		}
+	}
+	return StageSolution{}, fmt.Errorf("%w: unknown stage %q", ErrBadGame, name)
+}

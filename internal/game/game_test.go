@@ -1,0 +1,372 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/utility"
+)
+
+func kernel(x, dt float64) dist.LogNormal {
+	return dist.LogNormal{Mu: math.Log(x) - 0.005*dt, Sigma: 0.1 * math.Sqrt(dt)}
+}
+
+func TestValidate(t *testing.T) {
+	valid := func() *Game {
+		return &Game{
+			Stages: []Stage{
+				{
+					Name: "d", Decider: PlayerA,
+					StopA: func(x float64) float64 { return 1 },
+					StopB: func(x float64) float64 { return x },
+					ContA: func(x float64) float64 { return x },
+					ContB: func(x float64) float64 { return 1 },
+				},
+			},
+			Kernel: kernel,
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid game rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Game)
+	}{
+		{"noStages", func(g *Game) { g.Stages = nil }},
+		{"nilKernel", func(g *Game) { g.Kernel = nil }},
+		{"badDecider", func(g *Game) { g.Stages[0].Decider = Player(9) }},
+		{"missingStop", func(g *Game) { g.Stages[0].StopA = nil }},
+		{"missingCont", func(g *Game) { g.Stages[0].ContA = nil }},
+		{"badHorizon", func(g *Game) {
+			g.Stages = append([]Stage{{
+				Name: "first", Decider: PlayerB,
+				StopA: func(x float64) float64 { return 1 },
+				StopB: func(x float64) float64 { return x },
+				// Horizon zero.
+				DiscountA: 0.9, DiscountB: 0.9,
+			}}, g.Stages...)
+		}},
+		{"badDiscount", func(g *Game) {
+			g.Stages = append([]Stage{{
+				Name: "first", Decider: PlayerB,
+				StopA:   func(x float64) float64 { return 1 },
+				StopB:   func(x float64) float64 { return x },
+				Horizon: 1, DiscountA: 1.5, DiscountB: 0.9,
+			}}, g.Stages...)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := valid()
+			tt.mutate(g)
+			if err := g.Validate(); !errors.Is(err, ErrBadGame) {
+				t.Errorf("err = %v, want ErrBadGame", err)
+			}
+		})
+	}
+}
+
+func TestSolveGridValidation(t *testing.T) {
+	g, err := SwapGame(utility.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Solve([]float64{1, 2}); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("short grid err = %v", err)
+	}
+	if _, err := g.Solve([]float64{-1, 1, 2, 3}); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("negative grid err = %v", err)
+	}
+	if _, err := g.Solve([]float64{1, 1, 2, 3}); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("non-increasing grid err = %v", err)
+	}
+}
+
+func TestPlayerString(t *testing.T) {
+	if PlayerA.String() != "A" || PlayerB.String() != "B" || Auto.String() != "auto" ||
+		Player(7).String() != "Player(7)" {
+		t.Error("Player.String mismatch")
+	}
+}
+
+func TestInterp(t *testing.T) {
+	grid := []float64{1, 2, 4}
+	v := []float64{10, 20, 40}
+	tests := []struct {
+		y, want float64
+	}{
+		{1, 10}, {2, 20}, {4, 40}, {1.5, 15}, {3, 30},
+		{0.5, 5}, // linear extrapolation below
+		{5, 50},  // linear extrapolation above
+	}
+	for _, tt := range tests {
+		if got := interp(grid, v, tt.y); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("interp(%v) = %v, want %v", tt.y, got, tt.want)
+		}
+	}
+}
+
+// TestGridSolutionMatchesClosedForm is the repository's key cross-check:
+// the generic grid DP and internal/core share only the paper's equations,
+// so agreement validates both backward inductions end to end.
+func TestGridSolutionMatchesClosedForm(t *testing.T) {
+	params := utility.Default()
+	const pstar = 2.0
+	m, err := core.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := SwapGame(params, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultGrid(params, 1200, 10)
+	sol, err := g.Solve(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The t3 policy threshold matches P̄_t3 (Eq. 18).
+	t3, err := sol.StageByName("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := m.CutoffT3(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gridCut float64
+	for i, cont := range t3.PolicyCont {
+		if cont {
+			gridCut = grid[i]
+			break
+		}
+	}
+	if math.Abs(gridCut-cut)/cut > 0.02 {
+		t.Errorf("grid t3 threshold %.4f vs closed form %.4f", gridCut, cut)
+	}
+
+	// 2. The t2 continuation region matches (P̲_t2, P̄_t2) (Eq. 24).
+	region, err := sol.ContRegion("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok, err := m.ContRangeT2(pstar)
+	if err != nil || !ok {
+		t.Fatalf("closed-form range: %v ok=%v", err, ok)
+	}
+	bounds := region.Bounds()
+	if math.Abs(bounds.Lo-iv.Lo)/iv.Lo > 0.02 {
+		t.Errorf("grid P̲_t2 = %.4f vs closed form %.4f", bounds.Lo, iv.Lo)
+	}
+	if math.Abs(bounds.Hi-iv.Hi)/iv.Hi > 0.02 {
+		t.Errorf("grid P̄_t2 = %.4f vs closed form %.4f", bounds.Hi, iv.Hi)
+	}
+
+	// 3. Stage-2 cont values match U^{A,B}_t2(cont) on interior points.
+	t2, err := sol.StageByName("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(grid); i += 97 {
+		x := grid[i]
+		if x < 0.5 || x > 4 {
+			continue
+		}
+		wantA, err := m.AliceUtilityT2(core.Cont, x, pstar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB, err := m.BobUtilityT2(core.Cont, x, pstar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(t2.ContValueA[i]-wantA)/wantA > 0.005 {
+			t.Errorf("x=%.3f: grid U^A_t2 = %.5f vs closed form %.5f", x, t2.ContValueA[i], wantA)
+		}
+		if math.Abs(t2.ContValueB[i]-wantB)/wantB > 0.005 {
+			t.Errorf("x=%.3f: grid U^B_t2 = %.5f vs closed form %.5f", x, t2.ContValueB[i], wantB)
+		}
+	}
+
+	// 4. Stage-1 cont value at P0 matches U^A_t1(cont) and the initiation
+	// policy agrees.
+	t1, err := sol.StageByName("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA1, err := m.AliceUtilityT1(core.Cont, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA1 := interp(grid, t1.ContValueA, params.P0)
+	if math.Abs(gotA1-wantA1)/wantA1 > 0.005 {
+		t.Errorf("grid U^A_t1(cont) = %.5f vs closed form %.5f", gotA1, wantA1)
+	}
+	strat, err := m.Strategy(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridInit := gotA1 > pstar; gridInit != strat.AliceInitiates {
+		t.Errorf("grid initiation %v vs closed form %v", gridInit, strat.AliceInitiates)
+	}
+}
+
+func TestHonestResponderRaisesContinuation(t *testing.T) {
+	// With B forced honest, the t2 stage always continues, so the game's
+	// t1 value for A can only improve.
+	params := utility.Default()
+	const pstar = 2.0
+	gFull, err := SwapGame(params, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBase, err := HonestResponderGame(params, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultGrid(params, 600, 8)
+	solFull, err := gFull.Solve(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solBase, err := gBase.Solve(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := solBase.StageByName("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cont := range t2.PolicyCont {
+		if !cont {
+			t.Fatalf("auto stage must always continue (grid point %d)", i)
+		}
+	}
+	full1, err := solFull.StageByName("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1, err := solBase.StageByName("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFull := interp(grid, full1.ContValueA, params.P0)
+	vBase := interp(grid, base1.ContValueA, params.P0)
+	if vBase < vFull-1e-9 {
+		t.Errorf("honest responder lowers A's value: %v < %v", vBase, vFull)
+	}
+}
+
+func TestContRegionUnknownStage(t *testing.T) {
+	g, err := SwapGame(utility.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := g.Solve(DefaultGrid(utility.Default(), 100, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sol.ContRegion("nope"); !errors.Is(err, ErrBadGame) {
+		t.Errorf("unknown stage err = %v", err)
+	}
+	if _, err := sol.StageByName("nope"); !errors.Is(err, ErrBadGame) {
+		t.Errorf("unknown stage err = %v", err)
+	}
+}
+
+func TestSwapGameValidation(t *testing.T) {
+	if _, err := SwapGame(utility.Default(), -1); !errors.Is(err, ErrBadGame) {
+		t.Errorf("bad pstar err = %v", err)
+	}
+	bad := utility.Default()
+	bad.P0 = 0
+	if _, err := SwapGame(bad, 2); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	grid := DefaultGrid(utility.Default(), 100, 8)
+	if len(grid) != 100 {
+		t.Fatalf("len = %d", len(grid))
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not increasing at %d", i)
+		}
+	}
+	if grid[0] >= 2 || grid[len(grid)-1] <= 2 {
+		t.Errorf("grid [%v, %v] should straddle P0 = 2", grid[0], grid[len(grid)-1])
+	}
+}
+
+func TestGridPolicySuccessRateMatchesClosedForm(t *testing.T) {
+	// Third way to compute SR: take the DP's *policies* (t2 continuation
+	// region and t3 threshold from the grid) and integrate the success
+	// probability over the transition law. Must agree with Eq. 31.
+	params := utility.Default()
+	const pstar = 2.0
+	m, err := core.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SuccessRate(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := SwapGame(params, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultGrid(params, 1200, 10)
+	sol, err := g.Solve(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := sol.ContRegion("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := sol.StageByName("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cutoff float64
+	for i, cont := range t3.PolicyCont {
+		if cont {
+			cutoff = grid[i]
+			break
+		}
+	}
+	// Integrate P(t2 in region) × P(t3 > cutoff | t2) with the closed-form
+	// lognormal transitions, trapezoid over the region.
+	trans1, err := params.Price.Transition(params.P0, params.Chains.TauA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr float64
+	for _, iv := range region.Intervals() {
+		const steps = 400
+		h := (iv.Hi - iv.Lo) / steps
+		for j := 0; j <= steps; j++ {
+			y := iv.Lo + float64(j)*h
+			trans2, err := params.Price.Transition(y, params.Chains.TauB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := h
+			if j == 0 || j == steps {
+				w = h / 2
+			}
+			sr += w * trans1.PDF(y) * trans2.TailProb(cutoff)
+		}
+	}
+	if math.Abs(sr-want) > 0.01 {
+		t.Errorf("DP-policy SR %.4f vs closed form %.4f", sr, want)
+	}
+}

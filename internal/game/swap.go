@@ -1,0 +1,103 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/utility"
+)
+
+// SwapGame builds the basic HTLC swap game of §III as a three-stage game
+// instance (t1 → t2 → t3; t4 is folded into the t3 cont payoffs because B
+// claims with certainty, §III.E.1). The leaf payoffs are written directly
+// from Eqs. 14–17, 22 and 27–28 — deliberately *not* shared with
+// internal/core, so that solving this instance on a grid independently
+// validates the closed-form backward induction.
+func SwapGame(p utility.Params, pstar float64) (*Game, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("game: %w", err)
+	}
+	if pstar <= 0 || math.IsNaN(pstar) || math.IsInf(pstar, 0) {
+		return nil, fmt.Errorf("%w: pstar=%g", ErrBadGame, pstar)
+	}
+	a, b, c, pr := p.Alice, p.Bob, p.Chains, p.Price
+	stages := []Stage{
+		{
+			Name:    "t1",
+			Decider: PlayerA,
+			// Eq. 27/28: keep the original tokens.
+			StopA:     func(x float64) float64 { return pstar },
+			StopB:     func(x float64) float64 { return x },
+			Horizon:   c.TauA,
+			DiscountA: math.Exp(-a.R * c.TauA),
+			DiscountB: math.Exp(-b.R * c.TauA),
+		},
+		{
+			Name:    "t2",
+			Decider: PlayerB,
+			// Eq. 22: A's refund lands at t8 = t2 + τb + εb + 2τa;
+			// Eq. 23: B keeps his Token_b.
+			StopA:     func(x float64) float64 { return pstar * math.Exp(-a.R*(c.TauB+c.EpsB+2*c.TauA)) },
+			StopB:     func(x float64) float64 { return x },
+			Horizon:   c.TauB,
+			DiscountA: math.Exp(-a.R * c.TauB),
+			DiscountB: math.Exp(-b.R * c.TauB),
+		},
+		{
+			Name:    "t3",
+			Decider: PlayerA,
+			// Eq. 16/17: refunds at t8 and t7.
+			StopA: func(x float64) float64 { return pstar * math.Exp(-a.R*(c.EpsB+2*c.TauA)) },
+			StopB: func(x float64) float64 { return x * math.Exp(2*(pr.Mu-b.R)*c.TauB) },
+			// Eq. 14/15: swap completes; receipts at t5 and t6.
+			ContA: func(x float64) float64 {
+				return (1 + a.Alpha) * x * math.Exp((pr.Mu-a.R)*c.TauB)
+			},
+			ContB: func(x float64) float64 {
+				return (1 + b.Alpha) * pstar * math.Exp(-b.R*(c.EpsB+c.TauA))
+			},
+		},
+	}
+	return &Game{
+		Stages: stages,
+		Kernel: func(x, dt float64) dist.LogNormal {
+			l, err := pr.Transition(x, dt)
+			if err != nil {
+				// Grid points and horizons are validated positive.
+				panic(err)
+			}
+			return l
+		},
+	}, nil
+}
+
+// HonestResponderGame is the related-work baseline (Han et al.'s American-
+// option view, §II): only the initiator holds optionality. B's t2 step is
+// automatic — he locks whenever A initiated — so the only strategic node is
+// A's reveal decision at t3. Comparing its success rate against the full
+// game isolates how much failure risk B's rationality adds.
+func HonestResponderGame(p utility.Params, pstar float64) (*Game, error) {
+	g, err := SwapGame(p, pstar)
+	if err != nil {
+		return nil, err
+	}
+	g.Stages[1].Decider = Auto
+	return g, nil
+}
+
+// DefaultGrid builds a log-spaced state grid covering ±width standard
+// deviations of the price at the game's end horizon, which is where the
+// transition kernels need support.
+func DefaultGrid(p utility.Params, n int, width float64) []float64 {
+	horizon := p.Chains.TauA + p.Chains.TauB
+	spread := p.Price.Sigma * math.Sqrt(horizon) * width
+	centre := math.Log(p.P0) + (p.Price.Mu-p.Price.Sigma*p.Price.Sigma/2)*horizon
+	lo := math.Exp(centre - spread)
+	hi := math.Exp(centre + spread)
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+	}
+	return grid
+}

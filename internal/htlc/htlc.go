@@ -1,0 +1,181 @@
+// Package htlc implements the hash time lock contract of the paper's Fig. 1:
+// assets are locked under the SHA-256 hash of a secret and an absolute
+// expiry time. Before expiry the designated recipient can claim by revealing
+// the preimage; at or after expiry the sender can reclaim the assets. The
+// contract is a pure state machine — escrow accounting and timing live in
+// internal/chain.
+package htlc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by contract operations.
+var (
+	// ErrBadSecret reports a preimage that does not hash to the lock.
+	ErrBadSecret = errors.New("htlc: secret does not match hash lock")
+	// ErrExpired reports a claim at or after the expiry time.
+	ErrExpired = errors.New("htlc: contract expired")
+	// ErrNotExpired reports a refund before the expiry time.
+	ErrNotExpired = errors.New("htlc: contract not yet expired")
+	// ErrNotLocked reports an operation on a settled contract.
+	ErrNotLocked = errors.New("htlc: contract is not locked")
+	// ErrBadContract reports invalid construction parameters.
+	ErrBadContract = errors.New("htlc: invalid contract parameters")
+)
+
+// SecretSize is the byte length of generated secrets.
+const SecretSize = 32
+
+// Secret is the preimage that unlocks a contract.
+type Secret []byte
+
+// Hash is the SHA-256 hash lock.
+type Hash [sha256.Size]byte
+
+// NewSecret draws a random secret from r (crypto/rand.Reader in production;
+// tests may pass a deterministic reader) and returns it with its hash.
+func NewSecret(r io.Reader) (Secret, Hash, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	s := make(Secret, SecretSize)
+	if _, err := io.ReadFull(r, s); err != nil {
+		return nil, Hash{}, fmt.Errorf("htlc: generating secret: %w", err)
+	}
+	return s, HashOf(s), nil
+}
+
+// HashOf returns the hash lock of a secret.
+func HashOf(s Secret) Hash { return sha256.Sum256(s) }
+
+// Verify reports whether the secret is the preimage of the hash, in
+// constant time.
+func (h Hash) Verify(s Secret) bool {
+	got := HashOf(s)
+	return subtle.ConstantTimeCompare(got[:], h[:]) == 1
+}
+
+// State is the lifecycle state of a contract.
+type State int
+
+const (
+	// Locked means assets are escrowed and claimable.
+	Locked State = iota + 1
+	// Claimed means the recipient revealed the secret and took the assets.
+	Claimed
+	// Refunded means the contract expired and the sender reclaimed.
+	Refunded
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Locked:
+		return "locked"
+	case Claimed:
+		return "claimed"
+	case Refunded:
+		return "refunded"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Contract is a hash time locked escrow of Amount units of Asset from
+// Sender to Recipient, expiring at Expiry (simulated hours).
+type Contract struct {
+	// ID identifies the contract on its host chain.
+	ID string
+	// Sender funds the contract and may refund after expiry.
+	Sender string
+	// Recipient may claim with the secret before expiry.
+	Recipient string
+	// Asset is the token symbol being escrowed.
+	Asset string
+	// Amount is the escrowed quantity.
+	Amount float64
+	// Lock is the SHA-256 hash lock.
+	Lock Hash
+	// Expiry is the absolute expiry time in simulated hours.
+	Expiry float64
+
+	state  State
+	secret Secret
+}
+
+// New validates and creates a locked contract.
+func New(id, sender, recipient, asset string, amount float64, lock Hash, expiry float64) (*Contract, error) {
+	switch {
+	case id == "":
+		return nil, fmt.Errorf("%w: empty id", ErrBadContract)
+	case sender == "" || recipient == "":
+		return nil, fmt.Errorf("%w: empty party", ErrBadContract)
+	case sender == recipient:
+		return nil, fmt.Errorf("%w: sender and recipient are the same account %q", ErrBadContract, sender)
+	case asset == "":
+		return nil, fmt.Errorf("%w: empty asset", ErrBadContract)
+	case amount <= 0:
+		return nil, fmt.Errorf("%w: amount %g must be > 0", ErrBadContract, amount)
+	case expiry <= 0:
+		return nil, fmt.Errorf("%w: expiry %g must be > 0", ErrBadContract, expiry)
+	}
+	return &Contract{
+		ID:        id,
+		Sender:    sender,
+		Recipient: recipient,
+		Asset:     asset,
+		Amount:    amount,
+		Lock:      lock,
+		Expiry:    expiry,
+		state:     Locked,
+	}, nil
+}
+
+// State returns the contract's lifecycle state.
+func (c *Contract) State() State { return c.state }
+
+// Secret returns the revealed preimage after a successful claim, or nil.
+func (c *Contract) Secret() Secret {
+	if c.state != Claimed {
+		return nil
+	}
+	out := make(Secret, len(c.secret))
+	copy(out, c.secret)
+	return out
+}
+
+// Claim settles the contract to the recipient if the secret matches and the
+// contract has not expired (claims are valid up to and including the expiry
+// instant, matching t5 ≤ tb of Eq. 8).
+func (c *Contract) Claim(secret Secret, now float64) error {
+	if c.state != Locked {
+		return fmt.Errorf("%w: state %v", ErrNotLocked, c.state)
+	}
+	if now > c.Expiry {
+		return fmt.Errorf("%w: now=%g > expiry=%g", ErrExpired, now, c.Expiry)
+	}
+	if !c.Lock.Verify(secret) {
+		return ErrBadSecret
+	}
+	c.secret = append(Secret(nil), secret...)
+	c.state = Claimed
+	return nil
+}
+
+// Refund returns the escrow to the sender once the expiry has passed.
+func (c *Contract) Refund(now float64) error {
+	if c.state != Locked {
+		return fmt.Errorf("%w: state %v", ErrNotLocked, c.state)
+	}
+	if now <= c.Expiry {
+		return fmt.Errorf("%w: now=%g <= expiry=%g", ErrNotExpired, now, c.Expiry)
+	}
+	c.state = Refunded
+	return nil
+}

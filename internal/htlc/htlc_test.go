@@ -1,0 +1,206 @@
+package htlc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustSecret(t *testing.T) (Secret, Hash) {
+	t.Helper()
+	s, h, err := NewSecret(nil)
+	if err != nil {
+		t.Fatalf("NewSecret: %v", err)
+	}
+	return s, h
+}
+
+func mustContract(t *testing.T, lock Hash, expiry float64) *Contract {
+	t.Helper()
+	c, err := New("c1", "alice", "bob", "TokenA", 2, lock, expiry)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewSecret(t *testing.T) {
+	s, h, err := NewSecret(nil)
+	if err != nil {
+		t.Fatalf("NewSecret: %v", err)
+	}
+	if len(s) != SecretSize {
+		t.Errorf("secret length %d, want %d", len(s), SecretSize)
+	}
+	if !h.Verify(s) {
+		t.Error("hash does not verify its own secret")
+	}
+	if h != HashOf(s) {
+		t.Error("returned hash differs from HashOf")
+	}
+	// Deterministic reader gives deterministic secret.
+	r := strings.NewReader(strings.Repeat("x", SecretSize))
+	s2, _, err := NewSecret(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s2, bytes.Repeat([]byte("x"), SecretSize)) {
+		t.Error("deterministic reader not honoured")
+	}
+	// Short reader errors.
+	if _, _, err := NewSecret(strings.NewReader("short")); err == nil {
+		t.Error("short reader should fail")
+	}
+}
+
+func TestHashVerifyRejectsWrongSecret(t *testing.T) {
+	s, h := mustSecret(t)
+	wrong := append(Secret(nil), s...)
+	wrong[0] ^= 0xFF
+	if h.Verify(wrong) {
+		t.Error("Verify accepted a corrupted secret")
+	}
+	err := quick.Check(func(b []byte) bool {
+		if bytes.Equal(b, s) {
+			return true
+		}
+		return !h.Verify(b)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, h := mustSecret(t)
+	tests := []struct {
+		name                         string
+		id, sender, recipient, asset string
+		amount, expiry               float64
+	}{
+		{"emptyID", "", "a", "b", "T", 1, 10},
+		{"emptySender", "c", "", "b", "T", 1, 10},
+		{"emptyRecipient", "c", "a", "", "T", 1, 10},
+		{"selfDeal", "c", "a", "a", "T", 1, 10},
+		{"emptyAsset", "c", "a", "b", "", 1, 10},
+		{"zeroAmount", "c", "a", "b", "T", 0, 10},
+		{"negativeAmount", "c", "a", "b", "T", -1, 10},
+		{"zeroExpiry", "c", "a", "b", "T", 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.id, tt.sender, tt.recipient, tt.asset, tt.amount, h, tt.expiry); !errors.Is(err, ErrBadContract) {
+				t.Errorf("err = %v, want ErrBadContract", err)
+			}
+		})
+	}
+}
+
+func TestClaimHappyPath(t *testing.T) {
+	s, h := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if c.State() != Locked {
+		t.Fatalf("initial state %v, want locked", c.State())
+	}
+	if got := c.Secret(); got != nil {
+		t.Errorf("Secret before claim = %v, want nil", got)
+	}
+	if err := c.Claim(s, 7); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if c.State() != Claimed {
+		t.Errorf("state %v, want claimed", c.State())
+	}
+	if !bytes.Equal(c.Secret(), s) {
+		t.Error("revealed secret mismatch")
+	}
+	// Double settlement is rejected.
+	if err := c.Claim(s, 8); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("second claim err = %v, want ErrNotLocked", err)
+	}
+	if err := c.Refund(20); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("refund after claim err = %v, want ErrNotLocked", err)
+	}
+}
+
+func TestClaimAtExpiryBoundary(t *testing.T) {
+	// Eq. 8: t5 ≤ tb — a claim confirming exactly at expiry is valid.
+	s, h := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if err := c.Claim(s, 11); err != nil {
+		t.Errorf("claim at expiry should succeed, got %v", err)
+	}
+}
+
+func TestClaimAfterExpiry(t *testing.T) {
+	s, h := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if err := c.Claim(s, 11.001); !errors.Is(err, ErrExpired) {
+		t.Errorf("err = %v, want ErrExpired", err)
+	}
+	if c.State() != Locked {
+		t.Errorf("failed claim must leave contract locked, got %v", c.State())
+	}
+}
+
+func TestClaimWrongSecret(t *testing.T) {
+	_, h := mustSecret(t)
+	other, _ := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if err := c.Claim(other, 5); !errors.Is(err, ErrBadSecret) {
+		t.Errorf("err = %v, want ErrBadSecret", err)
+	}
+	if c.State() != Locked {
+		t.Errorf("state %v, want locked after bad claim", c.State())
+	}
+}
+
+func TestRefund(t *testing.T) {
+	s, h := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if err := c.Refund(11); !errors.Is(err, ErrNotExpired) {
+		t.Errorf("refund at expiry err = %v, want ErrNotExpired (refund is strictly after)", err)
+	}
+	if err := c.Refund(11.5); err != nil {
+		t.Fatalf("Refund: %v", err)
+	}
+	if c.State() != Refunded {
+		t.Errorf("state %v, want refunded", c.State())
+	}
+	// The secret was never revealed.
+	if c.Secret() != nil {
+		t.Error("refunded contract must not expose a secret")
+	}
+	if err := c.Claim(s, 5); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("claim after refund err = %v, want ErrNotLocked", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		s    State
+		want string
+	}{
+		{Locked, "locked"}, {Claimed, "claimed"}, {Refunded, "refunded"}, {State(9), "State(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("State(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestSecretReturnsCopy(t *testing.T) {
+	s, h := mustSecret(t)
+	c := mustContract(t, h, 11)
+	if err := c.Claim(s, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Secret()
+	got[0] ^= 0xFF
+	if !bytes.Equal(c.Secret(), s) {
+		t.Error("mutating the returned secret corrupted the contract")
+	}
+}

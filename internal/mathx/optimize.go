@@ -1,0 +1,77 @@
+package mathx
+
+import "math"
+
+// invPhi is the inverse golden ratio used by the golden-section search.
+const invPhi = 0.6180339887498949
+
+// GoldenMin locates a local minimum of f on [a, b] by golden-section search
+// to argument tolerance tol. It returns the abscissa of the minimum.
+func GoldenMin(f Func1, a, b, tol float64) float64 {
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// GoldenMax locates a local maximum of f on [a, b]; see GoldenMin.
+func GoldenMax(f Func1, a, b, tol float64) float64 {
+	return GoldenMin(func(x float64) float64 { return -f(x) }, a, b, tol)
+}
+
+// GridMax evaluates f on n+1 equally spaced points of [a, b], takes the best
+// point, and refines with a golden-section search on the two neighbouring
+// panels. It is robust to mild multi-modality as long as the global maximum's
+// basin is wider than one panel. It returns the maximising argument and the
+// maximum value.
+func GridMax(f Func1, a, b float64, n int, tol float64) (argmax, max float64) {
+	if n < 2 {
+		n = 2
+	}
+	bestI := 0
+	bestV := math.Inf(-1)
+	h := (b - a) / float64(n)
+	for i := 0; i <= n; i++ {
+		x := a + float64(i)*h
+		if v := f(x); v > bestV {
+			bestV, bestI = v, i
+		}
+	}
+	lo := a + float64(bestI-1)*h
+	hi := a + float64(bestI+1)*h
+	if lo < a {
+		lo = a
+	}
+	if hi > b {
+		hi = b
+	}
+	x := GoldenMax(f, lo, hi, tol)
+	v := f(x)
+	if bestV > v { // grid point was better than the refined point (flat region)
+		return a + float64(bestI)*h, bestV
+	}
+	return x, v
+}
+
+// Clamp restricts x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

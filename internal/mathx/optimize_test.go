@@ -1,0 +1,107 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenMin(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+	}{
+		{"parabola", func(x float64) float64 { return (x - 2) * (x - 2) }, 0, 5, 2},
+		{"cosh", math.Cosh, -3, 4, 0},
+		{"quartic", func(x float64) float64 { return math.Pow(x+1, 4) }, -4, 3, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := GoldenMin(tt.f, tt.a, tt.b, 1e-10)
+			if !almostEqual(got, tt.want, 1e-6) {
+				t.Errorf("GoldenMin = %.10f, want %.10f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGoldenMax(t *testing.T) {
+	got := GoldenMax(func(x float64) float64 { return -(x - 1.5) * (x - 1.5) }, -10, 10, 1e-10)
+	if !almostEqual(got, 1.5, 1e-6) {
+		t.Errorf("GoldenMax = %.10f, want 1.5", got)
+	}
+}
+
+func TestGridMax(t *testing.T) {
+	tests := []struct {
+		name    string
+		f       Func1
+		a, b    float64
+		wantArg float64
+	}{
+		{
+			name: "bimodalFindsGlobal",
+			// Two humps; the right one at x=3 is taller.
+			f: func(x float64) float64 {
+				return math.Exp(-4*(x+2)*(x+2)) + 1.2*math.Exp(-4*(x-3)*(x-3))
+			},
+			a: -5, b: 5, wantArg: 3,
+		},
+		{
+			name: "boundaryMaximum",
+			f:    func(x float64) float64 { return x },
+			a:    0, b: 2, wantArg: 2,
+		},
+		{
+			name: "concave",
+			f:    func(x float64) float64 { return -x * x },
+			a:    -1, b: 4, wantArg: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			arg, val := GridMax(tt.f, tt.a, tt.b, 64, 1e-10)
+			if !almostEqual(arg, tt.wantArg, 1e-5) {
+				t.Errorf("GridMax arg = %.10f, want %.10f", arg, tt.wantArg)
+			}
+			if !almostEqual(val, tt.f(tt.wantArg), 1e-8) {
+				t.Errorf("GridMax val = %.10f, want %.10f", val, tt.f(tt.wantArg))
+			}
+		})
+	}
+}
+
+func TestGridMaxValueIsAttained(t *testing.T) {
+	// Property: the reported maximum equals f at the reported argmax and is
+	// at least as large as f on a random probe point.
+	f := func(x float64) float64 { return math.Sin(3*x) * math.Exp(-0.1*x*x) }
+	arg, val := GridMax(f, -4, 4, 200, 1e-12)
+	if !almostEqual(val, f(arg), 1e-12) {
+		t.Fatalf("val=%v but f(arg)=%v", val, f(arg))
+	}
+	err := quick.Check(func(u float64) bool {
+		x := Clamp(math.Mod(math.Abs(u), 8)-4, -4, 4)
+		return f(x) <= val+1e-9
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{0.5, 0, 1, 0.5},
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewGaussLegendreInvalidOrder(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := NewGaussLegendre(n); !errors.Is(err, ErrQuadOrder) {
+			t.Errorf("NewGaussLegendre(%d) error = %v, want ErrQuadOrder", n, err)
+		}
+	}
+}
+
+func TestGaussLegendreWeightsSumToTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 64, 101} {
+		gl, err := NewGaussLegendre(n)
+		if err != nil {
+			t.Fatalf("NewGaussLegendre(%d): %v", n, err)
+		}
+		var sum float64
+		for _, w := range gl.weights {
+			sum += w
+		}
+		if !almostEqual(sum, 2, 1e-12) {
+			t.Errorf("n=%d: weight sum = %.15f, want 2", n, sum)
+		}
+		if gl.N() != n {
+			t.Errorf("n=%d: N() = %d", n, gl.N())
+		}
+	}
+}
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// An n-point rule is exact for polynomials of degree <= 2n-1.
+	gl := MustGaussLegendre(8)
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, -1, 4, 15},
+		{"linear", func(x float64) float64 { return x }, 0, 2, 2},
+		{"cubic", func(x float64) float64 { return x * x * x }, -1, 1, 0},
+		{"deg15", func(x float64) float64 { return math.Pow(x, 15) }, 0, 1, 1.0 / 16},
+		{"reversed", func(x float64) float64 { return x }, 2, 0, -2},
+		{"empty", func(x float64) float64 { return 1 }, 3, 3, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := gl.Integrate(tt.f, tt.a, tt.b)
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Integrate = %.15f, want %.15f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGaussLegendreTranscendental(t *testing.T) {
+	gl := MustGaussLegendre(40)
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+		tol  float64
+	}{
+		{"exp", math.Exp, 0, 1, math.E - 1, 1e-13},
+		{"sin", math.Sin, 0, math.Pi, 2, 1e-13},
+		{"gaussian", func(x float64) float64 {
+			return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		}, -8, 8, 1, 1e-10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := gl.Integrate(tt.f, tt.a, tt.b)
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("Integrate = %.15f, want %.15f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGaussLegendrePanels(t *testing.T) {
+	gl := MustGaussLegendre(16)
+	// |x| has a kink at 0: panels split at the kink should be exact.
+	f := math.Abs
+	got := gl.IntegratePanels(f, -1, 1, 2)
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("IntegratePanels(|x|, -1, 1, 2) = %.15f, want 1", got)
+	}
+	// panels <= 1 falls back to a single panel.
+	if g1, g2 := gl.IntegratePanels(math.Exp, 0, 1, 1), gl.Integrate(math.Exp, 0, 1); g1 != g2 {
+		t.Errorf("IntegratePanels(…,1) = %v, Integrate = %v; want equal", g1, g2)
+	}
+}
+
+func TestNewGaussHermiteInvalidOrder(t *testing.T) {
+	if _, err := NewGaussHermite(0); !errors.Is(err, ErrQuadOrder) {
+		t.Errorf("NewGaussHermite(0) error = %v, want ErrQuadOrder", err)
+	}
+}
+
+func TestGaussHermiteWeightsSumToSqrtPi(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 20, 64} {
+		gh, err := NewGaussHermite(n)
+		if err != nil {
+			t.Fatalf("NewGaussHermite(%d): %v", n, err)
+		}
+		var sum float64
+		for _, w := range gh.weights {
+			sum += w
+		}
+		if !almostEqual(sum, math.SqrtPi, 1e-10) {
+			t.Errorf("n=%d: weight sum = %.15f, want sqrt(pi)=%.15f", n, sum, math.SqrtPi)
+		}
+		if gh.N() != n {
+			t.Errorf("n=%d: N() = %d", n, gh.N())
+		}
+	}
+}
+
+func TestGaussHermiteNormalMoments(t *testing.T) {
+	gh := MustGaussHermite(32)
+	const mean, sd = 1.5, 0.7
+	tests := []struct {
+		name string
+		f    Func1
+		want float64
+	}{
+		{"mass", func(z float64) float64 { return 1 }, 1},
+		{"mean", func(z float64) float64 { return z }, mean},
+		{"second", func(z float64) float64 { return z * z }, sd*sd + mean*mean},
+		{"mgf", math.Exp, math.Exp(mean + sd*sd/2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := gh.ExpectNormal(tt.f, mean, sd)
+			if !almostEqual(got, tt.want, 1e-10) {
+				t.Errorf("ExpectNormal = %.12f, want %.12f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGaussHermiteLogNormalMean(t *testing.T) {
+	gh := MustGaussHermite(40)
+	const mu, sd = 0.3, 0.25
+	got := gh.ExpectLogNormal(func(y float64) float64 { return y }, mu, sd)
+	want := math.Exp(mu + sd*sd/2)
+	if !almostEqual(got, want, 1e-10) {
+		t.Errorf("lognormal mean = %.12f, want %.12f", got, want)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+		tol  float64
+	}{
+		{"exp", math.Exp, 0, 1, math.E - 1, 1e-9},
+		{"sin", math.Sin, 0, math.Pi, 2, 1e-9},
+		{"peaked", func(x float64) float64 {
+			return 1 / (1 + 1000*x*x)
+		}, -1, 1, 2 * math.Atan(math.Sqrt(1000)) / math.Sqrt(1000), 1e-8},
+		{"empty", math.Exp, 2, 2, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := AdaptiveSimpson(tt.f, tt.a, tt.b, 1e-12, 40)
+			if !almostEqual(got, tt.want, tt.tol) {
+				t.Errorf("AdaptiveSimpson = %.15f, want %.15f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuadAgreement(t *testing.T) {
+	// Gauss-Legendre and adaptive Simpson must agree on a smooth integrand,
+	// mirroring how the solver cross-checks its quadrature choices.
+	f := func(x float64) float64 { return math.Exp(-x) * math.Sin(3*x) }
+	gl := MustGaussLegendre(50)
+	a, b := 0.0, 5.0
+	g := gl.Integrate(f, a, b)
+	s := AdaptiveSimpson(f, a, b, 1e-13, 40)
+	if !almostEqual(g, s, 1e-9) {
+		t.Errorf("GL=%.12f Simpson=%.12f differ", g, s)
+	}
+}

@@ -1,0 +1,174 @@
+// Package plot renders figure data as ASCII line charts (for terminal
+// inspection of every reproduced figure) and as CSV files (for external
+// plotting). It is dependency-free and deliberately small: the scientific
+// content lives in internal/figures; this package only draws.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrBadPlot reports unusable plotting inputs.
+var ErrBadPlot = errors.New("plot: invalid input")
+
+// Series is one named curve. X must be increasing for sensible rendering
+// but this is not enforced (scatter data is allowed).
+type Series struct {
+	// Name labels the curve in the legend and CSV header.
+	Name string
+	// X and Y are the coordinates; lengths must match.
+	X, Y []float64
+}
+
+// validate checks a series set for consistent, non-empty data.
+func validate(series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("%w: no series", ErrBadPlot)
+	}
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: series %q has %d x / %d y points",
+				ErrBadPlot, s.Name, len(s.X), len(s.Y))
+		}
+	}
+	return nil
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the series into a w×h character line chart with axis labels
+// and a legend. NaN points are skipped (used for curves with undefined
+// regions, e.g. SR outside the feasible range).
+func ASCII(title, xlabel, ylabel string, w, h int, series ...Series) (string, error) {
+	if w < 20 || h < 5 {
+		return "", fmt.Errorf("%w: plot area %dx%d too small", ErrBadPlot, w, h)
+	}
+	if err := validate(series); err != nil {
+		return "", err
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			finite++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if finite == 0 {
+		return "", fmt.Errorf("%w: no finite points", ErrBadPlot)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	cells := make([][]byte, h)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(float64(w-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := h - 1 - int(float64(h-1)*(s.Y[i]-ymin)/(ymax-ymin))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				cells[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	for r, rowBytes := range cells {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%9.3f |%s|\n", yv, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%9s  %-*.3f%*.3f\n", "", w/2, xmin, w-w/2, xmax)
+	fmt.Fprintf(&b, "%9s  %s\n", "", xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "    %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// WriteCSV writes the series in long format: name,x,y per row, with a
+// header. Long format tolerates series with different x grids.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if err := validate(series); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return fmt.Errorf("plot: writing csv: %w", err)
+	}
+	for _, s := range series {
+		name := strings.ReplaceAll(s.Name, ",", ";")
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%.10g,%.10g\n", name, s.X[i], s.Y[i]); err != nil {
+				return fmt.Errorf("plot: writing csv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders aligned rows with a header, for table-style artifacts
+// (Table I, Table III, timeline listings).
+func Table(header []string, rows [][]string) (string, error) {
+	if len(header) == 0 {
+		return "", fmt.Errorf("%w: empty header", ErrBadPlot)
+	}
+	widths := make([]int, len(header))
+	for i, hcell := range header {
+		widths[i] = len(hcell)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return "", fmt.Errorf("%w: row has %d cells, header %d", ErrBadPlot, len(row), len(header))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, wd := range widths {
+		b.WriteString(strings.Repeat("-", wd))
+		if i < len(widths)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestASCIIBasic(t *testing.T) {
+	s := Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}
+	out, err := ASCII("title", "x", "y", 40, 10, s)
+	if err != nil {
+		t.Fatalf("ASCII: %v", err)
+	}
+	for _, want := range []string{"title", "x", "y", "line", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 13 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestASCIIMultiSeriesMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out, err := ASCII("", "x", "y", 30, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestASCIISkipsNaN(t *testing.T) {
+	s := Series{Name: "gap", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 2}}
+	if _, err := ASCII("", "x", "y", 30, 8, s); err != nil {
+		t.Fatalf("NaN points should be skipped, got %v", err)
+	}
+	allNaN := Series{Name: "void", X: []float64{0, 1}, Y: []float64{math.NaN(), math.NaN()}}
+	if _, err := ASCII("", "x", "y", 30, 8, allNaN); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("all-NaN err = %v, want ErrBadPlot", err)
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	s := Series{Name: "const", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}}
+	if _, err := ASCII("", "x", "y", 30, 8, s); err != nil {
+		t.Fatalf("constant series should render, got %v", err)
+	}
+}
+
+func TestASCIIValidation(t *testing.T) {
+	good := Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}
+	if _, err := ASCII("", "x", "y", 5, 5, good); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("tiny area err = %v", err)
+	}
+	if _, err := ASCII("", "x", "y", 40, 10); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("no series err = %v", err)
+	}
+	bad := Series{Name: "bad", X: []float64{0, 1}, Y: []float64{0}}
+	if _, err := ASCII("", "x", "y", 40, 10, bad); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	s1 := Series{Name: "curve,one", X: []float64{0, 1}, Y: []float64{2, 3}}
+	s2 := Series{Name: "two", X: []float64{5}, Y: []float64{6}}
+	if err := WriteCSV(&b, s1, s2); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := b.String()
+	want := "series,x,y\ncurve;one,0,2\ncurve;one,1,3\ntwo,5,6\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+	if err := WriteCSV(&b); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out, err := Table([]string{"Agent", "on Chain_a", "on Chain_b"}, [][]string{
+		{"Alice (A)", "-P*", "+1"},
+		{"Bob (B)", "+P*", "-1"},
+	})
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	for _, want := range []string{"Agent", "Alice (A)", "+P*", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Table(nil, nil); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("empty header err = %v", err)
+	}
+	if _, err := Table([]string{"a"}, [][]string{{"1", "2"}}); !errors.Is(err, ErrBadPlot) {
+		t.Errorf("ragged row err = %v", err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package repeated implements the repeated-game extension sketched in the
+// paper's future work (§V.B: "Our model can also be extended to consider
+// repeated games…"). The same two agents trade round after round; the
+// reputation component of the success premium α (§III.F.1: α captures "the
+// utility of guarding his/her reputation") becomes endogenous: a completed
+// swap rebuilds reputation, a withdrawal burns it. Between rounds the
+// market price evolves under the GBM, and each round the agents re-quote
+// the SR-maximising exchange rate for the prevailing price — the "dynamic
+// adjustment" the paper's conclusion recommends.
+//
+// The stage game is solved exactly each round by internal/core; the round
+// outcome is sampled from the solved threshold strategies over the price
+// transition. The package thus shows when reputation dynamics sustain
+// long-run cooperation and when a withdrawal spiral freezes the market
+// (no viable rate ⇒ no trade until reputation recovers).
+package repeated
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/utility"
+)
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("repeated: invalid configuration")
+
+// Config parameterises a repeated engagement.
+type Config struct {
+	// Params is the market/preference configuration; the premia are the
+	// agents' *initial* reputations.
+	Params utility.Params
+	// Rounds is the number of swap opportunities.
+	Rounds int
+	// GapHours is the market time between consecutive opportunities.
+	GapHours float64
+	// ReputationGain is added to an agent's premium after a completed swap.
+	ReputationGain float64
+	// ReputationLoss is subtracted from the withdrawing agent's premium
+	// after a stop at t2 (B) or t3 (A).
+	ReputationLoss float64
+	// AlphaMin and AlphaMax clamp the premium. AlphaMax defaults to 1.
+	AlphaMin, AlphaMax float64
+	// IdleRecovery pulls both premia toward their initial values by this
+	// fraction per round in which no swap was initiated — the fading memory
+	// of past defections. Zero disables recovery, in which case the premium
+	// cap creates a ratchet: at the cap, successes cannot raise reputation
+	// further while withdrawals still burn it, so long engagements drift
+	// toward a frozen market.
+	IdleRecovery float64
+	// Seed drives the price path and outcome sampling.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("repeated: %w", err)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("%w: rounds=%d", ErrBadConfig, c.Rounds)
+	}
+	if c.GapHours <= 0 {
+		return fmt.Errorf("%w: gap=%g hours", ErrBadConfig, c.GapHours)
+	}
+	if c.ReputationGain < 0 || c.ReputationLoss < 0 {
+		return fmt.Errorf("%w: reputation gain/loss (%g, %g) must be >= 0",
+			ErrBadConfig, c.ReputationGain, c.ReputationLoss)
+	}
+	if c.AlphaMin < 0 || (c.AlphaMax != 0 && c.AlphaMax < c.AlphaMin) {
+		return fmt.Errorf("%w: premium bounds [%g, %g]", ErrBadConfig, c.AlphaMin, c.AlphaMax)
+	}
+	if c.IdleRecovery < 0 || c.IdleRecovery > 1 {
+		return fmt.Errorf("%w: idle recovery %g must be in [0, 1]", ErrBadConfig, c.IdleRecovery)
+	}
+	return nil
+}
+
+// Round records one swap opportunity.
+type Round struct {
+	// Index is the round number (0-based).
+	Index int
+	// Price is the Token_b price when the round opens.
+	Price float64
+	// AlphaA and AlphaB are the premia entering the round.
+	AlphaA, AlphaB float64
+	// Quoted reports whether a viable exchange rate existed.
+	Quoted bool
+	// PStar is the quoted SR-maximising rate (zero when not quoted).
+	PStar float64
+	// Initiated, Success report the protocol outcome.
+	Initiated, Success bool
+	// WithdrewA and WithdrewB mark who walked away mid-protocol.
+	WithdrewA, WithdrewB bool
+}
+
+// Result aggregates a repeated engagement.
+type Result struct {
+	// Rounds holds the per-round records.
+	Rounds []Round
+	// Quotes, Initiations, Successes count round outcomes.
+	Quotes, Initiations, Successes int
+	// FinalAlphaA and FinalAlphaB are the premia after the last round.
+	FinalAlphaA, FinalAlphaB float64
+}
+
+// SuccessRate returns successes over initiations (0 when never initiated).
+func (r Result) SuccessRate() float64 {
+	if r.Initiations == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Initiations)
+}
+
+// cachedQuote is a solved stage game at the reference price, reusable at
+// any price level through the game's scale invariance: multiplying P0 and
+// P* by λ scales every threshold by λ and leaves the success rate and the
+// initiation decision unchanged.
+type cachedQuote struct {
+	viable bool
+	// Normalised by the reference price:
+	pstarOverP0  float64
+	cutoffOverP0 float64
+	regionOverP0 mathx.IntervalSet
+}
+
+// Play runs the repeated engagement. Stage games are solved once per
+// distinct premium pair (at the reference price) and rescaled to the
+// prevailing price, which keeps thousand-round engagements fast.
+func Play(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	alphaMax := cfg.AlphaMax
+	if alphaMax == 0 {
+		alphaMax = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	price := cfg.Params.P0
+	alpha0A := cfg.Params.Alice.Alpha
+	alpha0B := cfg.Params.Bob.Alpha
+	alphaA, alphaB := alpha0A, alpha0B
+	refP := cfg.Params.P0
+	cache := make(map[[2]float64]cachedQuote)
+
+	res := Result{Rounds: make([]Round, 0, cfg.Rounds)}
+	for i := 0; i < cfg.Rounds; i++ {
+		round := Round{Index: i, Price: price, AlphaA: alphaA, AlphaB: alphaB}
+
+		quote, err := solveQuote(cfg.Params, cache, refP, alphaA, alphaB)
+		if err != nil {
+			return Result{}, fmt.Errorf("repeated: round %d: %w", i, err)
+		}
+		if quote.viable {
+			scale := price / refP
+			round.Quoted = true
+			round.PStar = quote.pstarOverP0 * refP * scale
+			res.Quotes++
+			// At the SR-maximising rate A always initiates (the optimum
+			// lies inside her feasible range).
+			round.Initiated = true
+			res.Initiations++
+			strat := core.Strategy{
+				PStar:          round.PStar,
+				AliceInitiates: true,
+				BobContT2:      quote.regionOverP0.Scale(refP * scale),
+				AliceCutoffT3:  quote.cutoffOverP0 * refP * scale,
+			}
+			playRound(rng, cfg.Params, strat, &round)
+		}
+
+		// Reputation dynamics.
+		switch {
+		case round.Success:
+			alphaA = mathx.Clamp(alphaA+cfg.ReputationGain, cfg.AlphaMin, alphaMax)
+			alphaB = mathx.Clamp(alphaB+cfg.ReputationGain, cfg.AlphaMin, alphaMax)
+			res.Successes++
+		case round.WithdrewA:
+			alphaA = mathx.Clamp(alphaA-cfg.ReputationLoss, cfg.AlphaMin, alphaMax)
+		case round.WithdrewB:
+			alphaB = mathx.Clamp(alphaB-cfg.ReputationLoss, cfg.AlphaMin, alphaMax)
+		default:
+			if cfg.IdleRecovery > 0 && !round.Initiated {
+				alphaA += cfg.IdleRecovery * (alpha0A - alphaA)
+				alphaB += cfg.IdleRecovery * (alpha0B - alphaB)
+			}
+		}
+
+		res.Rounds = append(res.Rounds, round)
+		// Market moves on between opportunities.
+		price = cfg.Params.Price.Step(rng, price, cfg.GapHours)
+	}
+	res.FinalAlphaA = alphaA
+	res.FinalAlphaB = alphaB
+	return res, nil
+}
+
+// solveQuote solves (or retrieves) the stage game for a premium pair at the
+// reference price. Premia are quantised to 1e-3 — strategy thresholds move
+// negligibly below that resolution — and the game is solved *at* the
+// quantised premia, so cached and fresh results are always consistent.
+func solveQuote(params utility.Params, cache map[[2]float64]cachedQuote, refP, alphaA, alphaB float64) (cachedQuote, error) {
+	key := [2]float64{roundKey(alphaA), roundKey(alphaB)}
+	if q, ok := cache[key]; ok {
+		return q, nil
+	}
+	params.Alice.Alpha = key[0]
+	params.Bob.Alpha = key[1]
+	params.P0 = refP
+	// A lighter numerical configuration: repeated-game trajectories visit
+	// dozens of premium pairs, and threshold errors far below the premium
+	// quantum do not change sampled outcomes.
+	m, err := core.New(params, core.WithScanPoints(200), core.WithQuadOrder(32))
+	if err != nil {
+		return cachedQuote{}, err
+	}
+	var q cachedQuote
+	pstar, _, err := m.OptimalRate()
+	switch {
+	case err == nil:
+		strat, err := m.Strategy(pstar)
+		if err != nil {
+			return cachedQuote{}, err
+		}
+		q = cachedQuote{
+			viable:       true,
+			pstarOverP0:  pstar / refP,
+			cutoffOverP0: strat.AliceCutoffT3 / refP,
+			regionOverP0: strat.BobContT2.Scale(1 / refP),
+		}
+	case errors.Is(err, core.ErrNotViable):
+		q = cachedQuote{}
+	default:
+		return cachedQuote{}, err
+	}
+	cache[key] = q
+	return q, nil
+}
+
+func roundKey(a float64) float64 {
+	const quantum = 1e-3
+	return float64(int64(a/quantum+0.5)) * quantum
+}
+
+// playRound samples the stage-game outcome from the threshold strategies
+// over the price transitions (the same sampling the analytic SR of Eq. 31
+// integrates in closed form).
+func playRound(rng *rand.Rand, params utility.Params, strat core.Strategy, round *Round) {
+	pT2 := params.Price.Step(rng, round.Price, params.Chains.TauA)
+	if !strat.BobContT2.Contains(pT2) {
+		round.WithdrewB = true
+		return
+	}
+	pT3 := params.Price.Step(rng, pT2, params.Chains.TauB)
+	if pT3 <= strat.AliceCutoffT3 {
+		round.WithdrewA = true
+		return
+	}
+	round.Success = true
+}
+
+// CooperationSummary reports how often the market stayed open: the fraction
+// of rounds with a viable quote, a useful diagnostic for reputation-spiral
+// experiments.
+func (r Result) CooperationSummary() string {
+	n := len(r.Rounds)
+	if n == 0 {
+		return "no rounds"
+	}
+	return fmt.Sprintf("%d rounds: %.0f%% quoted, %.0f%% initiated, %.0f%% of initiations succeeded, final α = (%.3f, %.3f)",
+		n,
+		100*float64(r.Quotes)/float64(n),
+		100*float64(r.Initiations)/float64(n),
+		100*r.SuccessRate(),
+		r.FinalAlphaA, r.FinalAlphaB)
+}

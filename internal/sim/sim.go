@@ -1,0 +1,161 @@
+// Package sim provides the discrete-event simulation kernel under the
+// ledger simulator: a deterministic event scheduler with a simulated clock
+// measured in hours (the paper's time unit). Events scheduled for the same
+// instant fire in submission order, which keeps protocol races reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the scheduler.
+var (
+	// ErrPastEvent reports an attempt to schedule before the current time.
+	ErrPastEvent = errors.New("sim: event scheduled in the past")
+	// ErrBadTime reports a non-finite event time.
+	ErrBadTime = errors.New("sim: invalid event time")
+)
+
+// Priority tiers for same-instant ordering: consensus-level state changes
+// settle before observers act on them, mirroring "B does so only after
+// verifying that its deployment has been confirmed" (§III-B) when the
+// confirmation lands exactly at the decision instant.
+const (
+	// PriorityMempool orders mempool gossip first at an instant.
+	PriorityMempool = 5
+	// PriorityConsensus orders chain state transitions next.
+	PriorityConsensus = 10
+	// PriorityDefault orders ordinary (agent) events last.
+	PriorityDefault = 100
+)
+
+// event is a pending callback.
+type event struct {
+	at   float64
+	prio int
+	seq  uint64
+	name string
+	fn   func()
+}
+
+// eventHeap orders events by time, then priority tier, then submission
+// sequence.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// ready to use with the clock at time zero.
+type Scheduler struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	history []string
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time in hours.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Schedule registers fn to fire at absolute time at, in the default
+// priority tier. The name labels the event in the execution history for
+// debugging and tests.
+func (s *Scheduler) Schedule(at float64, name string, fn func()) error {
+	return s.ScheduleWithPriority(at, PriorityDefault, name, fn)
+}
+
+// ScheduleWithPriority registers fn to fire at absolute time at within the
+// given priority tier (lower fires first among same-instant events).
+func (s *Scheduler) ScheduleWithPriority(at float64, prio int, name string, fn func()) error {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("%w: %g", ErrBadTime, at)
+	}
+	if at < s.now {
+		return fmt.Errorf("%w: at=%g < now=%g", ErrPastEvent, at, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("%w: nil callback for %q", ErrBadTime, name)
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, prio: prio, seq: s.seq, name: name, fn: fn})
+	return nil
+}
+
+// ScheduleAfter registers fn to fire delay hours from now.
+func (s *Scheduler) ScheduleAfter(delay float64, name string, fn func()) error {
+	return s.Schedule(s.now+delay, name, fn)
+}
+
+// Run processes events in time order until none remain or Stop is called.
+// It returns the number of events processed. Callbacks may schedule further
+// events.
+func (s *Scheduler) Run() int {
+	s.stopped = false
+	n := 0
+	for len(s.events) > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t
+// (if it is ahead of the last event). It returns the number of events
+// processed.
+func (s *Scheduler) RunUntil(t float64) int {
+	s.stopped = false
+	n := 0
+	for len(s.events) > 0 && !s.stopped && s.events[0].at <= t {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		ev.fn()
+		n++
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+	return n
+}
+
+// Stop halts Run/RunUntil after the current callback returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// History returns the labels of processed events in execution order
+// (a copy; primarily for tests and debugging).
+func (s *Scheduler) History() []string {
+	out := make([]string, len(s.history))
+	copy(out, s.history)
+	return out
+}

@@ -1,0 +1,172 @@
+// Package stats provides the small statistical toolkit used to report
+// Monte Carlo results: moment summaries, binomial proportion confidence
+// intervals (Wilson score), and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadInput reports invalid inputs to a statistics routine.
+var ErrBadInput = errors.New("stats: invalid input")
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// Var is the unbiased sample variance (zero for N < 2).
+	Var float64
+	// SD is the sample standard deviation.
+	SD float64
+	// StdErr is the standard error of the mean.
+	StdErr float64
+	// Min and Max are the sample extremes.
+	Min, Max float64
+}
+
+// Summarize computes moment statistics of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("%w: empty sample", ErrBadInput)
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.SD = math.Sqrt(s.Var)
+		s.StdErr = s.SD / math.Sqrt(float64(s.N))
+	}
+	return s, nil
+}
+
+// Proportion is a binomial success-rate estimate with a Wilson score
+// confidence interval.
+type Proportion struct {
+	// Successes and N are the raw counts.
+	Successes, N int
+	// P is the point estimate Successes/N.
+	P float64
+	// Lo and Hi bound the 95% Wilson score interval.
+	Lo, Hi float64
+}
+
+// NewProportion computes the Wilson 95% interval for successes out of n.
+func NewProportion(successes, n int) (Proportion, error) {
+	if n <= 0 || successes < 0 || successes > n {
+		return Proportion{}, fmt.Errorf("%w: %d successes out of %d", ErrBadInput, successes, n)
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the standard normal
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	centre := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	return Proportion{
+		Successes: successes,
+		N:         n,
+		P:         p,
+		Lo:        math.Max(0, centre-half),
+		Hi:        math.Min(1, centre+half),
+	}, nil
+}
+
+// Contains reports whether the interval covers the value.
+func (p Proportion) Contains(v float64) bool { return v >= p.Lo && v <= p.Hi }
+
+// String formats the estimate as "p [lo, hi] (k/n)".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", p.P, p.Lo, p.Hi, p.Successes, p.N)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi); samples outside the
+// range accrue to the boundary bins.
+type Histogram struct {
+	// Lo and Hi delimit the binned range.
+	Lo, Hi float64
+	// Counts holds the per-bin tallies.
+	Counts []int
+	// Total is the number of observations added.
+	Total int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins on [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("%w: histogram(lo=%g, hi=%g, bins=%d)", ErrBadInput, lo, hi, bins)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) approximated from bin
+// midpoints.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || h.Total == 0 {
+		return 0, fmt.Errorf("%w: quantile(%g) of %d samples", ErrBadInput, q, h.Total)
+	}
+	target := q * float64(h.Total)
+	var cum float64
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			return h.Lo + (float64(i)+0.5)*width, nil
+		}
+	}
+	return h.Hi, nil
+}
+
+// Quantiles returns the q-quantiles of a raw sample (type 1 estimator,
+// sorting a copy of xs).
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrBadInput)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("%w: quantile %g", ErrBadInput, q)
+		}
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = sorted[idx]
+	}
+	return out, nil
+}

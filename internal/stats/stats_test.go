@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if !almostEqual(s.Var, 32.0/7, 1e-12) {
+		t.Errorf("Var = %v, want %v", s.Var, 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if !almostEqual(s.StdErr, s.SD/math.Sqrt(8), 1e-12) {
+		t.Errorf("StdErr = %v", s.StdErr)
+	}
+}
+
+func TestSummarizeSingleAndEmpty(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Mean != 3 || s.Var != 0 || s.SD != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestNewProportion(t *testing.T) {
+	p, err := NewProportion(714, 1000)
+	if err != nil {
+		t.Fatalf("NewProportion: %v", err)
+	}
+	if !almostEqual(p.P, 0.714, 1e-12) {
+		t.Errorf("P = %v", p.P)
+	}
+	if !(p.Lo < 0.714 && 0.714 < p.Hi) {
+		t.Errorf("interval [%v, %v] does not contain the point estimate", p.Lo, p.Hi)
+	}
+	// Wilson 95% width for n=1000, p≈0.71 is about ±0.028.
+	if p.Hi-p.Lo < 0.04 || p.Hi-p.Lo > 0.07 {
+		t.Errorf("interval width = %v, want ≈ 0.056", p.Hi-p.Lo)
+	}
+	if !p.Contains(0.72) || p.Contains(0.9) {
+		t.Error("Contains misbehaves")
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNewProportionEdges(t *testing.T) {
+	p0, err := NewProportion(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Lo != 0 || p0.P != 0 {
+		t.Errorf("zero-successes: %+v", p0)
+	}
+	p1, err := NewProportion(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hi != 1 || p1.P != 1 {
+		t.Errorf("all-successes: %+v", p1)
+	}
+	for _, bad := range [][2]int{{-1, 10}, {11, 10}, {0, 0}} {
+		if _, err := NewProportion(bad[0], bad[1]); !errors.Is(err, ErrBadInput) {
+			t.Errorf("NewProportion(%v) err = %v", bad, err)
+		}
+	}
+}
+
+func TestProportionCoverageProperty(t *testing.T) {
+	// Wilson intervals for the same p narrow as n grows.
+	err := quick.Check(func(seed uint8) bool {
+		n1 := 100 + int(seed)
+		n2 := n1 * 10
+		k1 := n1 * 7 / 10
+		k2 := n2 * 7 / 10
+		p1, err1 := NewProportion(k1, n1)
+		p2, err2 := NewProportion(k2, n2)
+		return err1 == nil && err2 == nil && (p2.Hi-p2.Lo) < (p1.Hi-p1.Lo)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, x := range []float64{0.5, 1.5, 1.6, 9.9, -5, 15} {
+		h.Add(x)
+	}
+	if h.Total != 6 {
+		t.Errorf("Total = %d, want 6", h.Total)
+	}
+	if h.Counts[0] != 2 { // 0.5 and clamped -5
+		t.Errorf("Counts[0] = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("Counts[1] = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 9.9 and clamped 15
+		t.Errorf("Counts[9] = %d, want 2", h.Counts[9])
+	}
+	q, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0 || q > 10 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+	if _, err := h.Quantile(-0.1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad quantile err = %v", err)
+	}
+	if _, err := NewHistogram(1, 0, 5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("inverted range err = %v", err)
+	}
+	if _, err := NewHistogram(0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero bins err = %v", err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	qs, err := Quantiles(xs, 0, 0.5, 1)
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Errorf("Quantiles = %v, want [1 3 5]", qs)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantiles sorted the caller's slice")
+	}
+	if _, err := Quantiles(nil, 0.5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantiles(xs, 1.5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("out-of-range q err = %v", err)
+	}
+}

@@ -1,0 +1,412 @@
+// Package swapsim executes complete atomic swaps on the simulated ledgers:
+// it wires together the event scheduler, the two chains, the GBM price feed,
+// the strategy-driven agents and (optionally) the collateral Oracle, runs
+// the protocol to quiescence, and classifies the outcome. Its Monte Carlo
+// driver estimates the empirical success rate, which the tests and
+// EXPERIMENTS.md compare against the analytic SR of internal/core — the
+// repository's end-to-end validation of the paper's central quantity.
+package swapsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timeline"
+	"repro/internal/utility"
+)
+
+// Errors returned by the simulator.
+var (
+	// ErrBadConfig reports invalid run configuration.
+	ErrBadConfig = errors.New("swapsim: invalid configuration")
+)
+
+// Account names used by the simulator.
+const (
+	// AliceAccount is agent A's address on both chains.
+	AliceAccount = "alice"
+	// BobAccount is agent B's address on both chains.
+	BobAccount = "bob"
+)
+
+// Stage classifies where the protocol ended.
+type Stage string
+
+// Protocol end stages.
+const (
+	// StageNotInitiated: A stopped at t1; nothing happened on-chain.
+	StageNotInitiated Stage = "t1-stop"
+	// StageBobStopped: B stopped at t2; A refunded at t8.
+	StageBobStopped Stage = "t2-stop"
+	// StageAliceStopped: A stopped at t3; both refunded.
+	StageAliceStopped Stage = "t3-stop"
+	// StageCompleted: both claims confirmed; assets swapped per Table I.
+	StageCompleted Stage = "completed"
+	// StageViolated: a non-atomic outcome (one side lost assets), possible
+	// only under failure injection.
+	StageViolated Stage = "atomicity-violated"
+	// StageExpired: both sides unwound even though A revealed — a claim
+	// missed its expiry (crash failures without a profiteering claimant).
+	StageExpired Stage = "expired-unwound"
+)
+
+// Config parameterises a single protocol run.
+type Config struct {
+	// Params is the market/preference configuration (Table III defaults).
+	Params utility.Params
+	// Strategy holds the agents' thresholds (from internal/core solvers, or
+	// the honest/adversarial presets in internal/agent).
+	Strategy core.Strategy
+	// Collateral is the per-agent deposit Q; zero plays the basic game.
+	Collateral float64
+	// Seed drives the price path (the only randomness in a run).
+	Seed int64
+	// HaltA and HaltB inject crash failures on the respective chain: from
+	// HaltWindow.From, the chain confirms nothing until HaltWindow.Until.
+	// A zero window means no failure.
+	HaltA, HaltB HaltWindow
+	// InitialBalanceScale sizes the agents' funding relative to what the
+	// swap needs (default 2 when zero).
+	InitialBalanceScale float64
+}
+
+// Outcome reports a finished run.
+type Outcome struct {
+	// Stage classifies the end state.
+	Stage Stage
+	// Success reports a completed swap (Stage == StageCompleted).
+	Success bool
+	// Atomic reports whether the outcome was all-or-nothing.
+	Atomic bool
+	// AliceDeltaA/B and BobDeltaA/B are net balance changes per chain,
+	// inclusive of escrows, exclusive of collateral.
+	AliceDeltaA, AliceDeltaB, BobDeltaA, BobDeltaB float64
+	// CollateralDeltaAlice/Bob are net collateral gains (+) or losses (−).
+	CollateralDeltaAlice, CollateralDeltaBob float64
+	// PT2 and PT3 are the prices observed at the decision points
+	// (NaN when the stage was never reached).
+	PT2, PT3 float64
+	// EndTime is the simulated time when the last event fired.
+	EndTime float64
+	// AliceDecisions and BobDecisions are the agents' decision logs.
+	AliceDecisions, BobDecisions []agent.Decision
+}
+
+// Run executes one swap and classifies the outcome.
+func Run(cfg Config) (Outcome, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if cfg.Strategy.PStar <= 0 {
+		return Outcome{}, fmt.Errorf("%w: strategy PStar=%g", ErrBadConfig, cfg.Strategy.PStar)
+	}
+	if cfg.Collateral < 0 || math.IsNaN(cfg.Collateral) {
+		return Outcome{}, fmt.Errorf("%w: collateral %g", ErrBadConfig, cfg.Collateral)
+	}
+	scale := cfg.InitialBalanceScale
+	if scale <= 0 {
+		scale = 2
+	}
+
+	sched := sim.NewScheduler()
+	tl, err := timeline.Idealized(cfg.Params.Chains)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	chainA, err := chain.New(chain.Config{
+		Name: "chain_a", Asset: "TokenA",
+		Tau: cfg.Params.Chains.TauA, Eps: 0,
+	}, sched)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	chainB, err := chain.New(chain.Config{
+		Name: "chain_b", Asset: "TokenB",
+		Tau: cfg.Params.Chains.TauB, Eps: cfg.Params.Chains.EpsB,
+	}, sched)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if err := armHalt(sched, chainA, cfg.HaltA); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if err := armHalt(sched, chainB, cfg.HaltB); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+
+	// Funding: A needs P* Token_a (+ collateral), B needs 1 Token_b and
+	// collateral in Token_a.
+	fundAliceA := scale * (cfg.Strategy.PStar + cfg.Collateral)
+	fundBobB := scale * 1
+	fundBobA := scale * cfg.Collateral
+	if err := chainA.Mint(AliceAccount, fundAliceA); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if err := chainB.Mint(BobAccount, fundBobB); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if fundBobA > 0 {
+		if err := chainA.Mint(BobAccount, fundBobA); err != nil {
+			return Outcome{}, fmt.Errorf("swapsim: %w", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	feed, err := agent.NewPriceFeed(cfg.Params.Price, cfg.Params.P0, rng)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	env := agent.Env{Sched: sched, ChainA: chainA, ChainB: chainB, Feed: feed, Timeline: tl}
+
+	alice, err := agent.NewAlice(env, AliceAccount, BobAccount, cfg.Strategy, 1, nil)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	bob, err := agent.NewBob(env, BobAccount, AliceAccount, cfg.Strategy, 1)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+
+	var orc *oracle.Oracle
+	if cfg.Collateral > 0 {
+		orc, err = oracle.New(sched, chainA, chainB, tl, cfg.Collateral, AliceAccount, BobAccount)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("swapsim: %w", err)
+		}
+		if err := orc.CollectDeposits(); err != nil {
+			return Outcome{}, fmt.Errorf("swapsim: %w", err)
+		}
+	}
+
+	balA0 := map[string]float64{
+		AliceAccount: chainA.Balance(AliceAccount),
+		BobAccount:   chainA.Balance(BobAccount),
+	}
+	balB0 := map[string]float64{
+		AliceAccount: chainB.Balance(AliceAccount),
+		BobAccount:   chainB.Balance(BobAccount),
+	}
+
+	if err := alice.Start(); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	if err := bob.Start(); err != nil {
+		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+	}
+	sched.Run()
+
+	out := Outcome{
+		EndTime:        sched.Now(),
+		PT2:            math.NaN(),
+		PT3:            math.NaN(),
+		AliceDecisions: alice.Decisions(),
+		BobDecisions:   bob.Decisions(),
+	}
+	out.AliceDeltaA = chainA.Balance(AliceAccount) - balA0[AliceAccount]
+	out.AliceDeltaB = chainB.Balance(AliceAccount) - balB0[AliceAccount]
+	out.BobDeltaA = chainA.Balance(BobAccount) - balA0[BobAccount]
+	out.BobDeltaB = chainB.Balance(BobAccount) - balB0[BobAccount]
+	if cfg.Collateral > 0 {
+		// Everything paid out of the oracle escrow is collateral flow; net
+		// it out of the chain-a deltas so Table I comparisons stay clean.
+		// Deposits were debited before balA0 was captured, so an agent who
+		// recovers their deposit shows +Q in the raw delta.
+		collA := escrowPaidTo(chainA, AliceAccount)
+		collB := escrowPaidTo(chainA, BobAccount)
+		out.CollateralDeltaAlice = collA - cfg.Collateral
+		out.CollateralDeltaBob = collB - cfg.Collateral
+		out.AliceDeltaA -= collA
+		out.BobDeltaA -= collB
+	}
+
+	for _, d := range out.AliceDecisions {
+		if d.Stage == "t3" && d.Price > 0 {
+			out.PT3 = d.Price
+		}
+	}
+	for _, d := range out.BobDecisions {
+		if d.Stage == "t2" && d.Price > 0 {
+			out.PT2 = d.Price
+		}
+	}
+
+	out.Stage, out.Success, out.Atomic = classify(cfg, out)
+	return out, nil
+}
+
+// HaltWindow describes a crash-failure injection: the chain stops
+// confirming at From and recovers at Until.
+type HaltWindow struct {
+	// From is when the crash begins.
+	From float64
+	// Until is when the chain recovers. Zero disables the window.
+	Until float64
+}
+
+// armHalt schedules a crash window on a chain.
+func armHalt(sched *sim.Scheduler, c *chain.Chain, w HaltWindow) error {
+	if w.Until <= 0 {
+		return nil
+	}
+	if w.Until <= w.From {
+		return fmt.Errorf("%w: halt window %+v", ErrBadConfig, w)
+	}
+	return sched.Schedule(w.From, c.Name()+"-halt", func() { c.Halt(w.Until) })
+}
+
+// escrowPaidTo sums confirmed escrow transfers to an account.
+func escrowPaidTo(c *chain.Chain, account string) float64 {
+	var sum float64
+	for _, tx := range c.Transactions() {
+		if tx.Kind == chain.TxTransfer && tx.Status == chain.TxConfirmed {
+			from, to, amt := tx.Parties()
+			if from == oracle.EscrowAccount && to == account {
+				sum += amt
+			}
+		}
+	}
+	return sum
+}
+
+// classify determines the end stage and atomicity from balance deltas.
+func classify(cfg Config, out Outcome) (Stage, bool, bool) {
+	pstar := cfg.Strategy.PStar
+	eq := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+	swapped := eq(out.AliceDeltaA, -pstar) && eq(out.AliceDeltaB, 1) &&
+		eq(out.BobDeltaA, pstar) && eq(out.BobDeltaB, -1)
+	unwound := eq(out.AliceDeltaA, 0) && eq(out.AliceDeltaB, 0) &&
+		eq(out.BobDeltaA, 0) && eq(out.BobDeltaB, 0)
+
+	switch {
+	case swapped:
+		return StageCompleted, true, true
+	case unwound:
+		return failStage(out), false, true
+	default:
+		return StageViolated, false, false
+	}
+}
+
+// failStage reads the decision logs to name the first stop.
+func failStage(out Outcome) Stage {
+	for _, d := range out.AliceDecisions {
+		if d.Stage == "t1" && d.Action == core.Stop {
+			return StageNotInitiated
+		}
+	}
+	for _, d := range out.BobDecisions {
+		if d.Stage == "t2" && d.Action == core.Stop {
+			return StageBobStopped
+		}
+	}
+	for _, d := range out.AliceDecisions {
+		if d.Stage == "t3" && d.Action == core.Cont {
+			// A revealed yet the swap unwound: claims expired under injected
+			// failures without anyone profiting.
+			return StageExpired
+		}
+	}
+	return StageAliceStopped
+}
+
+// MCConfig parameterises a Monte Carlo estimate.
+type MCConfig struct {
+	// Config is the per-run configuration; Seed seeds run i with Seed+i.
+	Config
+	// Runs is the number of independent protocol executions.
+	Runs int
+	// Workers bounds concurrency (default: 4).
+	Workers int
+}
+
+// MCResult aggregates a Monte Carlo estimate.
+type MCResult struct {
+	// SuccessRate is the empirical success proportion with its Wilson 95%
+	// interval.
+	SuccessRate stats.Proportion
+	// Stages counts outcomes by end stage.
+	Stages map[Stage]int
+	// Violations counts non-atomic outcomes (expected zero without failure
+	// injection).
+	Violations int
+	// MeanDurationHours averages the simulated completion time.
+	MeanDurationHours float64
+}
+
+// MonteCarlo runs cfg.Runs independent executions and aggregates.
+func MonteCarlo(cfg MCConfig) (MCResult, error) {
+	if cfg.Runs <= 0 {
+		return MCResult{}, fmt.Errorf("%w: runs=%d", ErrBadConfig, cfg.Runs)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	type res struct {
+		out Outcome
+		err error
+	}
+	results := make(chan res, cfg.Runs)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run := cfg.Config
+				run.Seed = cfg.Seed + int64(i)
+				out, err := Run(run)
+				results <- res{out: out, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.Runs; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	agg := MCResult{Stages: make(map[Stage]int)}
+	successes := 0
+	var durSum float64
+	n := 0
+	for r := range results {
+		if r.err != nil {
+			return MCResult{}, r.err
+		}
+		n++
+		agg.Stages[r.out.Stage]++
+		if r.out.Success {
+			successes++
+		}
+		if !r.out.Atomic {
+			agg.Violations++
+		}
+		durSum += r.out.EndTime
+	}
+	prop, err := stats.NewProportion(successes, n)
+	if err != nil {
+		return MCResult{}, fmt.Errorf("swapsim: %w", err)
+	}
+	agg.SuccessRate = prop
+	agg.MeanDurationHours = durSum / float64(n)
+	return agg, nil
+}

@@ -1,0 +1,133 @@
+// Package utility models the agents' preferences from the paper's
+// Assumption 6 (Eq. 2): discounted expected asset value with a
+// multiplicative success premium,
+//
+//	U_t = E[(1 + α·S)·V_{t+T}] · e^{−rT},
+//
+// where α is the success premium, r the hourly discount rate (time
+// preference), S the success indicator, and T the time until the relevant
+// receipt. It also carries the canonical parameter set of Table III used by
+// every experiment in the repository.
+package utility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/gbm"
+	"repro/internal/timeline"
+)
+
+// ErrBadParam reports an invalid preference or model parameter.
+var ErrBadParam = errors.New("utility: invalid parameter")
+
+// AgentParams are one agent's preference parameters (Table II).
+type AgentParams struct {
+	// Alpha is the success premium α ≥ 0: the excess utility from a
+	// completed swap (trading motive plus reputation, §III.F.1).
+	Alpha float64
+	// R is the hourly discount rate r > 0 (time preference, §III.F.2).
+	R float64
+}
+
+// Validate checks the admissible ranges (α ≥ 0, r > 0 per Eq. 2).
+func (a AgentParams) Validate() error {
+	if a.Alpha < 0 || math.IsNaN(a.Alpha) || math.IsInf(a.Alpha, 0) {
+		return fmt.Errorf("%w: alpha=%g must be >= 0", ErrBadParam, a.Alpha)
+	}
+	if a.R <= 0 || math.IsNaN(a.R) || math.IsInf(a.R, 0) {
+		return fmt.Errorf("%w: r=%g must be > 0", ErrBadParam, a.R)
+	}
+	return nil
+}
+
+// Discount returns the discount factor e^{−r·t} for a horizon of t hours.
+func (a AgentParams) Discount(t float64) float64 {
+	return math.Exp(-a.R * t)
+}
+
+// Value evaluates Eq. 2 for a known (already expected) asset value v to be
+// received after t hours: (1+α·S)·v·e^{−rt}.
+func (a AgentParams) Value(v, t float64, success bool) float64 {
+	u := v * a.Discount(t)
+	if success {
+		u *= 1 + a.Alpha
+	}
+	return u
+}
+
+// Params bundles the full model configuration: both agents' preferences,
+// chain timings, the price process, and the initial price P_{t0}.
+type Params struct {
+	// Alice is agent A's preference parameters.
+	Alice AgentParams
+	// Bob is agent B's preference parameters.
+	Bob AgentParams
+	// Chains holds τa, τb, εb.
+	Chains timeline.Chains
+	// Price is the GBM law of Token_b's price in Token_a.
+	Price gbm.Process
+	// P0 is the Token_b price at t0 (= t1 in the idealized timeline).
+	P0 float64
+}
+
+// Default returns the Table III parameter set:
+// αA = αB = 0.3, rA = rB = 0.01/h, τa = 3h, τb = 4h, εb = 1h,
+// P_{t0} = 2 Token_a, µ = 0.002/h, σ = 0.1/√h.
+func Default() Params {
+	return Params{
+		Alice:  AgentParams{Alpha: 0.3, R: 0.01},
+		Bob:    AgentParams{Alpha: 0.3, R: 0.01},
+		Chains: timeline.Chains{TauA: 3, TauB: 4, EpsB: 1},
+		Price:  gbm.Process{Mu: 0.002, Sigma: 0.1},
+		P0:     2,
+	}
+}
+
+// Validate checks every component of the configuration.
+func (p Params) Validate() error {
+	if err := p.Alice.Validate(); err != nil {
+		return fmt.Errorf("alice: %w", err)
+	}
+	if err := p.Bob.Validate(); err != nil {
+		return fmt.Errorf("bob: %w", err)
+	}
+	if err := p.Chains.Validate(); err != nil {
+		return err
+	}
+	if _, err := gbm.New(p.Price.Mu, p.Price.Sigma); err != nil {
+		return err
+	}
+	if p.P0 <= 0 || math.IsNaN(p.P0) || math.IsInf(p.P0, 0) {
+		return fmt.Errorf("%w: P0=%g must be > 0", ErrBadParam, p.P0)
+	}
+	return nil
+}
+
+// WithAliceAlpha returns a copy with αA replaced (sweep helper, Fig. 6).
+func (p Params) WithAliceAlpha(alpha float64) Params { p.Alice.Alpha = alpha; return p }
+
+// WithBobAlpha returns a copy with αB replaced.
+func (p Params) WithBobAlpha(alpha float64) Params { p.Bob.Alpha = alpha; return p }
+
+// WithAliceR returns a copy with rA replaced.
+func (p Params) WithAliceR(r float64) Params { p.Alice.R = r; return p }
+
+// WithBobR returns a copy with rB replaced.
+func (p Params) WithBobR(r float64) Params { p.Bob.R = r; return p }
+
+// WithTauA returns a copy with τa replaced.
+func (p Params) WithTauA(tau float64) Params { p.Chains.TauA = tau; return p }
+
+// WithTauB returns a copy with τb replaced.
+func (p Params) WithTauB(tau float64) Params { p.Chains.TauB = tau; return p }
+
+// WithMu returns a copy with the price drift µ replaced.
+func (p Params) WithMu(mu float64) Params { p.Price.Mu = mu; return p }
+
+// WithSigma returns a copy with the price volatility σ replaced.
+func (p Params) WithSigma(sigma float64) Params { p.Price.Sigma = sigma; return p }
+
+// WithP0 returns a copy with the initial price replaced.
+func (p Params) WithP0(p0 float64) Params { p.P0 = p0; return p }

@@ -1,0 +1,154 @@
+package utility
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgentParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       AgentParams
+		wantErr bool
+	}{
+		{"tableIII", AgentParams{Alpha: 0.3, R: 0.01}, false},
+		{"zeroAlpha", AgentParams{Alpha: 0, R: 0.01}, false},
+		{"negAlpha", AgentParams{Alpha: -0.1, R: 0.01}, true},
+		{"zeroR", AgentParams{Alpha: 0.3, R: 0}, true},
+		{"negR", AgentParams{Alpha: 0.3, R: -0.01}, true},
+		{"nanAlpha", AgentParams{Alpha: math.NaN(), R: 0.01}, true},
+		{"infR", AgentParams{Alpha: 0.3, R: math.Inf(1)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadParam) {
+				t.Errorf("error should wrap ErrBadParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestDiscount(t *testing.T) {
+	a := AgentParams{Alpha: 0.3, R: 0.01}
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 1},
+		{1, math.Exp(-0.01)},
+		{100, math.Exp(-1)},
+	}
+	for _, tt := range tests {
+		if got := a.Discount(tt.t); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("Discount(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestValue(t *testing.T) {
+	a := AgentParams{Alpha: 0.3, R: 0.01}
+	tests := []struct {
+		name    string
+		v, t    float64
+		success bool
+		want    float64
+	}{
+		{"successPremiumApplied", 2, 4, true, 1.3 * 2 * math.Exp(-0.04)},
+		{"failureNoPremium", 2, 4, false, 2 * math.Exp(-0.04)},
+		{"zeroHorizon", 5, 0, true, 6.5},
+		{"zeroValue", 0, 10, true, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Value(tt.v, tt.t, tt.success); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Value = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueMonotoneProperties(t *testing.T) {
+	// Success utility dominates failure utility; longer horizons hurt.
+	a := AgentParams{Alpha: 0.3, R: 0.01}
+	err := quick.Check(func(v, h1, h2 float64) bool {
+		val := math.Mod(math.Abs(v), 100)
+		t1 := math.Mod(math.Abs(h1), 100)
+		t2 := t1 + math.Mod(math.Abs(h2), 100)
+		if a.Value(val, t1, true) < a.Value(val, t1, false)-1e-12 {
+			return false
+		}
+		return a.Value(val, t2, true) <= a.Value(val, t1, true)+1e-12
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	p := Default()
+	if p.Alice.Alpha != 0.3 || p.Bob.Alpha != 0.3 {
+		t.Errorf("alpha = (%v, %v), want (0.3, 0.3)", p.Alice.Alpha, p.Bob.Alpha)
+	}
+	if p.Alice.R != 0.01 || p.Bob.R != 0.01 {
+		t.Errorf("r = (%v, %v), want (0.01, 0.01)", p.Alice.R, p.Bob.R)
+	}
+	if p.Chains.TauA != 3 || p.Chains.TauB != 4 || p.Chains.EpsB != 1 {
+		t.Errorf("chains = %+v, want τa=3 τb=4 εb=1", p.Chains)
+	}
+	if p.Price.Mu != 0.002 || p.Price.Sigma != 0.1 {
+		t.Errorf("price = %+v, want µ=0.002 σ=0.1", p.Price)
+	}
+	if p.P0 != 2 {
+		t.Errorf("P0 = %v, want 2", p.P0)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Default() should validate, got %v", err)
+	}
+}
+
+func TestParamsValidateFailures(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(Params) Params
+	}{
+		{"badAlice", func(p Params) Params { p.Alice.R = 0; return p }},
+		{"badBob", func(p Params) Params { p.Bob.Alpha = -1; return p }},
+		{"badChains", func(p Params) Params { p.Chains.EpsB = 10; return p }},
+		{"badSigma", func(p Params) Params { p.Price.Sigma = 0; return p }},
+		{"badP0", func(p Params) Params { p.P0 = 0; return p }},
+		{"nanP0", func(p Params) Params { p.P0 = math.NaN(); return p }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.mutate(Default()).Validate(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestWithHelpersDoNotMutateOriginal(t *testing.T) {
+	base := Default()
+	_ = base.WithAliceAlpha(0.9).
+		WithBobAlpha(0.8).
+		WithAliceR(0.05).
+		WithBobR(0.06).
+		WithTauA(9).
+		WithTauB(10).
+		WithMu(-0.5).
+		WithSigma(0.9).
+		WithP0(42)
+	if base != Default() {
+		t.Errorf("With* helpers mutated the receiver: %+v", base)
+	}
+	mod := base.WithTauA(7)
+	if mod.Chains.TauA != 7 || base.Chains.TauA != 3 {
+		t.Errorf("WithTauA: mod=%v base=%v", mod.Chains.TauA, base.Chains.TauA)
+	}
+}
