@@ -1,0 +1,37 @@
+# Local entry points matching the CI pipeline (.github/workflows/ci.yml):
+# `make lint build race bench-smoke` is exactly what a PR must pass.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint figures clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow): every paper artifact plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration per benchmark — the CI regression smoke.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+# Regenerate every paper artifact (ASCII to stdout, CSV under out/).
+figures:
+	$(GO) run ./cmd/figures -csv out
+
+clean:
+	rm -rf out

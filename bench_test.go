@@ -17,14 +17,17 @@ import (
 	"repro/internal/utility"
 )
 
-// benchGen runs a figure generator b.N times.
-func benchGen(b *testing.B, gen func(utility.Params) ([]figures.Figure, error)) {
+// benchGen runs a figure generator b.N times on a single worker, so ns/op
+// tracks the sequential cost of the artifact (see the Sweep benchmarks for
+// the parallel speedup).
+func benchGen(b *testing.B, gen figures.Generator) {
 	b.Helper()
 	p := utility.Default()
+	o := figures.Opts{Workers: 1}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		figs, err := gen(p)
+		figs, err := gen(p, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,8 +106,8 @@ func BenchmarkFig9_CollateralSuccessRate(b *testing.B) {
 // BenchmarkFig10a_OptimalAmount regenerates B's best-response curves
 // X*(P_t2) (Eq. 44, holdings-capped).
 func BenchmarkFig10a_OptimalAmount(b *testing.B) {
-	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
-		return figures.Fig10a(p, figures.DefaultBobBudget)
+	benchGen(b, func(p utility.Params, o figures.Opts) ([]figures.Figure, error) {
+		return figures.Fig10a(p, figures.DefaultBobBudget, o)
 	})
 }
 
@@ -112,16 +115,16 @@ func BenchmarkFig10a_OptimalAmount(b *testing.B) {
 // (Eq. 45) with its break-even range — each point contains a nested
 // best-response optimisation per quadrature node.
 func BenchmarkFig10b_ExcessUtility(b *testing.B) {
-	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
-		return figures.Fig10b(p, figures.DefaultBobBudget)
+	benchGen(b, func(p utility.Params, o figures.Opts) ([]figures.Figure, error) {
+		return figures.Fig10b(p, figures.DefaultBobBudget, o)
 	})
 }
 
 // BenchmarkFig11_SRComparison regenerates the basic-vs-uncertain success
 // rate comparison (Eq. 46).
 func BenchmarkFig11_SRComparison(b *testing.B) {
-	benchGen(b, func(p utility.Params) ([]figures.Figure, error) {
-		return figures.Fig11(p, figures.DefaultBobBudget)
+	benchGen(b, func(p utility.Params, o figures.Opts) ([]figures.Figure, error) {
+		return figures.Fig11(p, figures.DefaultBobBudget, o)
 	})
 }
 
@@ -175,6 +178,66 @@ func BenchmarkSolve_SingleRun(b *testing.B) {
 		}
 	}
 }
+
+// benchFig6Workers regenerates the heaviest grid sweep (Fig. 6: 32 solver
+// curves × 41 SR evaluations) at a fixed worker count. Comparing the
+// Workers1 and WorkersAll variants shows the sweep engine's speedup on a
+// multi-core box; the output is bit-identical either way (pinned by
+// figures.TestWorkerCountDoesNotChangeOutput).
+func benchFig6Workers(b *testing.B, workers int) {
+	b.Helper()
+	p := utility.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := figures.Fig6(p, figures.Opts{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 8 {
+			b.Fatal("short Fig6")
+		}
+	}
+}
+
+// BenchmarkSweep_Fig6_Workers1 is the sequential baseline of the sweep.
+func BenchmarkSweep_Fig6_Workers1(b *testing.B) { benchFig6Workers(b, 1) }
+
+// BenchmarkSweep_Fig6_WorkersAll runs the same sweep on all CPUs.
+func BenchmarkSweep_Fig6_WorkersAll(b *testing.B) { benchFig6Workers(b, 0) }
+
+// benchMCWorkers measures the Monte Carlo driver at a fixed pool size.
+func benchMCWorkers(b *testing.B, workers int) {
+	b.Helper()
+	p := utility.Default()
+	m, err := core.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strat, err := m.Strategy(2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := swapsim.MonteCarlo(swapsim.MCConfig{
+			Config:  swapsim.Config{Params: p, Strategy: strat, Seed: 42},
+			Runs:    2000,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SuccessRate.N != 2000 {
+			b.Fatal("short run")
+		}
+	}
+}
+
+// BenchmarkSweep_MC_Workers1 is the sequential Monte Carlo baseline.
+func BenchmarkSweep_MC_Workers1(b *testing.B) { benchMCWorkers(b, 1) }
+
+// BenchmarkSweep_MC_WorkersAll runs the same 2000 swaps on all CPUs.
+func BenchmarkSweep_MC_WorkersAll(b *testing.B) { benchMCWorkers(b, 0) }
 
 // BenchmarkProtocol_SingleSwap measures one honest swap on the ledger
 // simulator end to end.

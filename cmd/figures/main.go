@@ -32,16 +32,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		only   = fs.String("only", "", "comma-separated artifact IDs (default: all; see DESIGN.md)")
-		csvDir = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
-		width  = fs.Int("width", 72, "ASCII chart width")
-		height = fs.Int("height", 18, "ASCII chart height")
+		only    = fs.String("only", "", "comma-separated artifact IDs (default: all; see DESIGN.md)")
+		csvDir  = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		width   = fs.Int("width", 72, "ASCII chart width")
+		height  = fs.Int("height", 18, "ASCII chart height")
+		workers = fs.Int("workers", 0, "worker-pool size for grid scans (0 = all CPUs; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	figs, err := figures.Generate(utility.Default(), *only)
+	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -6,17 +6,25 @@
 // Usage:
 //
 //	swapsolve [-pstar 2.0] [-q 0.1] [-uncertain] [-budget 5] [model flags]
+//	swapsolve -sweep 0.2:3.2:61 [-workers 8]   # parallel SR(P*) grid scan
 //
-// Model flags default to Table III (see -help).
+// Model flags default to Table III (see -help). The -sweep grid scan runs
+// through the internal/sweep worker pool; its output is identical for every
+// -workers value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gbm"
+	"repro/internal/mathx"
+	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
 )
@@ -35,6 +43,8 @@ func run(args []string, out *os.File) error {
 		q         = fs.Float64("q", 0, "per-agent collateral deposit Q (0 = basic game)")
 		uncertain = fs.Bool("uncertain", false, "solve the uncertain-exchange-rate extension (§IV.B)")
 		budget    = fs.Float64("budget", 0, "Bob's Token_b holdings cap for -uncertain (0 = unconstrained Eq. 44)")
+		sweepSpec = fs.String("sweep", "", "sweep SR over a lo:hi:n exchange-rate grid instead of solving one rate")
+		workers   = fs.Int("workers", 0, "worker-pool size for -sweep (0 = all CPUs)")
 
 		alphaA = fs.Float64("alphaA", 0.3, "Alice's success premium")
 		alphaB = fs.Float64("alphaB", 0.3, "Bob's success premium")
@@ -64,6 +74,12 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
+	if *sweepSpec != "" {
+		if *uncertain {
+			return fmt.Errorf("-sweep supports the basic and collateral games only; drop -uncertain")
+		}
+		return solveSweep(out, m, *sweepSpec, *q, *workers)
+	}
 	if *uncertain {
 		return solveUncertain(out, m, *pstar, *budget)
 	}
@@ -71,6 +87,67 @@ func run(args []string, out *os.File) error {
 		return solveCollateral(out, m, *pstar, *q)
 	}
 	return solveBasic(out, m, *pstar)
+}
+
+// parseGrid parses a "lo:hi:n" sweep specification into a grid of rates.
+func parseGrid(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("sweep spec %q: want lo:hi:n", spec)
+	}
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("sweep spec %q: %w", spec, err)
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("sweep spec %q: %w", spec, err)
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("sweep spec %q: %w", spec, err)
+	}
+	if n < 2 || hi <= lo || lo <= 0 {
+		return nil, fmt.Errorf("sweep spec %q: need 0 < lo < hi and n >= 2", spec)
+	}
+	return mathx.LinSpace(lo, hi, n), nil
+}
+
+// solveSweep scans SR over an exchange-rate grid on the sweep worker pool
+// and prints the SR-maximising rate.
+func solveSweep(out *os.File, m *core.Model, spec string, q float64, workers int) error {
+	grid, err := parseGrid(spec)
+	if err != nil {
+		return err
+	}
+	successRate := m.SuccessRate
+	label := "basic"
+	if q > 0 {
+		col, err := m.Collateral(q)
+		if err != nil {
+			return err
+		}
+		successRate = col.SuccessRate
+		label = fmt.Sprintf("collateral Q=%g", q)
+	}
+	srs, err := sweep.Over(context.Background(), workers, grid, func(_ int, pstar float64) (float64, error) {
+		return successRate(pstar)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "SR(P*) sweep (%s game) over %d rates on %d workers\n",
+		label, len(grid), sweep.Workers(workers))
+	fmt.Fprintf(out, "  %-10s %s\n", "P*", "SR")
+	best := 0
+	for i, sr := range srs {
+		fmt.Fprintf(out, "  %-10.4f %.4f\n", grid[i], sr)
+		if sr > srs[best] {
+			best = i
+		}
+	}
+	fmt.Fprintf(out, "  best rate on grid: P* = %.4f (SR = %.4f)\n", grid[best], srs[best])
+	return nil
 }
 
 func solveBasic(out *os.File, m *core.Model, pstar float64) error {

@@ -4,10 +4,11 @@
 //
 // The library lives under internal/: the backward-induction solvers
 // (internal/core), the probability and numerical substrates (internal/dist,
-// internal/gbm, internal/mathx), the protocol substrate (internal/sim,
-// internal/chain, internal/htlc, internal/oracle, internal/agent,
-// internal/swapsim), an independent grid-DP game engine (internal/game),
-// the related-work baseline (internal/baseline), and the experiment harness
+// internal/gbm, internal/mathx), the parameter-sweep engine
+// (internal/sweep), the protocol substrate (internal/sim, internal/chain,
+// internal/htlc, internal/oracle, internal/agent, internal/swapsim), an
+// independent grid-DP game engine (internal/game), the related-work
+// baseline (internal/baseline), and the experiment harness
 // (internal/figures, internal/plot, internal/stats).
 //
 // Executables are under cmd/ (swapsolve, figures, swapsim) and runnable

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// laws are the distributions exercised by every property test: the Table III
+// transition at τa and τb, a high-volatility law, and a drifting one.
+func laws() []LogNormal {
+	return []LogNormal{
+		{Mu: math.Log(2) + (0.002-0.005)*3, Sigma: 0.1 * math.Sqrt(3)},
+		{Mu: math.Log(2) + (0.002-0.005)*4, Sigma: 0.2},
+		{Mu: 0, Sigma: 0.8},
+		{Mu: -0.3, Sigma: 0.35},
+	}
+}
+
+// upper returns an integration limit covering all but ~1e-13 of l's mass.
+func upper(l LogNormal) float64 {
+	return math.Exp(l.Mu + 8*l.Sigma)
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	gl := mathx.MustGaussLegendre(64)
+	for _, l := range laws() {
+		got := gl.IntegratePanels(l.PDF, 1e-12, upper(l), 192)
+		if !almostEqual(got, 1, 1e-10) {
+			t.Errorf("%+v: ∫PDF = %.14f, want 1", l, got)
+		}
+	}
+}
+
+func TestCDFMatchesQuadrature(t *testing.T) {
+	gl := mathx.MustGaussLegendre(64)
+	for _, l := range laws() {
+		for _, q := range []float64{0.1, 0.35, 0.5, 0.8, 0.99} {
+			x, err := l.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := gl.IntegratePanels(l.PDF, 1e-12, x, 64)
+			if !almostEqual(got, l.CDF(x), 1e-10) {
+				t.Errorf("%+v: ∫₀^%g PDF = %.12f, CDF = %.12f", l, x, got, l.CDF(x))
+			}
+		}
+	}
+}
+
+func TestPDFIsDerivativeOfCDF(t *testing.T) {
+	for _, l := range laws() {
+		for _, x := range []float64{0.5, 1, 1.8, 2.5, 4} {
+			h := 1e-6 * x
+			numDeriv := (l.CDF(x+h) - l.CDF(x-h)) / (2 * h)
+			if got := l.PDF(x); !almostEqual(got, numDeriv, 1e-5*(1+got)) {
+				t.Errorf("%+v: PDF(%v) = %.10f, dCDF/dx ≈ %.10f", l, x, got, numDeriv)
+			}
+		}
+	}
+}
+
+func TestMeanAndVarianceMatchQuadrature(t *testing.T) {
+	gl := mathx.MustGaussLegendre(96)
+	for _, l := range laws() {
+		mean := gl.IntegratePanels(func(x float64) float64 { return x * l.PDF(x) }, 1e-12, upper(l), 96)
+		if want := l.Mean(); !almostEqual(mean, want, 1e-9*want) {
+			t.Errorf("%+v: ∫x·PDF = %.12f, Mean = %.12f", l, mean, want)
+		}
+		second := gl.IntegratePanels(func(x float64) float64 { return x * x * l.PDF(x) }, 1e-12, upper(l), 96)
+		if want := l.Variance(); !almostEqual(second-mean*mean, want, 1e-7*want) {
+			t.Errorf("%+v: quadrature variance = %.12f, Variance = %.12f", l, second-mean*mean, want)
+		}
+	}
+}
+
+// TestPartialExpectationsMatchQuadrature is the closed-form-vs-quadrature
+// cross-check for the truncated moments the stage integrals rely on:
+// E[X·1{X ≤ k}] must equal ∫₀ᵏ x·PDF(x) dx for every cut k.
+func TestPartialExpectationsMatchQuadrature(t *testing.T) {
+	gl := mathx.MustGaussLegendre(96)
+	for _, l := range laws() {
+		for _, k := range []float64{0.25, 0.9, 1.48, 2, 3.7, 8} {
+			below := gl.IntegratePanels(func(x float64) float64 { return x * l.PDF(x) }, 1e-12, k, 96)
+			if got := l.PartialExpectationBelow(k); !almostEqual(got, below, 1e-9*(1+below)) {
+				t.Errorf("%+v: PE_below(%v) = %.12f, quadrature %.12f", l, k, got, below)
+			}
+			above := gl.IntegratePanels(func(x float64) float64 { return x * l.PDF(x) }, k, upper(l), 96)
+			if got := l.PartialExpectationAbove(k); !almostEqual(got, above, 1e-9*(1+above)) {
+				t.Errorf("%+v: PE_above(%v) = %.12f, quadrature %.12f", l, k, got, above)
+			}
+		}
+	}
+}
+
+func TestPartialExpectationsSplitMean(t *testing.T) {
+	for _, l := range laws() {
+		err := quick.Check(func(a float64) bool {
+			k := 0.01 + math.Mod(math.Abs(a), 20)
+			sum := l.PartialExpectationBelow(k) + l.PartialExpectationAbove(k)
+			return almostEqual(sum, l.Mean(), 1e-12*l.Mean())
+		}, &quick.Config{MaxCount: 200})
+		if err != nil {
+			t.Errorf("%+v: %v", l, err)
+		}
+	}
+}
+
+func TestTailProbComplementsCDF(t *testing.T) {
+	for _, l := range laws() {
+		err := quick.Check(func(a float64) bool {
+			x := 0.01 + math.Mod(math.Abs(a), 10)
+			return almostEqual(l.CDF(x)+l.TailProb(x), 1, 1e-12)
+		}, &quick.Config{MaxCount: 200})
+		if err != nil {
+			t.Errorf("%+v: %v", l, err)
+		}
+	}
+}
+
+func TestDeepTailsDoNotCancel(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 0.1}
+	// 1 − CDF would round to zero here; erfc keeps a meaningful tail.
+	if got := l.TailProb(math.Exp(9 * 0.1)); got <= 0 {
+		t.Errorf("TailProb 9σ out = %v, want > 0", got)
+	}
+	if got := l.CDF(math.Exp(-9 * 0.1)); got <= 0 {
+		t.Errorf("CDF 9σ under = %v, want > 0", got)
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	for _, l := range laws() {
+		for q := 0.005; q < 1; q += 0.015 {
+			x, err := l.Quantile(q)
+			if err != nil {
+				t.Fatalf("Quantile(%v): %v", q, err)
+			}
+			if got := l.CDF(x); !almostEqual(got, q, 1e-12) {
+				t.Errorf("%+v: CDF(Quantile(%v)) = %.15f", l, q, got)
+			}
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	l := laws()[0]
+	for _, q := range []float64{-0.1, 0, 1, 1.5, math.NaN()} {
+		if _, err := l.Quantile(q); !errors.Is(err, ErrBadParam) {
+			t.Errorf("Quantile(%v) err = %v, want ErrBadParam", q, err)
+		}
+	}
+}
+
+func TestSupportBoundaries(t *testing.T) {
+	l := laws()[0]
+	if got := l.PDF(-1); got != 0 {
+		t.Errorf("PDF(-1) = %v", got)
+	}
+	if got := l.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := l.TailProb(0); got != 1 {
+		t.Errorf("TailProb(0) = %v", got)
+	}
+	if got := l.PartialExpectationBelow(0); got != 0 {
+		t.Errorf("PE_below(0) = %v", got)
+	}
+	if got := l.PartialExpectationAbove(-2); got != l.Mean() {
+		t.Errorf("PE_above(-2) = %v, want Mean %v", got, l.Mean())
+	}
+}
+
+func TestMedianIsExpMu(t *testing.T) {
+	for _, l := range laws() {
+		med, err := l.Quantile(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Exp(l.Mu); !almostEqual(med, want, 1e-12*want) {
+			t.Errorf("%+v: median = %v, want e^Mu = %v", l, med, want)
+		}
+	}
+}

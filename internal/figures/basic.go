@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/plot"
 	"repro/internal/swapsim"
+	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
 )
@@ -17,10 +19,32 @@ import (
 // figures (Figs. 3, 4 and 7).
 var ratePanels = []float64{1.6, 2.0, 2.4}
 
+// contStop is one grid point of a cont-vs-stop utility curve.
+type contStop struct {
+	cont, stop float64
+}
+
+// scanContStop evaluates a cont/stop utility pair across a grid through the
+// sweep engine and splits the results into the two plot series.
+func scanContStop(o Opts, grid []float64, eval func(x float64) (contStop, error)) (cont, stop []float64, err error) {
+	pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, x float64) (contStop, error) {
+		return eval(x)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cont = make([]float64, len(pts))
+	stop = make([]float64, len(pts))
+	for i, pt := range pts {
+		cont[i], stop[i] = pt.cont, pt.stop
+	}
+	return cont, stop, nil
+}
+
 // TableI reproduces Table I (expected balance change by swap) and verifies
 // it end-to-end: an honest protocol run on the chain simulator must realise
 // exactly those deltas.
-func TableI(p utility.Params) ([]Figure, error) {
+func TableI(p utility.Params, _ Opts) ([]Figure, error) {
 	const pstar = 2.0
 	out, err := swapsim.Run(swapsim.Config{
 		Params:   p,
@@ -60,7 +84,7 @@ func TableI(p utility.Params) ([]Figure, error) {
 }
 
 // TableIII lists the default parameter values.
-func TableIII(p utility.Params) ([]Figure, error) {
+func TableIII(p utility.Params, _ Opts) ([]Figure, error) {
 	f := Figure{
 		ID:          "tableIII",
 		Title:       "Table III: default value of parameters",
@@ -83,7 +107,7 @@ func TableIII(p utility.Params) ([]Figure, error) {
 
 // Fig2 reproduces the swap timelines: the idealized zero-waiting-time
 // timeline (Fig. 2b / Eq. 13) and a general one with waits (Fig. 2a).
-func Fig2(p utility.Params) ([]Figure, error) {
+func Fig2(p utility.Params, _ Opts) ([]Figure, error) {
 	ideal, err := timeline.Idealized(p.Chains)
 	if err != nil {
 		return nil, err
@@ -114,7 +138,7 @@ func Fig2(p utility.Params) ([]Figure, error) {
 
 // Fig3 reproduces Alice's t3 utilities (cont vs stop) for the three panel
 // exchange rates, with the cut-off price P̄_t3 in the notes.
-func Fig3(p utility.Params) ([]Figure, error) {
+func Fig3(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -122,15 +146,19 @@ func Fig3(p utility.Params) ([]Figure, error) {
 	var out []Figure
 	grid := mathx.LinSpace(0.05, 3.0, 60)
 	for _, pstar := range ratePanels {
-		cont := make([]float64, len(grid))
-		stop := make([]float64, len(grid))
-		for i, x := range grid {
-			if cont[i], err = m.AliceUtilityT3(core.Cont, x, pstar); err != nil {
-				return nil, err
+		cont, stop, err := scanContStop(o, grid, func(x float64) (contStop, error) {
+			var pt contStop
+			var err error
+			if pt.cont, err = m.AliceUtilityT3(core.Cont, x, pstar); err != nil {
+				return pt, err
 			}
-			if stop[i], err = m.AliceUtilityT3(core.Stop, x, pstar); err != nil {
-				return nil, err
+			if pt.stop, err = m.AliceUtilityT3(core.Stop, x, pstar); err != nil {
+				return pt, err
 			}
+			return pt, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		cut, err := m.CutoffT3(pstar)
 		if err != nil {
@@ -153,7 +181,7 @@ func Fig3(p utility.Params) ([]Figure, error) {
 
 // Fig4 reproduces Bob's t2 utilities (cont vs stop) for the three panel
 // exchange rates, with the continuation range (P̲_t2, P̄_t2) in the notes.
-func Fig4(p utility.Params) ([]Figure, error) {
+func Fig4(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -161,15 +189,19 @@ func Fig4(p utility.Params) ([]Figure, error) {
 	var out []Figure
 	grid := mathx.LinSpace(0.05, 3.0, 60)
 	for _, pstar := range ratePanels {
-		cont := make([]float64, len(grid))
-		stop := make([]float64, len(grid))
-		for i, x := range grid {
-			if cont[i], err = m.BobUtilityT2(core.Cont, x, pstar); err != nil {
-				return nil, err
+		cont, stop, err := scanContStop(o, grid, func(x float64) (contStop, error) {
+			var pt contStop
+			var err error
+			if pt.cont, err = m.BobUtilityT2(core.Cont, x, pstar); err != nil {
+				return pt, err
 			}
-			if stop[i], err = m.BobUtilityT2(core.Stop, x, pstar); err != nil {
-				return nil, err
+			if pt.stop, err = m.BobUtilityT2(core.Stop, x, pstar); err != nil {
+				return pt, err
 			}
+			return pt, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		iv, ok, err := m.ContRangeT2(pstar)
 		if err != nil {
@@ -196,19 +228,18 @@ func Fig4(p utility.Params) ([]Figure, error) {
 
 // Fig5 reproduces Alice's t1 utilities over the exchange rate, with the
 // feasible range (P̲*, P̄*) of Eq. 29 in the notes.
-func Fig5(p utility.Params) ([]Figure, error) {
+func Fig5(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
 	}
 	grid := mathx.LinSpace(0.1, 3.0, 59)
-	cont := make([]float64, len(grid))
-	stop := make([]float64, len(grid))
-	for i, pstar := range grid {
-		if cont[i], err = m.AliceUtilityT1(core.Cont, pstar); err != nil {
-			return nil, err
-		}
-		stop[i] = pstar
+	cont, stop, err := scanContStop(o, grid, func(pstar float64) (contStop, error) {
+		c, err := m.AliceUtilityT1(core.Cont, pstar)
+		return contStop{cont: c, stop: pstar}, err
+	})
+	if err != nil {
+		return nil, err
 	}
 	rng, ok, err := m.FeasibleRateRange()
 	if err != nil {
@@ -255,44 +286,69 @@ func fig6Panels() []fig6Panel {
 
 // Fig6 reproduces the eight success-rate sensitivity panels: SR(P*) curves
 // for four values of each parameter, with per-value t1-viability flags
-// (the paper marks non-viable values with □).
-func Fig6(p utility.Params) ([]Figure, error) {
+// (the paper marks non-viable values with □). The 8×4 curves are swept in
+// parallel; within a curve the 41-point grid scan is sequential.
+func Fig6(p utility.Params, o Opts) ([]Figure, error) {
 	grid := mathx.LinSpace(0.2, 3.2, 41)
+	panels := fig6Panels()
+
+	type curve struct {
+		ys     []float64
+		viable bool
+		rng    mathx.Interval
+	}
+	// Flatten the panel×value nesting into one task list so small panels
+	// cannot starve the pool. The flat index math requires a uniform value
+	// count per panel.
+	nVals := len(panels[0].values)
+	for _, panel := range panels {
+		if len(panel.values) != nVals {
+			return nil, fmt.Errorf("figures: fig6 panel %s has %d values, want %d", panel.id, len(panel.values), nVals)
+		}
+	}
+	curves, err := sweep.Map(context.Background(), len(panels)*nVals, o.Workers, func(k int) (curve, error) {
+		panel := panels[k/nVals]
+		v := panel.values[k%nVals]
+		m, err := core.New(panel.with(p, v))
+		if err != nil {
+			return curve{}, err
+		}
+		ys := make([]float64, len(grid))
+		for i, pstar := range grid {
+			if ys[i], err = m.SuccessRate(pstar); err != nil {
+				return curve{}, err
+			}
+		}
+		rng, viable, err := m.FeasibleRateRange()
+		if err != nil {
+			return curve{}, err
+		}
+		return curve{ys: ys, viable: viable, rng: rng}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []Figure
-	for _, panel := range fig6Panels() {
+	for pi, panel := range panels {
 		fig := Figure{
 			ID:     "fig6-" + panel.id,
 			Title:  fmt.Sprintf("Fig. 6: success rate SR(P*) sweeping %s", panel.label),
 			XLabel: "Exchange rate P*",
 			YLabel: "SR",
 		}
-		for _, v := range panel.values {
-			m, err := core.New(panel.with(p, v))
-			if err != nil {
-				return nil, err
-			}
-			ys := make([]float64, len(grid))
-			for i, pstar := range grid {
-				sr, err := m.SuccessRate(pstar)
-				if err != nil {
-					return nil, err
-				}
-				ys[i] = sr
-			}
-			rng, viable, err := m.FeasibleRateRange()
-			if err != nil {
-				return nil, err
-			}
+		for vi, v := range panel.values {
+			c := curves[pi*nVals+vi]
 			name := fmt.Sprintf("%s=%g", panel.label, v)
-			fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: ys})
-			if viable {
+			fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: c.ys})
+			if c.viable {
 				maxSR := 0.0
-				for _, y := range ys {
+				for _, y := range c.ys {
 					maxSR = math.Max(maxSR, y)
 				}
 				fig.Notes = append(fig.Notes, fmt.Sprintf(
 					"%s: viable, (P̲*, P̄*) = (%.3f, %.3f), max SR on grid = %.3f",
-					name, rng.Lo, rng.Hi, maxSR))
+					name, c.rng.Lo, c.rng.Hi, maxSR))
 			} else {
 				fig.Notes = append(fig.Notes, fmt.Sprintf("%s: NON-VIABLE (□ in the paper: swap never initiated)", name))
 			}

@@ -1,12 +1,14 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/plot"
+	"repro/internal/sweep"
 	"repro/internal/utility"
 )
 
@@ -16,7 +18,7 @@ var collateralPanels = []float64{0.01, 0.1}
 // Fig7 reproduces Bob's t2 utilities in the collateral game for
 // Q ∈ {0.01, 0.1} and the three panel rates, with the indifference points
 // (1 or 3 of them) in the notes.
-func Fig7(p utility.Params) ([]Figure, error) {
+func Fig7(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -29,15 +31,19 @@ func Fig7(p utility.Params) ([]Figure, error) {
 			return nil, err
 		}
 		for _, pstar := range ratePanels {
-			cont := make([]float64, len(grid))
-			stop := make([]float64, len(grid))
-			for i, x := range grid {
-				if cont[i], err = col.BobUtilityT2(core.Cont, x, pstar); err != nil {
-					return nil, err
+			cont, stop, err := scanContStop(o, grid, func(x float64) (contStop, error) {
+				var pt contStop
+				var err error
+				if pt.cont, err = col.BobUtilityT2(core.Cont, x, pstar); err != nil {
+					return pt, err
 				}
-				if stop[i], err = col.BobUtilityT2(core.Stop, x, pstar); err != nil {
-					return nil, err
+				if pt.stop, err = col.BobUtilityT2(core.Stop, x, pstar); err != nil {
+					return pt, err
 				}
+				return pt, nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			set, err := col.ContSetT2(pstar)
 			if err != nil {
@@ -76,35 +82,47 @@ func indifferenceCount(set mathx.IntervalSet) int {
 
 // Fig8 reproduces both agents' t1 utilities in the collateral game over the
 // exchange rate, with each agent's engagement set in the notes.
-func Fig8(p utility.Params) ([]Figure, error) {
+func Fig8(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
 	}
 	var out []Figure
 	grid := mathx.LinSpace(0.1, 3.0, 59)
+	type point struct {
+		contA, stopA, contB, stopB float64
+	}
 	for _, q := range collateralPanels {
 		col, err := m.Collateral(q)
 		if err != nil {
 			return nil, err
 		}
-		contA := make([]float64, len(grid))
-		stopA := make([]float64, len(grid))
-		contB := make([]float64, len(grid))
-		stopB := make([]float64, len(grid))
-		for i, pstar := range grid {
-			if contA[i], err = col.AliceUtilityT1(core.Cont, pstar); err != nil {
-				return nil, err
+		pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (point, error) {
+			var pt point
+			var err error
+			if pt.contA, err = col.AliceUtilityT1(core.Cont, pstar); err != nil {
+				return pt, err
 			}
-			if stopA[i], err = col.AliceUtilityT1(core.Stop, pstar); err != nil {
-				return nil, err
+			if pt.stopA, err = col.AliceUtilityT1(core.Stop, pstar); err != nil {
+				return pt, err
 			}
-			if contB[i], err = col.BobUtilityT1(core.Cont, pstar); err != nil {
-				return nil, err
+			if pt.contB, err = col.BobUtilityT1(core.Cont, pstar); err != nil {
+				return pt, err
 			}
-			if stopB[i], err = col.BobUtilityT1(core.Stop, pstar); err != nil {
-				return nil, err
+			if pt.stopB, err = col.BobUtilityT1(core.Stop, pstar); err != nil {
+				return pt, err
 			}
+			return pt, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		contA := make([]float64, len(pts))
+		stopA := make([]float64, len(pts))
+		contB := make([]float64, len(pts))
+		stopB := make([]float64, len(pts))
+		for i, pt := range pts {
+			contA[i], stopA[i], contB[i], stopB[i] = pt.contA, pt.stopA, pt.contB, pt.stopB
 		}
 		fa := col.FeasibleRatesAlice()
 		fb := col.FeasibleRatesBob()
@@ -131,7 +149,7 @@ func Fig8(p utility.Params) ([]Figure, error) {
 }
 
 // Fig9 reproduces the success rate under collateral for Q ∈ {0, 0.01, 0.1}.
-func Fig9(p utility.Params) ([]Figure, error) {
+func Fig9(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -148,14 +166,14 @@ func Fig9(p utility.Params) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ys := make([]float64, len(grid))
+		ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (float64, error) {
+			return col.SuccessRate(pstar)
+		})
+		if err != nil {
+			return nil, err
+		}
 		maxSR := 0.0
-		for i, pstar := range grid {
-			sr, err := col.SuccessRate(pstar)
-			if err != nil {
-				return nil, err
-			}
-			ys[i] = sr
+		for _, sr := range ys {
 			maxSR = math.Max(maxSR, sr)
 		}
 		name := fmt.Sprintf("Q=%g", q)
@@ -170,7 +188,7 @@ func Fig9(p utility.Params) ([]Figure, error) {
 
 // Fig10a reproduces B's optimal lock amount X*(P_t2) for the three
 // committed amounts, under the holdings budget (DESIGN.md deviation 6).
-func Fig10a(p utility.Params, budget float64) ([]Figure, error) {
+func Fig10a(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -187,14 +205,15 @@ func Fig10a(p utility.Params, budget float64) ([]Figure, error) {
 		YLabel: "X*",
 	}
 	for _, a := range []float64{0.02, 4, 8.91} {
-		ys := make([]float64, len(grid))
-		peak := 0.0
-		for i, y := range grid {
+		ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, y float64) (float64, error) {
 			x, _, err := u.OptimalLockB(y, a)
-			if err != nil {
-				return nil, err
-			}
-			ys[i] = x
+			return x, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		peak := 0.0
+		for _, x := range ys {
 			peak = math.Max(peak, x)
 		}
 		fig.Series = append(fig.Series, plot.Series{
@@ -209,7 +228,7 @@ func Fig10a(p utility.Params, budget float64) ([]Figure, error) {
 
 // Fig10b reproduces A's excess utility at t1 over the committed amount,
 // with the break-even range and optimum in the notes.
-func Fig10b(p utility.Params, budget float64) ([]Figure, error) {
+func Fig10b(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -219,13 +238,11 @@ func Fig10b(p utility.Params, budget float64) ([]Figure, error) {
 		return nil, err
 	}
 	grid := mathx.LinSpace(0.1, 12, 40)
-	ys := make([]float64, len(grid))
-	for i, a := range grid {
-		ex, err := u.AliceExcessUtilityT1(a)
-		if err != nil {
-			return nil, err
-		}
-		ys[i] = ex
+	ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, a float64) (float64, error) {
+		return u.AliceExcessUtilityT1(a)
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig := Figure{
 		ID:     "fig10b",
@@ -249,7 +266,7 @@ func Fig10b(p utility.Params, budget float64) ([]Figure, error) {
 
 // Fig11 compares the success rate of the basic setup against the
 // uncertain-exchange-rate game (both capped and unconstrained responders).
-func Fig11(p utility.Params, budget float64) ([]Figure, error) {
+func Fig11(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -260,24 +277,34 @@ func Fig11(p utility.Params, budget float64) ([]Figure, error) {
 	}
 	uFree := m.Uncertain()
 	grid := mathx.LinSpace(0.25, 8, 32)
-	basic := make([]float64, len(grid))
-	capped := make([]float64, len(grid))
-	free := make([]float64, len(grid))
-	for i, a := range grid {
-		if basic[i], err = m.SuccessRate(a); err != nil {
-			return nil, err
-		}
-		if capped[i], err = uCap.SuccessRate(a); err != nil {
-			return nil, err
-		}
-		if free[i], err = uFree.SuccessRate(a); err != nil {
-			return nil, err
-		}
+	type point struct {
+		basic, capped, free float64
 	}
+	pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, a float64) (point, error) {
+		var pt point
+		var err error
+		if pt.basic, err = m.SuccessRate(a); err != nil {
+			return pt, err
+		}
+		if pt.capped, err = uCap.SuccessRate(a); err != nil {
+			return pt, err
+		}
+		if pt.free, err = uFree.SuccessRate(a); err != nil {
+			return pt, err
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	basic := make([]float64, len(pts))
+	capped := make([]float64, len(pts))
+	free := make([]float64, len(pts))
 	maxBasic, maxCapped := 0.0, 0.0
-	for i := range grid {
-		maxBasic = math.Max(maxBasic, basic[i])
-		maxCapped = math.Max(maxCapped, capped[i])
+	for i, pt := range pts {
+		basic[i], capped[i], free[i] = pt.basic, pt.capped, pt.free
+		maxBasic = math.Max(maxBasic, pt.basic)
+		maxCapped = math.Max(maxCapped, pt.capped)
 	}
 	fig := Figure{
 		ID:     "fig11",

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/packetized"
 	"repro/internal/plot"
 	"repro/internal/repeated"
+	"repro/internal/sweep"
 	"repro/internal/utility"
 )
 
@@ -15,7 +17,7 @@ import (
 // the paper's contribution list (§I.B, "we study the game with uncertainty
 // in counterparties' success premium"): SR(P*) under mean-preserving
 // spreads of Alice's belief about αB.
-func Uncertainty(p utility.Params) ([]Figure, error) {
+func Uncertainty(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -41,21 +43,17 @@ func Uncertainty(p utility.Params) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ys := make([]float64, len(grid))
-		atFair := 0.0
-		for i, pstar := range grid {
+		ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (float64, error) {
 			sr, ok, err := b.SuccessRate(pstar)
-			if err != nil {
-				return nil, err
+			if err != nil || !ok {
+				return 0, err
 			}
-			if !ok {
-				sr = 0
-			}
-			ys[i] = sr
-			if i == len(grid)/2 {
-				atFair = sr
-			}
+			return sr, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		atFair := ys[len(grid)/2]
 		fig.Series = append(fig.Series, plot.Series{Name: sp.name, X: grid, Y: ys})
 		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: SR at mid-grid = %.4f", sp.name, atFair))
 	}
@@ -64,7 +62,7 @@ func Uncertainty(p utility.Params) ([]Figure, error) {
 
 // Reputation traces the repeated-game extension (§V.B): per-round quoting
 // and success under three reputation regimes with a shared price path.
-func Reputation(p utility.Params) ([]Figure, error) {
+func Reputation(p utility.Params, _ Opts) ([]Figure, error) {
 	regimes := []struct {
 		name string
 		cfg  repeated.Config
@@ -102,7 +100,7 @@ func Reputation(p utility.Params) ([]Figure, error) {
 // protocol of the authors' companion work ([20] in §II): expected completed
 // fraction and full-completion probability versus the number of packets,
 // with and without per-packet re-quoting.
-func Packetized(p utility.Params) ([]Figure, error) {
+func Packetized(p utility.Params, o Opts) ([]Figure, error) {
 	ns := []float64{1, 2, 4, 8, 16}
 	fig := Figure{
 		ID:     "packetized",
@@ -122,8 +120,7 @@ func Packetized(p utility.Params) ([]Figure, error) {
 		{"expected fraction (re-quoted, continue)", true, true, func(r packetized.Result) float64 { return r.ExpectedFraction }},
 	}
 	for _, k := range kinds {
-		ys := make([]float64, len(ns))
-		for i, n := range ns {
+		ys, err := sweep.Over(context.Background(), o.Workers, ns, func(_ int, n float64) (float64, error) {
 			res, err := packetized.Run(packetized.Config{
 				Params:               p,
 				PStar:                2.0,
@@ -134,9 +131,12 @@ func Packetized(p utility.Params) ([]Figure, error) {
 				Seed:                 77,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			ys[i] = k.metric(res)
+			return k.metric(res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		fig.Series = append(fig.Series, plot.Series{Name: k.name, X: ns, Y: ys})
 		fig.Notes = append(fig.Notes, fmt.Sprintf("%s at n=16: %.4f", k.name, ys[len(ys)-1]))

@@ -67,8 +67,15 @@ func (f Figure) Render(w, h int) (string, error) {
 	return body, nil
 }
 
+// Opts configures artifact generation.
+type Opts struct {
+	// Workers bounds the concurrency of each grid scan (they run through
+	// internal/sweep); 0 uses all CPUs. Output is identical for any value.
+	Workers int
+}
+
 // Generator produces one or more figures from a parameter set.
-type Generator func(p utility.Params) ([]Figure, error)
+type Generator func(p utility.Params, o Opts) ([]Figure, error)
 
 // Registry maps artifact group IDs to generators, in the paper's order.
 // MC validation scale and the §IV.B budget are fixed defaults here;
@@ -91,10 +98,10 @@ func Registry() []struct {
 		{"fig7", Fig7},
 		{"fig8", Fig8},
 		{"fig9", Fig9},
-		{"fig10a", func(p utility.Params) ([]Figure, error) { return Fig10a(p, DefaultBobBudget) }},
-		{"fig10b", func(p utility.Params) ([]Figure, error) { return Fig10b(p, DefaultBobBudget) }},
-		{"fig11", func(p utility.Params) ([]Figure, error) { return Fig11(p, DefaultBobBudget) }},
-		{"montecarlo", func(p utility.Params) ([]Figure, error) { return MCValidation(p, DefaultMCRuns) }},
+		{"fig10a", func(p utility.Params, o Opts) ([]Figure, error) { return Fig10a(p, DefaultBobBudget, o) }},
+		{"fig10b", func(p utility.Params, o Opts) ([]Figure, error) { return Fig10b(p, DefaultBobBudget, o) }},
+		{"fig11", func(p utility.Params, o Opts) ([]Figure, error) { return Fig11(p, DefaultBobBudget, o) }},
+		{"montecarlo", func(p utility.Params, o Opts) ([]Figure, error) { return MCValidation(p, DefaultMCRuns, o) }},
 		{"baseline", BaselineComparison},
 		{"uncertainty", Uncertainty},
 		{"reputation", Reputation},
@@ -110,8 +117,9 @@ const DefaultBobBudget = 5.0
 const DefaultMCRuns = 20000
 
 // Generate runs the registered generator(s). only filters by a
-// comma-separated list of IDs; empty means all.
-func Generate(p utility.Params, only string) ([]Figure, error) {
+// comma-separated list of IDs; empty means all. o.Workers bounds the
+// concurrency of every grid scan without affecting the output.
+func Generate(p utility.Params, only string, o Opts) ([]Figure, error) {
 	wanted := map[string]bool{}
 	if only != "" {
 		for _, id := range strings.Split(only, ",") {
@@ -125,7 +133,7 @@ func Generate(p utility.Params, only string) ([]Figure, error) {
 			continue
 		}
 		matched++
-		figs, err := entry.Gen(p)
+		figs, err := entry.Gen(p, o)
 		if err != nil {
 			return nil, fmt.Errorf("figures: generating %s: %w", entry.ID, err)
 		}

@@ -3,6 +3,7 @@ package figures
 import (
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 }
 
 func TestTableIVerifiesSimulatedDeltas(t *testing.T) {
-	figs, err := TableI(utility.Default())
+	figs, err := TableI(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatalf("TableI: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestTableIVerifiesSimulatedDeltas(t *testing.T) {
 }
 
 func TestTableIIIListsAllParameters(t *testing.T) {
-	figs, err := TableIII(utility.Default())
+	figs, err := TableIII(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestTableIIIListsAllParameters(t *testing.T) {
 }
 
 func TestFig2TimelineValues(t *testing.T) {
-	figs, err := Fig2(utility.Default())
+	figs, err := Fig2(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig2TimelineValues(t *testing.T) {
 }
 
 func TestFig3PanelsAndCutoffs(t *testing.T) {
-	figs, err := Fig3(utility.Default())
+	figs, err := Fig3(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig3PanelsAndCutoffs(t *testing.T) {
 }
 
 func TestFig4PanelsHaveRanges(t *testing.T) {
-	figs, err := Fig4(utility.Default())
+	figs, err := Fig4(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFig4PanelsHaveRanges(t *testing.T) {
 }
 
 func TestFig5FeasibleRange(t *testing.T) {
-	figs, err := Fig5(utility.Default())
+	figs, err := Fig5(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig5FeasibleRange(t *testing.T) {
 }
 
 func TestFig6AllPanels(t *testing.T) {
-	figs, err := Fig6(utility.Default())
+	figs, err := Fig6(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFig6AllPanels(t *testing.T) {
 }
 
 func TestFig7IndifferencePoints(t *testing.T) {
-	figs, err := Fig7(utility.Default())
+	figs, err := Fig7(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig7IndifferencePoints(t *testing.T) {
 }
 
 func TestFig8EngagementSets(t *testing.T) {
-	figs, err := Fig8(utility.Default())
+	figs, err := Fig8(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestFig8EngagementSets(t *testing.T) {
 }
 
 func TestFig9MonotoneInQ(t *testing.T) {
-	figs, err := Fig9(utility.Default())
+	figs, err := Fig9(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestFig9MonotoneInQ(t *testing.T) {
 }
 
 func TestFig10aHumpShape(t *testing.T) {
-	figs, err := Fig10a(utility.Default(), DefaultBobBudget)
+	figs, err := Fig10a(utility.Default(), DefaultBobBudget, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestFig10aHumpShape(t *testing.T) {
 }
 
 func TestFig10bNotes(t *testing.T) {
-	figs, err := Fig10b(utility.Default(), DefaultBobBudget)
+	figs, err := Fig10b(utility.Default(), DefaultBobBudget, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestFig10bNotes(t *testing.T) {
 }
 
 func TestFig11Dominance(t *testing.T) {
-	figs, err := Fig11(utility.Default(), DefaultBobBudget)
+	figs, err := Fig11(utility.Default(), DefaultBobBudget, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestMCValidationAgrees(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Monte Carlo validation is slow")
 	}
-	figs, err := MCValidation(utility.Default(), 8000)
+	figs, err := MCValidation(utility.Default(), 8000, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestMCValidationAgrees(t *testing.T) {
 }
 
 func TestBaselineComparisonGap(t *testing.T) {
-	figs, err := BaselineComparison(utility.Default())
+	figs, err := BaselineComparison(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestUncertaintyMonotoneInSpreadNearFairRate(t *testing.T) {
 	// below fair the effect reverses — SR is convex in αB there, so the
 	// high type's wide region dominates the mixture; the figure shows both
 	// regimes.)
-	figs, err := Uncertainty(utility.Default())
+	figs, err := Uncertainty(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestUncertaintyMonotoneInSpreadNearFairRate(t *testing.T) {
 }
 
 func TestReputationRegimes(t *testing.T) {
-	figs, err := Reputation(utility.Default())
+	figs, err := Reputation(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestReputationRegimes(t *testing.T) {
 }
 
 func TestPacketizedFigure(t *testing.T) {
-	figs, err := Packetized(utility.Default())
+	figs, err := Packetized(utility.Default(), Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,15 +406,35 @@ func TestPacketizedFigure(t *testing.T) {
 }
 
 func TestGenerateFiltering(t *testing.T) {
-	figs, err := Generate(utility.Default(), "fig5,tableIII")
+	figs, err := Generate(utility.Default(), "fig5,tableIII", Opts{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
 	if len(figs) != 2 {
 		t.Errorf("got %d figures, want 2", len(figs))
 	}
-	if _, err := Generate(utility.Default(), "nope"); !errors.Is(err, ErrUnknownFigure) {
+	if _, err := Generate(utility.Default(), "nope", Opts{}); !errors.Is(err, ErrUnknownFigure) {
 		t.Errorf("unknown id err = %v", err)
+	}
+}
+
+// TestWorkerCountDoesNotChangeOutput pins the sweep engine's determinism
+// contract at the artifact level: every figure — series, notes, tables —
+// must be bit-identical whether its grid scans run on one worker or many.
+func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
+	const ids = "fig3,fig6,fig9,fig10a,fig11,baseline,packetized"
+	ref, err := Generate(utility.Default(), ids, Opts{Workers: 1})
+	if err != nil {
+		t.Fatalf("Generate(workers=1): %v", err)
+	}
+	for _, workers := range []int{8, 0} {
+		got, err := Generate(utility.Default(), ids, Opts{Workers: workers})
+		if err != nil {
+			t.Fatalf("Generate(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: artifacts differ from workers=1", workers)
+		}
 	}
 }
 

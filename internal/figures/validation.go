@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/plot"
 	"repro/internal/swapsim"
+	"repro/internal/sweep"
 	"repro/internal/utility"
 )
 
@@ -15,7 +17,7 @@ import (
 // against Monte Carlo execution of the full protocol on the ledger
 // simulator — the repository's end-to-end validation artifact (not a paper
 // figure; the paper's analysis is purely numerical).
-func MCValidation(p utility.Params, runs int) ([]Figure, error) {
+func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -69,7 +71,7 @@ func MCValidation(p utility.Params, runs int) ([]Figure, error) {
 				Seed:       9000 + int64(i)*100000,
 			},
 			Runs:    runs,
-			Workers: 8,
+			Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -96,7 +98,7 @@ func MCValidation(p utility.Params, runs int) ([]Figure, error) {
 // related-work one-sided (initiator-only optionality) model of §II: the
 // vertical gap is the failure risk added by B's rationality, the paper's
 // headline observation.
-func BaselineComparison(p utility.Params) ([]Figure, error) {
+func BaselineComparison(p utility.Params, o Opts) ([]Figure, error) {
 	m, err := core.New(p)
 	if err != nil {
 		return nil, err
@@ -106,17 +108,29 @@ func BaselineComparison(p utility.Params) ([]Figure, error) {
 		return nil, err
 	}
 	grid := mathx.LinSpace(0.2, 3.2, 41)
-	twoSided := make([]float64, len(grid))
-	oneSided := make([]float64, len(grid))
+	type point struct {
+		two, one float64
+	}
+	pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (point, error) {
+		var pt point
+		var err error
+		if pt.two, err = m.SuccessRate(pstar); err != nil {
+			return pt, err
+		}
+		if pt.one, err = bl.SuccessRate(pstar); err != nil {
+			return pt, err
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	twoSided := make([]float64, len(pts))
+	oneSided := make([]float64, len(pts))
 	maxGap := 0.0
-	for i, pstar := range grid {
-		if twoSided[i], err = m.SuccessRate(pstar); err != nil {
-			return nil, err
-		}
-		if oneSided[i], err = bl.SuccessRate(pstar); err != nil {
-			return nil, err
-		}
-		if gap := oneSided[i] - twoSided[i]; gap > maxGap {
+	for i, pt := range pts {
+		twoSided[i], oneSided[i] = pt.two, pt.one
+		if gap := pt.one - pt.two; gap > maxGap {
 			maxGap = gap
 		}
 	}

@@ -8,11 +8,11 @@
 package swapsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/chain"
@@ -20,6 +20,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
 )
@@ -321,11 +322,12 @@ func failStage(out Outcome) Stage {
 
 // MCConfig parameterises a Monte Carlo estimate.
 type MCConfig struct {
-	// Config is the per-run configuration; Seed seeds run i with Seed+i.
+	// Config is the per-run configuration; run i is seeded with
+	// sweep.Seed(Seed, i), a decorrelated stream per run.
 	Config
 	// Runs is the number of independent protocol executions.
 	Runs int
-	// Workers bounds concurrency (default: 4).
+	// Workers bounds concurrency; 0 uses all CPUs (see internal/sweep).
 	Workers int
 }
 
@@ -343,70 +345,42 @@ type MCResult struct {
 	MeanDurationHours float64
 }
 
-// MonteCarlo runs cfg.Runs independent executions and aggregates.
+// MonteCarlo runs cfg.Runs independent executions on the sweep worker pool
+// and aggregates. Run i draws its price path from the decorrelated stream
+// sweep.Seed(Seed, i), and the outcomes are folded in run order, so the
+// result — including the floating-point duration mean — is identical for
+// every worker count.
 func MonteCarlo(cfg MCConfig) (MCResult, error) {
 	if cfg.Runs <= 0 {
 		return MCResult{}, fmt.Errorf("%w: runs=%d", ErrBadConfig, cfg.Runs)
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
+	outcomes, err := sweep.Map(context.Background(), cfg.Runs, cfg.Workers, func(i int) (Outcome, error) {
+		run := cfg.Config
+		run.Seed = sweep.Seed(cfg.Seed, i)
+		return Run(run)
+	})
+	if err != nil {
+		return MCResult{}, err
 	}
-	if workers > cfg.Runs {
-		workers = cfg.Runs
-	}
-
-	type res struct {
-		out Outcome
-		err error
-	}
-	results := make(chan res, cfg.Runs)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				run := cfg.Config
-				run.Seed = cfg.Seed + int64(i)
-				out, err := Run(run)
-				results <- res{out: out, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := 0; i < cfg.Runs; i++ {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
 
 	agg := MCResult{Stages: make(map[Stage]int)}
 	successes := 0
 	var durSum float64
-	n := 0
-	for r := range results {
-		if r.err != nil {
-			return MCResult{}, r.err
-		}
-		n++
-		agg.Stages[r.out.Stage]++
-		if r.out.Success {
+	for _, out := range outcomes {
+		agg.Stages[out.Stage]++
+		if out.Success {
 			successes++
 		}
-		if !r.out.Atomic {
+		if !out.Atomic {
 			agg.Violations++
 		}
-		durSum += r.out.EndTime
+		durSum += out.EndTime
 	}
-	prop, err := stats.NewProportion(successes, n)
+	prop, err := stats.NewProportion(successes, len(outcomes))
 	if err != nil {
 		return MCResult{}, fmt.Errorf("swapsim: %w", err)
 	}
 	agg.SuccessRate = prop
-	agg.MeanDurationHours = durSum / float64(n)
+	agg.MeanDurationHours = durSum / float64(len(outcomes))
 	return agg, nil
 }

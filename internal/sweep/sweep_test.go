@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	got, err := Map(context.Background(), 100, 7, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), 257, workers, func(i int) (float64, error) {
+			// A task whose value depends on a per-index RNG stream.
+			rng := rand.New(rand.NewSource(Seed(42, i)))
+			return math.Exp(rng.NormFloat64()) * float64(i+1), nil
+		})
+		if err != nil {
+			t.Fatalf("Map(workers=%d): %v", workers, err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, 8, 64, 0} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: output differs from workers=1", w)
+		}
+	}
+}
+
+func TestMapEmptyAndInvalid(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("n=0: got %v, %v; want nil, nil", got, err)
+	}
+	if _, err := Map(context.Background(), -1, 4, func(int) (int, error) { return 0, nil }); !errors.Is(err, ErrBadInput) {
+		t.Errorf("n=-1 err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), 50, workers, func(i int) (int, error) {
+			if i%10 == 3 {
+				return 0, fmt.Errorf("%w at %d", wantErr, i)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "task ") {
+			t.Errorf("workers=%d: err = %v, want a task-indexed error", workers, err)
+		}
+	}
+	// Single worker runs indices in order, so the contract — lowest-indexed
+	// error among the tasks that ran — pins the reported index exactly.
+	// (Multi-worker pools may legally cancel task 3 before it runs.)
+	_, err := Map(context.Background(), 50, 1, func(i int) (int, error) {
+		if i%10 == 3 {
+			return 0, fmt.Errorf("%w at %d", wantErr, i)
+		}
+		return i, nil
+	})
+	if want := "task 3"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("workers=1: err = %v, want mention of %q", err, want)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := Map(ctx, 10000, 2, func(i int) (int, error) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the sweep (%d calls)", n)
+	}
+}
+
+func TestMapErrorCancelsRemainingTasks(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 100000, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := calls.Load(); n >= 100000 {
+		t.Errorf("error did not short-circuit the sweep (%d calls)", n)
+	}
+}
+
+func TestOverMatchesSequentialScan(t *testing.T) {
+	xs := make([]float64, 83)
+	for i := range xs {
+		xs[i] = 0.2 + 0.05*float64(i)
+	}
+	f := func(x float64) float64 { return math.Sin(x) * math.Exp(-x) }
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = f(x)
+	}
+	got, err := Over(context.Background(), 6, xs, func(i int, x float64) (float64, error) {
+		return f(x), nil
+	})
+	if err != nil {
+		t.Fatalf("Over: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("parallel scan differs from sequential scan")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-2); got < 1 {
+		t.Errorf("Workers(-2) = %d, want >= 1", got)
+	}
+}
+
+func TestSeedIsStableAndDecorrelated(t *testing.T) {
+	if Seed(7, 11) != Seed(7, 11) {
+		t.Error("Seed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := Seed(7, i)
+		if seen[s] {
+			t.Fatalf("seed collision at shard %d", i)
+		}
+		seen[s] = true
+	}
+	if Seed(7, 0) == Seed(8, 0) {
+		t.Error("different bases should give different seeds")
+	}
+}
