@@ -1,20 +1,27 @@
 # Local entry points matching the CI pipeline (.github/workflows/ci.yml):
-# `make lint build race bench-smoke` is exactly what a PR must pass.
+# `make lint build race cover fuzz-smoke scenarios bench-smoke` is exactly
+# what a PR must pass.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke lint figures clean
+# Coverage floors enforced by `make cover` and CI.
+COVER_PKGS = repro/internal/scenario repro/internal/core
+COVER_MIN  = 80
+
+.PHONY: all build test race bench bench-smoke lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test order every run, so inter-test state
+# dependence cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Full benchmark run (slow): every paper artifact plus the ablations.
 bench:
@@ -29,9 +36,33 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
+# Per-package coverage, failing when a gated package drops below COVER_MIN%.
+# go test's status is checked before the gate so a red suite cannot hide
+# behind a green coverage line.
+cover:
+	@$(GO) test -coverprofile=cover.out ./... > cover.txt; \
+		status=$$?; cat cover.txt; \
+		if [ $$status -ne 0 ]; then exit $$status; fi
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$(awk -v p="$$pkg" '$$1 == "ok" && $$2 == p { for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { gsub(/%/, "", $$i); print $$i } }' cover.txt); \
+		if [ -z "$$pct" ]; then echo "no coverage line for $$pkg" >&2; exit 1; fi; \
+		if awk -v pct="$$pct" -v min=$(COVER_MIN) 'BEGIN { exit !(pct < min) }'; then \
+			echo "coverage gate: $$pkg at $$pct% is below $(COVER_MIN)%" >&2; exit 1; fi; \
+		echo "coverage gate: $$pkg $$pct% >= $(COVER_MIN)%"; \
+	done
+
+# 10-second smoke of each fuzz target (also run by CI).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLognormal -fuzztime=10s -run='^$$' ./internal/dist
+	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=10s -run='^$$' ./internal/scenario
+
+# Batch-run every scenario preset (fails on any MC/analytic disagreement).
+scenarios:
+	$(GO) run ./cmd/scenarios -run all
+
 # Regenerate every paper artifact (ASCII to stdout, CSV under out/).
 figures:
 	$(GO) run ./cmd/figures -csv out
 
 clean:
-	rm -rf out
+	rm -rf out cover.out cover.txt

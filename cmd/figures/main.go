@@ -8,6 +8,7 @@
 //	figures                 # all artifacts
 //	figures -only fig6,fig9 # a subset
 //	figures -csv out/       # also write CSV data
+//	figures -scenario high-vol -only fig5  # under a named scenario's regime
 package main
 
 import (
@@ -37,12 +38,13 @@ func run(args []string, out io.Writer) error {
 		width   = fs.Int("width", 72, "ASCII chart width")
 		height  = fs.Int("height", 18, "ASCII chart height")
 		workers = fs.Int("workers", 0, "worker-pool size for grid scans (0 = all CPUs; output is identical for any value)")
+		scen    = fs.String("scenario", "", "regenerate under a named scenario's parameters (see cmd/scenarios -list)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{Workers: *workers})
+	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{Workers: *workers, Scenario: *scen})
 	if err != nil {
 		return err
 	}

@@ -58,3 +58,27 @@ func TestBadFlag(t *testing.T) {
 		t.Error("unknown flag should fail")
 	}
 }
+
+func TestScenarioFlag(t *testing.T) {
+	var ref strings.Builder
+	if err := run([]string{"-only", "fig5"}, &ref); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got strings.Builder
+	if err := run([]string{"-only", "fig5", "-scenario", "tableIII"}, &got); err != nil {
+		t.Fatalf("run with -scenario: %v", err)
+	}
+	if got.String() != ref.String() {
+		t.Error("tableIII scenario should reproduce the default artifact byte-for-byte")
+	}
+	var hv strings.Builder
+	if err := run([]string{"-only", "fig5", "-scenario", "high-vol"}, &hv); err != nil {
+		t.Fatalf("run with high-vol: %v", err)
+	}
+	if hv.String() == ref.String() {
+		t.Error("high-vol artifact should differ from the Table III one")
+	}
+	if err := run([]string{"-scenario", "nope"}, &hv); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Command scenarios drives the declarative scenario subsystem of
+// internal/scenario: it lists the registered presets, batch-runs any subset
+// of them (solving the basic, collateral and uncertain games and validating
+// the analytic success rate against a Monte Carlo protocol run per
+// scenario), diffs two regimes, and exports presets as JSON templates for
+// user-defined scenarios.
+//
+// Usage:
+//
+//	scenarios -list
+//	scenarios -run all [-runs 4000] [-workers 0]
+//	scenarios -run high-vol,impatient-bob
+//	scenarios -diff tableIII,high-vol
+//	scenarios -export tableIII -o my.json   # template for custom scenarios
+//	scenarios -file my.json                 # run a user-defined scenario
+//
+// Batch runs parallelise across scenarios through the internal/sweep worker
+// pool with reports in registry order, identical for every -workers value.
+// A batch exits non-zero if any scenario's analytic SR falls outside its
+// Monte Carlo Wilson interval — the same regression gate CI applies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list the registered scenario presets")
+		runSpec = fs.String("run", "", `batch-run "all" or a comma-separated list of preset names`)
+		file    = fs.String("file", "", "run a user-defined scenario from a JSON file")
+		diff    = fs.String("diff", "", `diff two scenarios: "nameA,nameB"`)
+		export  = fs.String("export", "", "write a preset as JSON (a template for -file scenarios)")
+		outPath = fs.String("o", "", "output path for -export (default: stdout)")
+		runs    = fs.Int("runs", 0, "override every scenario's Monte Carlo run count (0 = per-scenario default)")
+		workers = fs.Int("workers", 0, "cross-scenario worker-pool size (0 = all CPUs; output is identical for any value)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		return runList(out)
+	case *diff != "":
+		return runDiff(out, *diff, *runs)
+	case *export != "":
+		return runExport(out, *export, *outPath)
+	case *file != "":
+		sc, err := scenario.LoadFile(*file)
+		if err != nil {
+			return err
+		}
+		return runBatch(out, []scenario.Scenario{sc}, *runs, *workers)
+	case *runSpec != "":
+		scs, err := selectScenarios(*runSpec)
+		if err != nil {
+			return err
+		}
+		return runBatch(out, scs, *runs, *workers)
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -run, -diff, -export or -file (see -help)")
+	}
+}
+
+// runList prints the preset table.
+func runList(out io.Writer) error {
+	reg := scenario.Registry()
+	fmt.Fprintf(out, "%d registered scenario presets:\n", len(reg))
+	for _, sc := range reg {
+		fmt.Fprintf(out, "  %-20s P*=%-4g Q=%-4g budget=%-4g  %s\n",
+			sc.Name, sc.PStar, sc.Collateral, sc.BobBudget, sc.Description)
+	}
+	return nil
+}
+
+// selectScenarios resolves "all" or a comma-separated preset list.
+func selectScenarios(spec string) ([]scenario.Scenario, error) {
+	if spec == "all" {
+		return scenario.Registry(), nil
+	}
+	var scs []scenario.Scenario
+	for _, name := range strings.Split(spec, ",") {
+		sc, err := scenario.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}
+
+// runBatch runs the scenarios through the batch runner and prints every
+// report, failing if any scenario's Monte Carlo validation disagrees with
+// the analytic success rate.
+func runBatch(out io.Writer, scs []scenario.Scenario, runs, workers int) error {
+	reports, err := scenario.RunAll(context.Background(), scs, workers, scenario.RunOpts{Runs: runs})
+	if err != nil {
+		return err
+	}
+	var disagree []string
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprint(out, r.Render())
+		if !r.MCAgrees {
+			disagree = append(disagree, r.Scenario.Name)
+		}
+	}
+	fmt.Fprintf(out, "\n%d scenario(s) run, %d disagreement(s)\n", len(reports), len(disagree))
+	if len(disagree) > 0 {
+		return fmt.Errorf("analytic SR outside the Monte Carlo Wilson interval for: %s",
+			strings.Join(disagree, ", "))
+	}
+	return nil
+}
+
+// runDiff solves both scenarios and prints the field-by-field comparison.
+func runDiff(out io.Writer, spec string, runs int) error {
+	names := strings.Split(spec, ",")
+	if len(names) != 2 {
+		return fmt.Errorf("-diff wants exactly two names, got %q", spec)
+	}
+	var reports [2]scenario.Report
+	for i, name := range names {
+		sc, err := scenario.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		if reports[i], err = scenario.Run(sc, scenario.RunOpts{Runs: runs}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(out, scenario.Diff(reports[0], reports[1], 1e-4))
+	return nil
+}
+
+// runExport writes a preset as JSON to the output path (or stdout).
+func runExport(out io.Writer, name, path string) error {
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		return sc.Save(out)
+	}
+	if err := sc.SaveFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s to %s\n", name, path)
+	return nil
+}

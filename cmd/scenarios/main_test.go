@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListShowsAtLeastTenPresets(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"registered scenario presets", "tableIII", "high-vol", "low-vol",
+		"fee-stress", "asymmetric-discount", "short-timelock", "deep-collateral",
+		"uncertain-wide", "impatient-bob", "adversarial-premium",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "tableIII,high-vol", "-runs", "400"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"scenario tableIII", "scenario high-vol",
+		"2 scenario(s) run, 0 disagreement(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full batch is slow")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-run", "all", "-runs", "800"}, &sb); err != nil {
+		t.Fatalf("run -run all: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "10 scenario(s) run, 0 disagreement(s)") {
+		t.Errorf("batch should report 10 agreeing scenarios:\n%s", sb.String())
+	}
+}
+
+func TestDiffScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-diff", "tableIII,high-vol", "-runs", "200"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"diff tableIII -> high-vol", "param sigma: 0.1 -> 0.2", "basic SR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportAndRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	var sb strings.Builder
+	if err := run([]string{"-export", "short-timelock", "-o", path}, &sb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name": "short-timelock"`) {
+		t.Errorf("exported JSON missing name:\n%s", data)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-file", path, "-runs", "300"}, &sb); err != nil {
+		t.Fatalf("run -file: %v", err)
+	}
+	if !strings.Contains(sb.String(), "scenario short-timelock") {
+		t.Errorf("file run missing scenario header:\n%s", sb.String())
+	}
+}
+
+func TestExportToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-export", "tableIII"}, &sb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"pstar": 2`) {
+		t.Errorf("stdout export missing fields:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := map[string][]string{
+		"no action":       {},
+		"unknown flag":    {"-bogus"},
+		"unknown preset":  {"-run", "nope"},
+		"unknown export":  {"-export", "nope"},
+		"one-name diff":   {"-diff", "tableIII"},
+		"unknown diff":    {"-diff", "tableIII,nope"},
+		"missing file":    {"-file", filepath.Join(t.TempDir(), "missing.json")},
+		"bad export path": {"-export", "tableIII", "-o", filepath.Join(t.TempDir(), "no", "dir.json")},
+	}
+	for name, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+}

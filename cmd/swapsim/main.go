@@ -8,6 +8,7 @@
 //	swapsim -runs 50000 -pstar 2.0
 //	swapsim -trace -seed 7
 //	swapsim -trace -haltb-from 7.5 -haltb-until 40   # atomicity violation
+//	swapsim -scenario impatient-bob -runs 20000      # a named scenario's regime
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/packetized"
+	"repro/internal/scenario"
 	"repro/internal/swapsim"
 	"repro/internal/utility"
 )
@@ -46,12 +48,31 @@ func run(args []string, out io.Writer) error {
 		packets    = fs.Int("packets", 0, "split the swap into n packets (companion protocol [20]; 0 = single shot)")
 		requote    = fs.Bool("requote", false, "with -packets: re-quote the rate per packet")
 		keepGoing  = fs.Bool("continue", false, "with -packets: continue after a failed packet instead of aborting")
+		scen       = fs.String("scenario", "", "simulate under a named scenario's parameters, rate, deposit and seed (explicit flags override)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	params := utility.Default()
+	if *scen != "" {
+		sc, err := scenario.Lookup(*scen)
+		if err != nil {
+			return err
+		}
+		params = sc.Params
+		visited := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+		if !visited["pstar"] {
+			*pstar = sc.PStar
+		}
+		if !visited["q"] {
+			*q = sc.Collateral
+		}
+		if !visited["seed"] {
+			*seed = sc.Seed
+		}
+	}
 	m, err := core.New(params)
 	if err != nil {
 		return err
@@ -140,6 +161,10 @@ func run(args []string, out io.Writer) error {
 	res, err := swapsim.MonteCarlo(swapsim.MCConfig{Config: cfg, Runs: *runs, Workers: *workers})
 	if err != nil {
 		return err
+	}
+	if !strat.AliceInitiates {
+		fmt.Fprintf(out, "note: A rationally stops at t1 under these parameters, so every run ends\n")
+		fmt.Fprintf(out, "      not-initiated; the analytic SR below is conditional on initiation.\n")
 	}
 	fmt.Fprintf(out, "Monte Carlo success rate: %v\n", res.SuccessRate)
 	fmt.Fprintf(out, "analytic success rate:    %.4f (agrees: %v)\n",

@@ -84,3 +84,29 @@ func TestBadFlags(t *testing.T) {
 		t.Error("zero runs should fail")
 	}
 }
+
+func TestScenarioFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "short-timelock", "-runs", "400"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	// The preset carries Q=0.1, so the simulation plays the collateral game
+	// and agreement with its analytic SR must hold.
+	if !strings.Contains(out, "agrees: true") {
+		t.Errorf("scenario MC should agree with the analytic SR:\n%s", out)
+	}
+	if err := run([]string{"-scenario", "nope"}, &sb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestScenarioFlagNotInitiatedNote(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "adversarial-premium", "-runs", "200"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "A rationally stops at t1") {
+		t.Errorf("expected the not-initiated note:\n%s", sb.String())
+	}
+}

@@ -7,10 +7,13 @@
 //
 //	swapsolve [-pstar 2.0] [-q 0.1] [-uncertain] [-budget 5] [model flags]
 //	swapsolve -sweep 0.2:3.2:61 [-workers 8]   # parallel SR(P*) grid scan
+//	swapsolve -scenario high-vol               # solve a named scenario
 //
-// Model flags default to Table III (see -help). The -sweep grid scan runs
-// through the internal/sweep worker pool; its output is identical for every
-// -workers value.
+// Model flags default to Table III (see -help). With -scenario, the named
+// scenario (cmd/scenarios -list) supplies the parameter set, rate and
+// deposit, and any explicitly set flag overrides that field. The -sweep grid
+// scan runs through the internal/sweep worker pool; its output is identical
+// for every -workers value.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gbm"
 	"repro/internal/mathx"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
@@ -45,6 +49,7 @@ func run(args []string, out *os.File) error {
 		budget    = fs.Float64("budget", 0, "Bob's Token_b holdings cap for -uncertain (0 = unconstrained Eq. 44)")
 		sweepSpec = fs.String("sweep", "", "sweep SR over a lo:hi:n exchange-rate grid instead of solving one rate")
 		workers   = fs.Int("workers", 0, "worker-pool size for -sweep (0 = all CPUs)")
+		scen      = fs.String("scenario", "", "start from a named scenario's parameters (explicit flags override)")
 
 		alphaA = fs.Float64("alphaA", 0.3, "Alice's success premium")
 		alphaB = fs.Float64("alphaB", 0.3, "Bob's success premium")
@@ -68,6 +73,24 @@ func run(args []string, out *os.File) error {
 		Price:  gbm.Process{Mu: *mu, Sigma: *sigma},
 		P0:     *p0,
 	}
+	if *scen != "" {
+		sc, err := scenario.Lookup(*scen)
+		if err != nil {
+			return err
+		}
+		visited := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+		params = overrideParams(sc.Params, params, visited)
+		if !visited["pstar"] {
+			*pstar = sc.PStar
+		}
+		if !visited["q"] {
+			*q = sc.Collateral
+		}
+		if !visited["budget"] {
+			*budget = sc.BobBudget
+		}
+	}
 
 	m, err := core.New(params)
 	if err != nil {
@@ -87,6 +110,42 @@ func run(args []string, out *os.File) error {
 		return solveCollateral(out, m, *pstar, *q)
 	}
 	return solveBasic(out, m, *pstar)
+}
+
+// overrideParams starts from a scenario's parameter set and applies every
+// model flag the user set explicitly on top of it.
+func overrideParams(base, flags utility.Params, visited map[string]bool) utility.Params {
+	if visited["alphaA"] {
+		base.Alice.Alpha = flags.Alice.Alpha
+	}
+	if visited["alphaB"] {
+		base.Bob.Alpha = flags.Bob.Alpha
+	}
+	if visited["rA"] {
+		base.Alice.R = flags.Alice.R
+	}
+	if visited["rB"] {
+		base.Bob.R = flags.Bob.R
+	}
+	if visited["tauA"] {
+		base.Chains.TauA = flags.Chains.TauA
+	}
+	if visited["tauB"] {
+		base.Chains.TauB = flags.Chains.TauB
+	}
+	if visited["epsB"] {
+		base.Chains.EpsB = flags.Chains.EpsB
+	}
+	if visited["p0"] {
+		base.P0 = flags.P0
+	}
+	if visited["mu"] {
+		base.Price.Mu = flags.Price.Mu
+	}
+	if visited["sigma"] {
+		base.Price.Sigma = flags.Price.Sigma
+	}
+	return base
 }
 
 // parseGrid parses a "lo:hi:n" sweep specification into a grid of rates.

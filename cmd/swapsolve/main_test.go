@@ -92,3 +92,46 @@ func TestBadFlagsAndParams(t *testing.T) {
 		t.Error("negative rate should fail")
 	}
 }
+
+func TestScenarioFlagLoadsPreset(t *testing.T) {
+	ref, err := capture(t, []string{"-q", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := capture(t, []string{"-scenario", "deep-collateral"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Errorf("-scenario deep-collateral should match -q 0.5 at Table III params:\n got: %s\nwant: %s", got, ref)
+	}
+}
+
+func TestScenarioFlagExplicitOverride(t *testing.T) {
+	// An explicit -sigma on top of high-vol must override the preset's 0.2,
+	// landing exactly on the Table III solution with the preset's Q=0.1.
+	ref, err := capture(t, []string{"-sigma", "0.1", "-q", "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := capture(t, []string{"-scenario", "high-vol", "-sigma", "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Errorf("explicit -sigma should override the scenario:\n got: %s\nwant: %s", got, ref)
+	}
+	plain, err := capture(t, []string{"-scenario", "high-vol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == ref {
+		t.Error("high-vol without overrides should differ from Table III")
+	}
+}
+
+func TestScenarioFlagUnknownName(t *testing.T) {
+	if _, err := capture(t, []string{"-scenario", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -8,10 +8,11 @@
 // (internal/sweep), the protocol substrate (internal/sim, internal/chain,
 // internal/htlc, internal/oracle, internal/agent, internal/swapsim), an
 // independent grid-DP game engine (internal/game), the related-work
-// baseline (internal/baseline), and the experiment harness
-// (internal/figures, internal/plot, internal/stats).
+// baseline (internal/baseline), the experiment harness
+// (internal/figures, internal/plot, internal/stats), and the declarative
+// scenario registry and batch runner (internal/scenario).
 //
-// Executables are under cmd/ (swapsolve, figures, swapsim) and runnable
+// Executables are under cmd/ (swapsolve, figures, swapsim, scenarios) and runnable
 // examples under examples/. bench_test.go in this directory regenerates
 // each paper artifact as a testing.B benchmark; see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for measured-vs-paper results.

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLognormal checks the distribution's structural invariants on arbitrary
+// parameters: the CDF is monotone and complements TailProb, the truncated
+// first moments split the mean exactly, and every probability stays in
+// [0, 1]. These are the identities every stage integral of internal/core
+// rests on.
+func FuzzLognormal(f *testing.F) {
+	f.Add(0.0, 1.0, 1.0, 2.0)
+	f.Add(0.6931, 0.1, 2.0, 2.5)   // Table III transition scale
+	f.Add(-3.0, 0.05, 0.04, 0.05)  // tight low-price law
+	f.Add(5.0, 2.0, 100.0, 1000.0) // wide heavy tail
+	f.Add(0.0, 0.5, -1.0, 0.0)     // non-positive thresholds
+	f.Fuzz(func(t *testing.T, mu, sigma, k1, k2 float64) {
+		// Keep parameters in the numerically meaningful window: |mu| and
+		// sigma bounded so Mean() stays finite, thresholds finite.
+		if math.IsNaN(mu) || math.Abs(mu) > 30 {
+			t.Skip()
+		}
+		if math.IsNaN(sigma) || sigma <= 1e-6 || sigma > 10 {
+			t.Skip()
+		}
+		if math.IsNaN(k1) || math.IsInf(k1, 0) || math.IsNaN(k2) || math.IsInf(k2, 0) {
+			t.Skip()
+		}
+		if math.Abs(k1) > 1e30 || math.Abs(k2) > 1e30 {
+			t.Skip()
+		}
+		l := LogNormal{Mu: mu, Sigma: sigma}
+		lo, hi := math.Min(k1, k2), math.Max(k1, k2)
+
+		// CDF is monotone non-decreasing and bounded in [0, 1].
+		cLo, cHi := l.CDF(lo), l.CDF(hi)
+		if cLo < 0 || cLo > 1 || cHi < 0 || cHi > 1 {
+			t.Fatalf("CDF out of [0,1]: CDF(%g)=%g, CDF(%g)=%g", lo, cLo, hi, cHi)
+		}
+		if cLo > cHi {
+			t.Fatalf("CDF not monotone: CDF(%g)=%g > CDF(%g)=%g", lo, cLo, hi, cHi)
+		}
+
+		// CDF and TailProb complement each other.
+		for _, k := range []float64{lo, hi} {
+			if s := l.CDF(k) + l.TailProb(k); math.Abs(s-1) > 1e-12 {
+				t.Fatalf("CDF(%g) + TailProb(%g) = %g, want 1", k, k, s)
+			}
+		}
+
+		// The truncated first moments split the mean exactly:
+		// E[X·1{X ≤ k}] + E[X·1{X > k}] = E[X].
+		mean := l.Mean()
+		for _, k := range []float64{lo, hi} {
+			below, above := l.PartialExpectationBelow(k), l.PartialExpectationAbove(k)
+			if below < 0 || above < 0 {
+				t.Fatalf("negative partial expectation at k=%g: below=%g above=%g", k, below, above)
+			}
+			sum := below + above
+			if math.Abs(sum-mean) > 1e-9*math.Max(mean, 1) {
+				t.Fatalf("partial expectations at k=%g sum to %g, want mean %g", k, sum, mean)
+			}
+		}
+
+		// The lower partial expectation is monotone in the threshold.
+		if l.PartialExpectationBelow(lo) > l.PartialExpectationBelow(hi)+1e-9*math.Max(mean, 1) {
+			t.Fatalf("PartialExpectationBelow not monotone between %g and %g", lo, hi)
+		}
+
+		// The density is non-negative wherever it is finite.
+		if p := l.PDF(hi); p < 0 || math.IsNaN(p) {
+			t.Fatalf("PDF(%g) = %g", hi, p)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/plot"
+	"repro/internal/scenario"
 	"repro/internal/utility"
 )
 
@@ -72,6 +73,11 @@ type Opts struct {
 	// Workers bounds the concurrency of each grid scan (they run through
 	// internal/sweep); 0 uses all CPUs. Output is identical for any value.
 	Workers int
+	// Scenario names a registered scenario (internal/scenario) whose
+	// parameter set replaces the caller's params in Generate, so every
+	// artifact can be regenerated under an alternative regime. Empty keeps
+	// the caller's params.
+	Scenario string
 }
 
 // Generator produces one or more figures from a parameter set.
@@ -118,8 +124,16 @@ const DefaultMCRuns = 20000
 
 // Generate runs the registered generator(s). only filters by a
 // comma-separated list of IDs; empty means all. o.Workers bounds the
-// concurrency of every grid scan without affecting the output.
+// concurrency of every grid scan without affecting the output; o.Scenario,
+// when set, swaps p for the named scenario's parameter set.
 func Generate(p utility.Params, only string, o Opts) ([]Figure, error) {
+	if o.Scenario != "" {
+		sc, err := scenario.Lookup(o.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		p = sc.Params
+	}
 	wanted := map[string]bool{}
 	if only != "" {
 		for _, id := range strings.Split(only, ",") {

@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+// update regenerates the golden artifact files instead of diffing:
+//
+//	go test ./internal/figures -run TestGoldenArtifacts -update
+var update = flag.Bool("update", false, "rewrite the golden artifact files under testdata/golden")
+
+// goldenWidth/goldenHeight match cmd/figures' rendering defaults, so the
+// pinned bytes are exactly what `figures -only <id>` prints.
+const (
+	goldenWidth  = 72
+	goldenHeight = 18
+)
+
+// renderGroup renders one registry entry the way cmd/figures does.
+func renderGroup(t *testing.T, id string) []byte {
+	t.Helper()
+	figs, err := Generate(utility.Default(), id, Opts{})
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", id, err)
+	}
+	var buf bytes.Buffer
+	for _, f := range figs {
+		body, err := f.Render(goldenWidth, goldenHeight)
+		if err != nil {
+			t.Fatalf("Render(%s): %v", f.ID, err)
+		}
+		fmt.Fprintf(&buf, "==== %s ====\n%s\n", f.ID, body)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenArtifacts pins every registered artifact byte-for-byte against
+// the canonical outputs under testdata/golden. Nothing else in the
+// repository guards the 17+ generated artifacts against silent regressions:
+// a solver change that shifts a threshold in the fourth decimal fails here
+// first. Intentional changes are re-pinned with -update.
+func TestGoldenArtifacts(t *testing.T) {
+	for _, entry := range Registry() {
+		t.Run(entry.ID, func(t *testing.T) {
+			t.Parallel()
+			got := renderGroup(t, entry.ID)
+			path := filepath.Join("testdata", "golden", entry.ID+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/figures -run TestGoldenArtifacts -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: output differs from %s (%d vs %d bytes);\nfirst divergence at byte %d\nregenerate with -update if the change is intentional",
+					entry.ID, path, len(got), len(want), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing byte offset.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestGoldenFilesCoverEveryArtifact fails when a registry entry gains or
+// loses its golden file, so the suite cannot silently fall out of sync with
+// the registry.
+func TestGoldenFilesCoverEveryArtifact(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden dir: %v", err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		onDisk[strings.TrimSuffix(e.Name(), ".golden")] = true
+	}
+	registered := map[string]bool{}
+	for _, entry := range Registry() {
+		registered[entry.ID] = true
+		if !onDisk[entry.ID] {
+			t.Errorf("registry entry %s has no golden file", entry.ID)
+		}
+	}
+	for id := range onDisk {
+		if !registered[id] {
+			t.Errorf("stale golden file %s.golden has no registry entry", id)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package game
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/utility"
+)
+
+// crossCheck solves the same basic game with the closed-form solver
+// (internal/core) and the grid DP, and requires the thresholds, B's t2
+// continuation region and the success rate to agree. The two solvers share
+// only the paper's equations, so agreement off the Table III point validates
+// both backward inductions across the whole parameter region the scenario
+// registry and the random draws span.
+func crossCheck(t *testing.T, p utility.Params, pstar float64) {
+	t.Helper()
+	m, err := core.New(p)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	g, err := SwapGame(p, pstar)
+	if err != nil {
+		t.Fatalf("SwapGame: %v", err)
+	}
+	grid := DefaultGrid(p, 900, 10)
+	sol, err := g.Solve(grid)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Grid resolution: log-spaced points are relTol apart; thresholds can
+	// only be located to that resolution.
+	relTol := 3 * math.Log(grid[len(grid)-1]/grid[0]) / float64(len(grid)-1)
+
+	// 1. A's t3 reveal cut-off (Eq. 18) vs the first grid point whose t3
+	// policy is cont.
+	cut, err := m.CutoffT3(pstar)
+	if err != nil {
+		t.Fatalf("CutoffT3: %v", err)
+	}
+	t3, err := sol.StageByName("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridCut := math.NaN()
+	for i, cont := range t3.PolicyCont {
+		if cont {
+			gridCut = grid[i]
+			break
+		}
+	}
+	if cut > grid[0]*(1+relTol) && cut < grid[len(grid)-1]*(1-relTol) {
+		if math.IsNaN(gridCut) || math.Abs(gridCut-cut)/cut > relTol {
+			t.Errorf("t3 cut-off: grid %.5f vs closed form %.5f (tol %.2f%%)", gridCut, cut, 100*relTol)
+		}
+	}
+
+	// 2. B's t2 continuation region (Eq. 24) vs the grid policy region.
+	iv, ok, err := m.ContRangeT2(pstar)
+	if err != nil {
+		t.Fatalf("ContRangeT2: %v", err)
+	}
+	region, err := sol.ContRegion("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Price.Transition(p.P0, p.Chains.TauA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		// Closed form says B never locks: the grid region must carry almost
+		// no probability mass at t2.
+		var mass float64
+		for _, riv := range region.Intervals() {
+			mass += tr.CDF(riv.Hi) - tr.CDF(riv.Lo)
+		}
+		if mass > 0.02 {
+			t.Errorf("closed form says empty t2 region, grid region %v carries mass %.4f", region, mass)
+		}
+		return
+	}
+	if region.Empty() {
+		t.Fatalf("closed-form t2 region %v, grid region empty", iv)
+	}
+	bounds := region.Bounds()
+	if math.Abs(bounds.Lo-iv.Lo)/iv.Lo > relTol {
+		t.Errorf("t2 region lo: grid %.5f vs closed form %.5f", bounds.Lo, iv.Lo)
+	}
+	if math.Abs(bounds.Hi-iv.Hi)/iv.Hi > relTol {
+		t.Errorf("t2 region hi: grid %.5f vs closed form %.5f", bounds.Hi, iv.Hi)
+	}
+
+	// 3. SR(P*) (Eq. 31) vs an independent trapezoidal integral of the grid
+	// policies: P(B conts at t2, A conts at t3 | P0).
+	sr, err := m.SuccessRate(pstar)
+	if err != nil {
+		t.Fatalf("SuccessRate: %v", err)
+	}
+	t2, err := sol.StageByName("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gridSR float64
+	for i, cont := range t2.PolicyCont {
+		if !cont {
+			continue
+		}
+		var dx float64
+		switch {
+		case i == 0:
+			dx = (grid[1] - grid[0]) / 2
+		case i == len(grid)-1:
+			dx = (grid[i] - grid[i-1]) / 2
+		default:
+			dx = (grid[i+1] - grid[i-1]) / 2
+		}
+		law, err := p.Price.Transition(grid[i], p.Chains.TauB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gridSR += tr.PDF(grid[i]) * law.TailProb(cut) * dx
+	}
+	if math.Abs(gridSR-sr) > 0.02 {
+		t.Errorf("SR: grid %.4f vs closed form %.4f", gridSR, sr)
+	}
+
+	// 4. A's t1 initiation value at P0 (Eq. 25) within quadrature error.
+	t1, err := sol.StageByName("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA1, err := m.AliceUtilityT1(core.Cont, pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA1 := interp(grid, t1.ContValueA, p.P0)
+	if math.Abs(gotA1-wantA1)/wantA1 > 0.01 {
+		t.Errorf("U^A_t1(cont): grid %.5f vs closed form %.5f", gotA1, wantA1)
+	}
+}
+
+// TestCrossSolverAgreementAcrossPresets runs the cross-check at every
+// scenario preset — the paper's Table III point plus nine regimes off it.
+func TestCrossSolverAgreementAcrossPresets(t *testing.T) {
+	for _, sc := range scenario.Registry() {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			crossCheck(t, sc.Params, sc.PStar)
+		})
+	}
+}
+
+// TestCrossSolverAgreementRandomized repeats the cross-check on seeded
+// random perturbations of Table III, quick.Check style: the draws cover
+// asymmetric preferences, drifts of either sign, and off-fair rates.
+func TestCrossSolverAgreementRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	uniform := func(lo, hi float64) float64 { return lo + (hi-lo)*rng.Float64() }
+	for i := 0; i < 8; i++ {
+		p := utility.Default()
+		p.Alice.Alpha = uniform(0.1, 0.5)
+		p.Bob.Alpha = uniform(0.1, 0.5)
+		p.Alice.R = uniform(0.004, 0.025)
+		p.Bob.R = uniform(0.004, 0.025)
+		p.Chains.TauA = uniform(2, 4)
+		p.Chains.TauB = uniform(2.5, 5)
+		p.Chains.EpsB = 0.4 * p.Chains.TauB
+		p.Price.Mu = uniform(-0.003, 0.004)
+		p.Price.Sigma = uniform(0.07, 0.16)
+		pstar := uniform(1.7, 2.4)
+		name := fmt.Sprintf("draw%d-sigma%.3f-pstar%.2f", i, p.Price.Sigma, pstar)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			crossCheck(t, p, pstar)
+		})
+	}
+}

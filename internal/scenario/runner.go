@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/stats"
+	"repro/internal/swapsim"
+	"repro/internal/sweep"
+)
+
+// RunOpts configures a batch run.
+type RunOpts struct {
+	// Runs overrides every scenario's Monte Carlo run count (0 keeps each
+	// scenario's own setting).
+	Runs int
+	// MCWorkers bounds the concurrency of the inner Monte Carlo of a single
+	// scenario. RunAll parallelises across scenarios and pins this to 1;
+	// Run on its own uses all CPUs when 0.
+	MCWorkers int
+}
+
+// Report is the solved summary of one scenario: the basic-game thresholds
+// and ranges, the collateral and uncertain-game success rates, and the Monte
+// Carlo protocol validation of the analytic SR.
+type Report struct {
+	// Scenario echoes the definition the report was produced from.
+	Scenario Scenario
+
+	// CutoffT3 is A's reveal cut-off P̄_t3 (Eq. 18) at the scenario's rate.
+	CutoffT3 float64
+	// BobContT2 is B's t2 continuation range (Eq. 24); BobContOK is false
+	// when B never locks (the region is empty).
+	BobContT2 mathx.Interval
+	BobContOK bool
+	// Feasible is the exchange-rate range within which A initiates
+	// (Eq. 30); FeasibleOK is false when no rate is viable.
+	Feasible   mathx.Interval
+	FeasibleOK bool
+	// AliceInitiates reports whether cont is optimal for A at the
+	// scenario's own rate.
+	AliceInitiates bool
+	// AnalyticSR is SR(P*) of Eq. 31 for the basic game.
+	AnalyticSR float64
+	// OptimalRate and OptimalSR locate the SR-maximising rate over the
+	// feasible range (zero when FeasibleOK is false).
+	OptimalRate, OptimalSR float64
+
+	// CollateralSR is SR_c(P*) of Eq. 40 at the scenario's deposit
+	// (equal to AnalyticSR when Collateral is 0).
+	CollateralSR float64
+	// UncertainSR is SR_x of Eq. 46 with A committing PStar Token_a,
+	// under the scenario's Bob budget (unconstrained when 0).
+	UncertainSR float64
+
+	// SimulatedGame names the game the Monte Carlo validation executed:
+	// "collateral" when the scenario carries a deposit, "basic" otherwise.
+	SimulatedGame string
+	// MCRunCount is the number of protocol executions actually run (the
+	// scenario's own setting unless RunOpts overrode it).
+	MCRunCount int
+	// MC is the empirical success proportion of the protocol simulation
+	// with its Wilson 95% interval. The simulation conditions on initiation
+	// (as Eq. 31 does), so it validates the analytic SR even at rates A
+	// would decline.
+	MC stats.Proportion
+	// MCStages counts simulated outcomes by end stage.
+	MCStages map[swapsim.Stage]int
+	// MCMeanDurationHours averages the simulated completion time.
+	MCMeanDurationHours float64
+	// MCAgrees reports the acceptance check: the analytic SR of the
+	// simulated game lies inside the Monte Carlo Wilson interval (with the
+	// repository's customary 0.01 slack).
+	MCAgrees bool
+}
+
+// analyticForSim returns the analytic SR the simulation is validated
+// against: the collateral-game SR when a deposit is in play.
+func (r Report) analyticForSim() float64 {
+	if r.Scenario.Collateral > 0 {
+		return r.CollateralSR
+	}
+	return r.AnalyticSR
+}
+
+// Run solves the basic, collateral and uncertain games for one scenario and
+// validates the analytic success rate against a Monte Carlo protocol run.
+func Run(sc Scenario, opts RunOpts) (Report, error) {
+	if err := sc.Validate(); err != nil {
+		return Report{}, err
+	}
+	m, err := core.New(sc.Params)
+	if err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	r := Report{Scenario: sc}
+
+	// Basic game (§III).
+	if r.CutoffT3, err = m.CutoffT3(sc.PStar); err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if r.BobContT2, r.BobContOK, err = m.ContRangeT2(sc.PStar); err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if r.Feasible, r.FeasibleOK, err = m.FeasibleRateRange(); err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if r.AnalyticSR, err = m.SuccessRate(sc.PStar); err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	strat, err := m.Strategy(sc.PStar)
+	if err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	r.AliceInitiates = strat.AliceInitiates
+	if r.FeasibleOK {
+		if r.OptimalRate, r.OptimalSR, err = m.OptimalRate(); err != nil {
+			return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+
+	// Collateral game (§IV.A) at the scenario's deposit.
+	r.CollateralSR = r.AnalyticSR
+	r.SimulatedGame = "basic"
+	if sc.Collateral > 0 {
+		col, err := m.Collateral(sc.Collateral)
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if r.CollateralSR, err = col.SuccessRate(sc.PStar); err != nil {
+			return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if strat, err = col.Strategy(sc.PStar); err != nil {
+			return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		r.SimulatedGame = "collateral"
+	}
+
+	// Uncertain-exchange-rate game (§IV.B), A committing PStar Token_a.
+	u := m.Uncertain()
+	if sc.BobBudget > 0 {
+		if u, err = m.UncertainWithBudget(sc.BobBudget); err != nil {
+			return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	if r.UncertainSR, err = u.SuccessRate(sc.PStar); err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+
+	// Monte Carlo protocol validation. Eq. 31's SR conditions on the swap
+	// being initiated, so the simulated strategy initiates unconditionally;
+	// AliceInitiates above records whether she rationally would.
+	strat.AliceInitiates = true
+	runs := sc.Runs()
+	if opts.Runs > 0 {
+		runs = opts.Runs
+	}
+	res, err := swapsim.MonteCarlo(swapsim.MCConfig{
+		Config: swapsim.Config{
+			Params:     sc.Params,
+			Strategy:   strat,
+			Collateral: sc.Collateral,
+			Seed:       sc.Seed,
+		},
+		Runs:    runs,
+		Workers: opts.MCWorkers,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	r.MC = res.SuccessRate
+	r.MCRunCount = runs
+	r.MCStages = res.Stages
+	r.MCMeanDurationHours = res.MeanDurationHours
+	analytic := r.analyticForSim()
+	r.MCAgrees = analytic >= r.MC.Lo-0.01 && analytic <= r.MC.Hi+0.01
+	return r, nil
+}
+
+// RunAll runs every scenario through the sweep worker pool — cross-scenario
+// parallelism with reports returned in input order, bit-identical for any
+// worker count. Each scenario's inner Monte Carlo runs single-worker; the
+// parallelism budget is spent across scenarios.
+func RunAll(ctx context.Context, scs []Scenario, workers int, opts RunOpts) ([]Report, error) {
+	opts.MCWorkers = 1
+	return sweep.Map(ctx, len(scs), workers, func(i int) (Report, error) {
+		return Run(scs[i], opts)
+	})
+}
+
+// fmtInterval renders an interval, or a fixed marker when the region is
+// empty.
+func fmtInterval(iv mathx.Interval, ok bool) string {
+	if !ok {
+		return "empty"
+	}
+	return fmt.Sprintf("(%.4f, %.4f)", iv.Lo, iv.Hi)
+}
+
+// Render produces the human-readable report block used by cmd/scenarios.
+func (r Report) Render() string {
+	var b strings.Builder
+	sc := r.Scenario
+	fmt.Fprintf(&b, "scenario %s — %s\n", sc.Name, sc.Description)
+	fmt.Fprintf(&b, "  params: αA=%g rA=%g | αB=%g rB=%g | τa=%gh τb=%gh εb=%gh | µ=%g σ=%g P0=%g\n",
+		sc.Params.Alice.Alpha, sc.Params.Alice.R, sc.Params.Bob.Alpha, sc.Params.Bob.R,
+		sc.Params.Chains.TauA, sc.Params.Chains.TauB, sc.Params.Chains.EpsB,
+		sc.Params.Price.Mu, sc.Params.Price.Sigma, sc.Params.P0)
+	fmt.Fprintf(&b, "  knobs:  P*=%g Q=%g budget=%g\n", sc.PStar, sc.Collateral, sc.BobBudget)
+	fmt.Fprintf(&b, "  Alice's t3 reveal cut-off P̄_t3 (Eq. 18):  %.4f\n", r.CutoffT3)
+	fmt.Fprintf(&b, "  Bob's t2 continuation range (Eq. 24):     %s\n", fmtInterval(r.BobContT2, r.BobContOK))
+	fmt.Fprintf(&b, "  feasible exchange-rate range (Eq. 30):    %s\n", fmtInterval(r.Feasible, r.FeasibleOK))
+	fmt.Fprintf(&b, "  Alice initiates at P*=%g:                 %v\n", sc.PStar, r.AliceInitiates)
+	fmt.Fprintf(&b, "  basic SR(P*) (Eq. 31):                    %.4f\n", r.AnalyticSR)
+	if r.FeasibleOK {
+		fmt.Fprintf(&b, "  SR-maximising rate:                       %.4f (SR = %.4f)\n", r.OptimalRate, r.OptimalSR)
+	}
+	fmt.Fprintf(&b, "  collateral SR_c(P*) at Q=%g (Eq. 40):     %.4f\n", sc.Collateral, r.CollateralSR)
+	fmt.Fprintf(&b, "  uncertain SR_x (Eq. 46):                  %.4f\n", r.UncertainSR)
+	fmt.Fprintf(&b, "  Monte Carlo (%s game, %d runs, seed %d):\n", r.SimulatedGame, r.MCRunCount, sc.Seed)
+	fmt.Fprintf(&b, "    simulated SR: %.4f, Wilson 95%% [%.4f, %.4f], analytic %.4f, agrees: %v\n",
+		r.MC.P, r.MC.Lo, r.MC.Hi, r.analyticForSim(), r.MCAgrees)
+	fmt.Fprintf(&b, "    mean completion %.2fh; outcomes:", r.MCMeanDurationHours)
+	stages := make([]string, 0, len(r.MCStages))
+	for s := range r.MCStages {
+		stages = append(stages, string(s))
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Fprintf(&b, " %s=%d", s, r.MCStages[swapsim.Stage(s)])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Diff compares two reports field by field, listing parameter differences
+// first and then every solved quantity that moved by more than eps.
+func Diff(a, b Report, eps float64) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "diff %s -> %s\n", a.Scenario.Name, b.Scenario.Name)
+	lines := 0
+	for _, d := range DiffParams(a.Scenario, b.Scenario) {
+		fmt.Fprintf(&out, "  param %s\n", d)
+		lines++
+	}
+	num := func(field string, va, vb float64) {
+		if math.Abs(va-vb) > eps {
+			fmt.Fprintf(&out, "  %s: %.4f -> %.4f (Δ %+.4f)\n", field, va, vb, vb-va)
+			lines++
+		}
+	}
+	num("cutoff P̄_t3", a.CutoffT3, b.CutoffT3)
+	switch {
+	case a.BobContOK && b.BobContOK:
+		num("t2 range lo", a.BobContT2.Lo, b.BobContT2.Lo)
+		num("t2 range hi", a.BobContT2.Hi, b.BobContT2.Hi)
+	case a.BobContOK != b.BobContOK:
+		fmt.Fprintf(&out, "  t2 range: %s -> %s\n",
+			fmtInterval(a.BobContT2, a.BobContOK), fmtInterval(b.BobContT2, b.BobContOK))
+		lines++
+	}
+	switch {
+	case a.FeasibleOK && b.FeasibleOK:
+		num("feasible lo", a.Feasible.Lo, b.Feasible.Lo)
+		num("feasible hi", a.Feasible.Hi, b.Feasible.Hi)
+		num("optimal rate", a.OptimalRate, b.OptimalRate)
+		num("optimal SR", a.OptimalSR, b.OptimalSR)
+	case a.FeasibleOK != b.FeasibleOK:
+		fmt.Fprintf(&out, "  feasible range: %s -> %s\n",
+			fmtInterval(a.Feasible, a.FeasibleOK), fmtInterval(b.Feasible, b.FeasibleOK))
+		lines++
+	}
+	num("basic SR", a.AnalyticSR, b.AnalyticSR)
+	num("collateral SR", a.CollateralSR, b.CollateralSR)
+	num("uncertain SR", a.UncertainSR, b.UncertainSR)
+	num("MC SR", a.MC.P, b.MC.P)
+	if lines == 0 {
+		out.WriteString("  no differences above eps\n")
+	}
+	return out.String()
+}

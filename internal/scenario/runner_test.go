@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/utility"
+)
+
+// testRuns keeps the per-test Monte Carlo small; the acceptance-scale run
+// lives in cmd/scenarios and the CI batch.
+const testRuns = 600
+
+func TestRunTableIIIMatchesCoreSolver(t *testing.T) {
+	sc, err := Lookup("tableIII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(sc, RunOpts{Runs: testRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.New(utility.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := m.CutoffT3(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CutoffT3 != cut {
+		t.Errorf("CutoffT3 = %v, want %v", r.CutoffT3, cut)
+	}
+	sr, err := m.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AnalyticSR != sr {
+		t.Errorf("AnalyticSR = %v, want %v", r.AnalyticSR, sr)
+	}
+	if !r.BobContOK || !r.FeasibleOK || !r.AliceInitiates {
+		t.Errorf("Table III point should be fully viable: %+v", r)
+	}
+	// The fair rate sits inside the paper's (1.5, 2.5) feasible range.
+	if r.Feasible.Lo > 2 || r.Feasible.Hi < 2 {
+		t.Errorf("feasible range %v should contain the fair rate", r.Feasible)
+	}
+	if r.SimulatedGame != "collateral" {
+		t.Errorf("tableIII carries Q=0.1, simulated game = %q", r.SimulatedGame)
+	}
+	if !r.MCAgrees {
+		t.Errorf("analytic SR %.4f outside MC interval [%.4f, %.4f]",
+			r.analyticForSim(), r.MC.Lo, r.MC.Hi)
+	}
+	if r.MCStages == nil || r.MCMeanDurationHours <= 0 {
+		t.Errorf("MC aggregates missing: %+v", r)
+	}
+}
+
+func TestRunRejectsInvalidScenario(t *testing.T) {
+	if _, err := Run(Scenario{}, RunOpts{}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestRunAllOrderedAndWorkerIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch Monte Carlo is slow")
+	}
+	scs := Registry()[:4]
+	ref, err := RunAll(context.Background(), scs, 1, RunOpts{Runs: testRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(scs) {
+		t.Fatalf("got %d reports, want %d", len(ref), len(scs))
+	}
+	for i, r := range ref {
+		if r.Scenario.Name != scs[i].Name {
+			t.Errorf("report %d is %q, want %q (ordered output)", i, r.Scenario.Name, scs[i].Name)
+		}
+	}
+	got, err := RunAll(context.Background(), scs, 4, RunOpts{Runs: testRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Error("reports differ between 1 and 4 workers")
+	}
+}
+
+func TestEveryPresetAgreesWithMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch Monte Carlo is slow")
+	}
+	reports, err := RunAll(context.Background(), Registry(), 0, RunOpts{Runs: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.MCAgrees {
+			t.Errorf("%s: analytic SR %.4f outside MC interval [%.4f, %.4f]",
+				r.Scenario.Name, r.analyticForSim(), r.MC.Lo, r.MC.Hi)
+		}
+	}
+}
+
+func TestScenarioRegimesOrderAsExpected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple solves are slow")
+	}
+	get := func(name string) Report {
+		t.Helper()
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(sc, RunOpts{Runs: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := get("tableIII")
+	if hv := get("high-vol"); hv.AnalyticSR >= base.AnalyticSR {
+		t.Errorf("high-vol SR %.4f should be below Table III %.4f", hv.AnalyticSR, base.AnalyticSR)
+	}
+	if lv := get("low-vol"); lv.AnalyticSR <= base.AnalyticSR {
+		t.Errorf("low-vol SR %.4f should exceed Table III %.4f", lv.AnalyticSR, base.AnalyticSR)
+	}
+	if ap := get("adversarial-premium"); ap.AnalyticSR > 0.5*base.AnalyticSR {
+		t.Errorf("adversarial-premium SR %.4f should collapse vs %.4f", ap.AnalyticSR, base.AnalyticSR)
+	}
+	if dc := get("deep-collateral"); dc.CollateralSR < base.AnalyticSR {
+		t.Errorf("deep collateral SR_c %.4f should not fall below basic %.4f", dc.CollateralSR, base.AnalyticSR)
+	}
+}
+
+func TestRenderMentionsEveryHeadline(t *testing.T) {
+	sc, err := Lookup("tableIII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(sc, RunOpts{Runs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"scenario tableIII", "cut-off", "continuation range", "feasible",
+		"basic SR", "collateral SR_c", "uncertain SR_x", "Wilson 95%", "agrees",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	a, err := Lookup("tableIII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lookup("high-vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(a, RunOpts{Runs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b, RunOpts{Runs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Diff(ra, rb, 1e-6)
+	for _, want := range []string{"param sigma", "basic SR", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	self := Diff(ra, ra, 1e-6)
+	if !strings.Contains(self, "no differences") {
+		t.Errorf("self diff should be empty:\n%s", self)
+	}
+}
