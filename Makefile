@@ -1,14 +1,14 @@
 # Local entry points matching the CI pipeline (.github/workflows/ci.yml):
-# `make lint build race cover fuzz-smoke scenarios bench-smoke` is exactly
-# what a PR must pass.
+# `make lint build race cover fuzz-smoke scenarios bench-smoke bench-check`
+# is exactly what a PR must pass.
 
 GO ?= go
 
 # Coverage floors enforced by `make cover` and CI.
-COVER_PKGS = repro/internal/scenario repro/internal/core
+COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc
 COVER_MIN  = 80
 
-.PHONY: all build test race bench bench-smoke lint cover fuzz-smoke scenarios figures clean
+.PHONY: all build test race bench bench-smoke bench-json bench-check lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
@@ -30,6 +30,17 @@ bench:
 # One iteration per benchmark — the CI regression smoke.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerate the Monte Carlo engine benchmark baseline BENCH_mc.json
+# (commit the result; CI gates allocs/op against it).
+bench-json:
+	$(GO) test -bench='^BenchmarkMC_' -benchmem -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_mc.json
+
+# CI's Monte Carlo bench-regression smoke: a short run must stay within 2x
+# of the committed baseline's allocs/op (wall-clock is not gated — allocs
+# are hardware-independent).
+bench-check:
+	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=32x -run='^$$' . | $(GO) run ./tools/benchmc -against BENCH_mc.json -max-alloc-ratio 2
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,112 @@
+// Monte Carlo engine benchmarks: the per-path cost of the legacy
+// allocate-everything-per-run driver vs the reusable-state Runner, and the
+// end-to-end throughput of the streaming engine in fixed-N and adaptive
+// mode. `make bench-json` runs these and records the machine-readable
+// BENCH_mc.json baseline that CI's regression gate checks (>2x allocs/op
+// fails the build); paths/sec for the Table III preset is recorded in
+// EXPERIMENTS.md.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/swapsim"
+	"repro/internal/sweep"
+	"repro/internal/utility"
+)
+
+// mcBenchConfig solves the Table III strategy once and caches the
+// simulator configuration every MC benchmark shares.
+var mcBenchConfig = sync.OnceValues(func() (swapsim.Config, error) {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		return swapsim.Config{}, err
+	}
+	strat, err := m.Strategy(2.0)
+	if err != nil {
+		return swapsim.Config{}, err
+	}
+	return swapsim.Config{Params: utility.Default(), Strategy: strat, Seed: 1}, nil
+})
+
+func mcConfig(b *testing.B) swapsim.Config {
+	b.Helper()
+	cfg, err := mcBenchConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkMC_PathLegacyAlloc is the pre-engine baseline: every path
+// builds a fresh scheduler, two chains, price feed and agents
+// (swapsim.Run), so allocs/op is the per-path allocation bill the
+// streaming engine retires.
+func BenchmarkMC_PathLegacyAlloc(b *testing.B) {
+	cfg := mcConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := cfg
+		run.Seed = sweep.Seed(cfg.Seed, i)
+		if _, err := swapsim.Run(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMC_PathReused runs the same paths on one reusable Runner —
+// preallocated stack reset between paths — isolating the win the engine's
+// per-worker state reuse delivers.
+func BenchmarkMC_PathReused(b *testing.B) {
+	runner, err := swapsim.NewRunner(mcConfig(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunOutcome(sweep.Seed(1, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngine measures end-to-end engine throughput: each iteration is a
+// complete MonteCarlo estimate; paths/sec reports the aggregate sampling
+// rate.
+func benchEngine(b *testing.B, mcCfg swapsim.MCConfig) {
+	b.Helper()
+	mcCfg.Config = mcConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	paths := 0
+	for i := 0; i < b.N; i++ {
+		res, err := swapsim.MonteCarlo(mcCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths += res.Paths
+	}
+	b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
+}
+
+// BenchmarkMC_EngineFixedN1Worker is the sequential engine throughput on
+// the Table III preset (chunked, reused state, one worker).
+func BenchmarkMC_EngineFixedN1Worker(b *testing.B) {
+	benchEngine(b, swapsim.MCConfig{Runs: 2048, Workers: 1})
+}
+
+// BenchmarkMC_EngineFixedNAllWorkers adds the worker pool; output is
+// bit-identical to the 1-worker run.
+func BenchmarkMC_EngineFixedNAllWorkers(b *testing.B) {
+	benchEngine(b, swapsim.MCConfig{Runs: 2048, Workers: 0})
+}
+
+// BenchmarkMC_EngineAdaptive measures adaptive-precision sampling: stop at
+// a 0.02 Wilson half-width under a 20k cap.
+func BenchmarkMC_EngineAdaptive(b *testing.B) {
+	benchEngine(b, swapsim.MCConfig{Runs: 20000, Workers: 0, CIWidth: 0.02})
+}

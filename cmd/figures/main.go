@@ -33,18 +33,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated artifact IDs (default: all; see DESIGN.md)")
-		csvDir  = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
-		width   = fs.Int("width", 72, "ASCII chart width")
-		height  = fs.Int("height", 18, "ASCII chart height")
-		workers = fs.Int("workers", 0, "worker-pool size for grid scans (0 = all CPUs; output is identical for any value)")
-		scen    = fs.String("scenario", "", "regenerate under a named scenario's parameters (see cmd/scenarios -list)")
+		only     = fs.String("only", "", "comma-separated artifact IDs (default: all; see DESIGN.md)")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+		width    = fs.Int("width", 72, "ASCII chart width")
+		height   = fs.Int("height", 18, "ASCII chart height")
+		workers  = fs.Int("workers", 0, "worker-pool size for grid scans (0 = all CPUs; output is identical for any value)")
+		scen     = fs.String("scenario", "", "regenerate under a named scenario's parameters (see cmd/scenarios -list)")
+		ciWidth  = fs.Float64("ci-width", 0, "montecarlo artifact: adaptive stop once the Wilson 95% half-width is <= this (0 = fixed runs)")
+		chunk    = fs.Int("chunk", 0, "montecarlo artifact: engine chunk size (0 = default)")
+		maxPaths = fs.Int("max-paths", 0, "montecarlo artifact: hard cap on adaptive sampling (0 = default runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{Workers: *workers, Scenario: *scen})
+	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{
+		Workers:    *workers,
+		Scenario:   *scen,
+		MCCIWidth:  *ciWidth,
+		MCChunk:    *chunk,
+		MCMaxPaths: *maxPaths,
+	})
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 //	scenarios -list
 //	scenarios -run all [-runs 4000] [-workers 0]
 //	scenarios -run high-vol,impatient-bob
+//	scenarios -run all -ci-width 0.01 -max-paths 50000   # adaptive precision
 //	scenarios -diff tableIII,high-vol
 //	scenarios -export tableIII -o my.json   # template for custom scenarios
 //	scenarios -file my.json                 # run a user-defined scenario
@@ -41,24 +42,28 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list the registered scenario presets")
-		runSpec = fs.String("run", "", `batch-run "all" or a comma-separated list of preset names`)
-		file    = fs.String("file", "", "run a user-defined scenario from a JSON file")
-		diff    = fs.String("diff", "", `diff two scenarios: "nameA,nameB"`)
-		export  = fs.String("export", "", "write a preset as JSON (a template for -file scenarios)")
-		outPath = fs.String("o", "", "output path for -export (default: stdout)")
-		runs    = fs.Int("runs", 0, "override every scenario's Monte Carlo run count (0 = per-scenario default)")
-		workers = fs.Int("workers", 0, "cross-scenario worker-pool size (0 = all CPUs; output is identical for any value)")
+		list     = fs.Bool("list", false, "list the registered scenario presets")
+		runSpec  = fs.String("run", "", `batch-run "all" or a comma-separated list of preset names`)
+		file     = fs.String("file", "", "run a user-defined scenario from a JSON file")
+		diff     = fs.String("diff", "", `diff two scenarios: "nameA,nameB"`)
+		export   = fs.String("export", "", "write a preset as JSON (a template for -file scenarios)")
+		outPath  = fs.String("o", "", "output path for -export (default: stdout)")
+		runs     = fs.Int("runs", 0, "override every scenario's Monte Carlo run count (0 = per-scenario default)")
+		workers  = fs.Int("workers", 0, "cross-scenario worker-pool size (0 = all CPUs; output is identical for any value)")
+		ciWidth  = fs.Float64("ci-width", 0, "adaptive Monte Carlo: stop once the Wilson 95% half-width is <= this (0 = fixed run count)")
+		chunk    = fs.Int("chunk", 0, "Monte Carlo engine chunk size (0 = default)")
+		maxPaths = fs.Int("max-paths", 0, "hard cap on adaptive sampling per scenario (0 = the run count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := scenario.RunOpts{Runs: *runs, CIWidth: *ciWidth, ChunkSize: *chunk, MaxPaths: *maxPaths}
 
 	switch {
 	case *list:
 		return runList(out)
 	case *diff != "":
-		return runDiff(out, *diff, *runs)
+		return runDiff(out, *diff, opts)
 	case *export != "":
 		return runExport(out, *export, *outPath)
 	case *file != "":
@@ -66,13 +71,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runBatch(out, []scenario.Scenario{sc}, *runs, *workers)
+		return runBatch(out, []scenario.Scenario{sc}, opts, *workers)
 	case *runSpec != "":
 		scs, err := selectScenarios(*runSpec)
 		if err != nil {
 			return err
 		}
-		return runBatch(out, scs, *runs, *workers)
+		return runBatch(out, scs, opts, *workers)
 	default:
 		return fmt.Errorf("nothing to do: pass -list, -run, -diff, -export or -file (see -help)")
 	}
@@ -108,8 +113,8 @@ func selectScenarios(spec string) ([]scenario.Scenario, error) {
 // runBatch runs the scenarios through the batch runner and prints every
 // report, failing if any scenario's Monte Carlo validation disagrees with
 // the analytic success rate.
-func runBatch(out io.Writer, scs []scenario.Scenario, runs, workers int) error {
-	reports, err := scenario.RunAll(context.Background(), scs, workers, scenario.RunOpts{Runs: runs})
+func runBatch(out io.Writer, scs []scenario.Scenario, opts scenario.RunOpts, workers int) error {
+	reports, err := scenario.RunAll(context.Background(), scs, workers, opts)
 	if err != nil {
 		return err
 	}
@@ -132,7 +137,7 @@ func runBatch(out io.Writer, scs []scenario.Scenario, runs, workers int) error {
 }
 
 // runDiff solves both scenarios and prints the field-by-field comparison.
-func runDiff(out io.Writer, spec string, runs int) error {
+func runDiff(out io.Writer, spec string, opts scenario.RunOpts) error {
 	names := strings.Split(spec, ",")
 	if len(names) != 2 {
 		return fmt.Errorf("-diff wants exactly two names, got %q", spec)
@@ -143,7 +148,7 @@ func runDiff(out io.Writer, spec string, runs int) error {
 		if err != nil {
 			return err
 		}
-		if reports[i], err = scenario.Run(sc, scenario.RunOpts{Runs: runs}); err != nil {
+		if reports[i], err = scenario.Run(sc, opts); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	swapsim -runs 50000 -pstar 2.0
+//	swapsim -ci-width 0.005 -max-paths 200000   # adaptive precision
 //	swapsim -trace -seed 7
 //	swapsim -trace -haltb-from 7.5 -haltb-until 40   # atomicity violation
 //	swapsim -scenario impatient-bob -runs 20000      # a named scenario's regime
@@ -37,9 +38,12 @@ func run(args []string, out io.Writer) error {
 	var (
 		pstar      = fs.Float64("pstar", 2.0, "agreed exchange rate P*")
 		q          = fs.Float64("q", 0, "per-agent collateral deposit")
-		runs       = fs.Int("runs", 20000, "Monte Carlo runs")
+		runs       = fs.Int("runs", 20000, "Monte Carlo runs (the adaptive cap when -ci-width is set)")
 		seed       = fs.Int64("seed", 1, "base random seed")
-		workers    = fs.Int("workers", 8, "parallel workers")
+		workers    = fs.Int("workers", 8, "parallel workers (never affects the result)")
+		ciWidth    = fs.Float64("ci-width", 0, "adaptive precision: stop once the Wilson 95% half-width is <= this (0 = fixed -runs)")
+		chunk      = fs.Int("chunk", 0, "Monte Carlo engine chunk size (0 = default; results are bit-reproducible per seed+chunk)")
+		maxPaths   = fs.Int("max-paths", 0, "hard cap on adaptive sampling (0 = -runs)")
 		trace      = fs.Bool("trace", false, "run once and print the decision trace")
 		haltBFrom  = fs.Float64("haltb-from", 0, "chain_b crash start (hours)")
 		haltBUntil = fs.Float64("haltb-until", 0, "chain_b crash end (0 = no crash)")
@@ -158,9 +162,24 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	res, err := swapsim.MonteCarlo(swapsim.MCConfig{Config: cfg, Runs: *runs, Workers: *workers})
+	res, err := swapsim.MonteCarlo(swapsim.MCConfig{
+		Config:    cfg,
+		Runs:      *runs,
+		Workers:   *workers,
+		CIWidth:   *ciWidth,
+		ChunkSize: *chunk,
+		MaxPaths:  *maxPaths,
+	})
 	if err != nil {
 		return err
+	}
+	if *ciWidth > 0 {
+		status := "cap reached"
+		if res.Stopped {
+			status = "target hit early"
+		}
+		fmt.Fprintf(out, "adaptive precision:       %d paths for CI half-width <= %g (%s)\n",
+			res.Paths, *ciWidth, status)
 	}
 	if !strat.AliceInitiates {
 		fmt.Fprintf(out, "note: A rationally stops at t1 under these parameters, so every run ends\n")
@@ -179,7 +198,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "outcomes by stage:")
 	for _, s := range stages {
 		n := res.Stages[swapsim.Stage(s)]
-		fmt.Fprintf(out, "  %-20s %7d (%.2f%%)\n", s, n, 100*float64(n)/float64(*runs))
+		fmt.Fprintf(out, "  %-20s %7d (%.2f%%)\n", s, n, 100*float64(n)/float64(res.Paths))
 	}
 	return nil
 }

@@ -99,11 +99,28 @@ func NewAlice(env Env, account, counterparty string, strat core.Strategy, tokenB
 	return a, nil
 }
 
+// Reset clears Alice's per-run state (secret, contract bindings, decision
+// log) so the agent can be restarted on a reset environment, keeping its
+// strategy and the decision-log capacity. Start re-arms the protocol.
+func (a *Alice) Reset() {
+	a.secret = nil
+	a.hash = htlc.Hash{}
+	a.contractA, a.contractB, a.claimTxB = "", "", ""
+	a.decisions = a.decisions[:0]
+}
+
 // Decisions returns the decision log in order.
 func (a *Alice) Decisions() []Decision {
 	out := make([]Decision, len(a.decisions))
 	copy(out, a.decisions)
 	return out
+}
+
+// AppendDecisions appends the decision log to dst without allocating a
+// fresh slice per call — the reusable-state Monte Carlo runner's
+// alternative to Decisions.
+func (a *Alice) AppendDecisions(dst []Decision) []Decision {
+	return append(dst, a.decisions...)
 }
 
 // ContractA returns the ID of Alice's lock on Chain_a ("" before t1).
@@ -233,11 +250,27 @@ func NewBob(env Env, account, counterparty string, strat core.Strategy, tokenB f
 	}, nil
 }
 
+// Reset clears Bob's per-run state so the agent can be restarted on a
+// reset environment, keeping its strategy and the decision-log capacity.
+// Start re-arms the protocol (including the mempool watch, which a chain
+// reset drops).
+func (b *Bob) Reset() {
+	b.contractA, b.contractB = "", ""
+	b.claimed = false
+	b.decisions = b.decisions[:0]
+}
+
 // Decisions returns the decision log in order.
 func (b *Bob) Decisions() []Decision {
 	out := make([]Decision, len(b.decisions))
 	copy(out, b.decisions)
 	return out
+}
+
+// AppendDecisions appends the decision log to dst without allocating a
+// fresh slice per call (see Alice.AppendDecisions).
+func (b *Bob) AppendDecisions(dst []Decision) []Decision {
+	return append(dst, b.decisions...)
 }
 
 // ContractB returns the ID of Bob's lock on Chain_b ("" if he never locked).

@@ -3,6 +3,7 @@ package agent
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -434,5 +435,83 @@ func TestBobClaimsOnlyOnce(t *testing.T) {
 	bob.onSecret(bob.ContractB(), alice.Secret())
 	if len(bob.Decisions()) != before {
 		t.Error("bob acted on a duplicate secret delivery")
+	}
+}
+
+func TestPriceFeedResetReplaysTrajectory(t *testing.T) {
+	proc := gbm.Process{Mu: 0.002, Sigma: 0.1}
+	rng := rand.New(rand.NewSource(9))
+	feed, err := NewPriceFeed(proc, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := func() [3]float64 {
+		var out [3]float64
+		for i, at := range []float64{1, 4, 9.5} {
+			p, err := feed.At(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = p
+		}
+		return out
+	}
+	first := sample()
+	// Reseeding the shared RNG and resetting the feed replays the exact
+	// trajectory — the contract the reusable Monte Carlo runner relies on.
+	rng.Seed(9)
+	if err := feed.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	if lt, lp := feed.Last(); lt != 0 || lp != 2 {
+		t.Errorf("Last() after reset = (%v, %v), want (0, 2)", lt, lp)
+	}
+	if second := sample(); second != first {
+		t.Errorf("replayed trajectory %v differs from first %v", second, first)
+	}
+	if err := feed.Reset(0); !errors.Is(err, ErrFeed) {
+		t.Errorf("Reset(0) err = %v, want ErrFeed", err)
+	}
+}
+
+func TestAgentResetClearsDecisionState(t *testing.T) {
+	// First run: honest agents complete the swap and log decisions.
+	env := testEnv(t)
+	strat := HonestStrategy(2)
+	alice, err := NewAlice(env, "alice", "bob", strat, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(env, "bob", "alice", strat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Sched.Run()
+	if len(alice.Decisions()) == 0 || len(bob.Decisions()) == 0 {
+		t.Fatal("first run logged no decisions")
+	}
+	if got := alice.AppendDecisions(nil); !reflect.DeepEqual(got, alice.Decisions()) {
+		t.Errorf("AppendDecisions = %v, Decisions = %v", got, alice.Decisions())
+	}
+	if got := bob.AppendDecisions(nil); !reflect.DeepEqual(got, bob.Decisions()) {
+		t.Errorf("bob AppendDecisions = %v, Decisions = %v", got, bob.Decisions())
+	}
+
+	alice.Reset()
+	bob.Reset()
+	if len(alice.Decisions()) != 0 || len(bob.Decisions()) != 0 {
+		t.Error("Reset left decisions behind")
+	}
+	if alice.ContractA() != "" || bob.ContractB() != "" {
+		t.Error("Reset left contract bindings behind")
+	}
+	if len(alice.Secret()) != 0 {
+		t.Error("Reset left the secret behind")
 	}
 }

@@ -40,6 +40,17 @@ func NewPriceFeed(proc gbm.Process, p0 float64, rng *rand.Rand) (*PriceFeed, err
 	return &PriceFeed{proc: proc, rng: rng, lastP: p0}, nil
 }
 
+// Reset rewinds the feed to price p0 at time zero, keeping its process and
+// RNG. Reseed the RNG separately when the next trajectory must be a fixed
+// function of a path seed.
+func (f *PriceFeed) Reset(p0 float64) error {
+	if p0 <= 0 {
+		return fmt.Errorf("%w: p0=%g must be > 0", ErrFeed, p0)
+	}
+	f.lastT, f.lastP = 0, p0
+	return nil
+}
+
 // At returns the price at simulated time t. Queries must be monotone in t
 // (the event scheduler guarantees this); repeated queries at the same time
 // return the same price.

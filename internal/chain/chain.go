@@ -171,6 +171,21 @@ func New(cfg Config, sched *sim.Scheduler) (*Chain, error) {
 	}, nil
 }
 
+// Reset rewinds the chain to its freshly constructed state — no balances,
+// contracts, transactions, observers or halt window — while keeping the
+// allocated map and slice capacity for reuse. The caller must reset the
+// shared scheduler in the same breath: pending events referencing the old
+// run would otherwise fire against the cleared state.
+func (c *Chain) Reset() {
+	clear(c.balances)
+	clear(c.contracts)
+	clear(c.txs)
+	c.order = c.order[:0]
+	c.nextID = 0
+	c.haltedUntil = 0
+	c.observers = c.observers[:0]
+}
+
 // Name returns the chain's label.
 func (c *Chain) Name() string { return c.name }
 

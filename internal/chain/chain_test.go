@@ -384,3 +384,57 @@ func TestLockInsufficientFundsFails(t *testing.T) {
 		t.Errorf("err = %v, want ErrInsufficientFunds", tx.Err)
 	}
 }
+
+func TestResetClearsAllChainState(t *testing.T) {
+	c, s := newTestChain(t)
+	if err := c.Mint("alice", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitTransfer("alice", "bob", 3); err != nil {
+		t.Fatal(err)
+	}
+	notified := 0
+	c.WatchSecrets(func(string, htlc.Secret) { notified++ })
+	c.Halt(100)
+	s.Run()
+
+	s.Reset()
+	c.Reset()
+	if got := c.Balance("alice"); got != 0 {
+		t.Errorf("balance after reset = %g, want 0", got)
+	}
+	if txs := c.Transactions(); len(txs) != 0 {
+		t.Errorf("transactions after reset = %d, want 0", len(txs))
+	}
+	if c.HaltedUntil() != 0 {
+		t.Errorf("halt window survived reset: %g", c.HaltedUntil())
+	}
+	// The observer list is dropped: a visible claim no longer notifies.
+	if err := c.Mint("alice", 5); err != nil {
+		t.Fatal(err)
+	}
+	secret, hash, err := htlc.NewSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SubmitLock("alice", "bob", 2, hash, 50); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(10)
+	ct, ok := c.FindContract(func(*htlc.Contract) bool { return true })
+	if !ok {
+		t.Fatal("lock did not confirm after reset")
+	}
+	if _, err := c.SubmitClaim(ct.ID, secret); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if notified != 0 {
+		t.Errorf("pre-reset observer notified %d times after reset", notified)
+	}
+	// Transaction and contract IDs restart from 1, matching a fresh chain.
+	txs := c.Transactions()
+	if len(txs) == 0 || txs[0].ID != "chain_b-tx0001" {
+		t.Errorf("post-reset tx IDs did not restart: %v", txs[0].ID)
+	}
+}

@@ -78,6 +78,14 @@ type Opts struct {
 	// artifact can be regenerated under an alternative regime. Empty keeps
 	// the caller's params.
 	Scenario string
+	// MCCIWidth, MCChunk and MCMaxPaths tune the Monte Carlo validation
+	// artifact's streaming engine: a CI half-width target (> 0 enables
+	// adaptive stopping), the chunk size (0 = engine default), and the
+	// adaptive hard cap (0 = the artifact's run count). Other artifacts
+	// ignore them.
+	MCCIWidth  float64
+	MCChunk    int
+	MCMaxPaths int
 }
 
 // Generator produces one or more figures from a parameter set.

@@ -70,8 +70,11 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 				Collateral: cfg.q,
 				Seed:       9000 + int64(i)*100000,
 			},
-			Runs:    runs,
-			Workers: o.Workers,
+			Runs:      runs,
+			Workers:   o.Workers,
+			CIWidth:   o.MCCIWidth,
+			ChunkSize: o.MCChunk,
+			MaxPaths:  o.MCMaxPaths,
 		})
 		if err != nil {
 			return nil, err
@@ -84,6 +87,9 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 			fmt.Sprintf("[%.4f, %.4f]", res.SuccessRate.Lo, res.SuccessRate.Hi),
 			fmt.Sprintf("%v", agrees),
 		})
+		if res.Stopped {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: adaptive stop after %d paths (CI half-width target %g)", cfg.label, res.Paths, o.MCCIWidth))
+		}
 		if res.Violations > 0 {
 			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %d atomicity violations (unexpected!)", cfg.label, res.Violations))
 		}

@@ -1,0 +1,233 @@
+// Package mc is the repository's streaming Monte Carlo engine: it executes
+// a seeded path workload in fixed-size chunks on the internal/sweep worker
+// pool, folds each chunk into online (Welford) moment accumulators and a
+// streaming stage histogram, and optionally stops adaptively once the
+// Wilson 95% confidence interval of the success rate is tight enough.
+//
+// Determinism contract: path i is seeded with sweep.Seed(Config.Seed, i)
+// and chunk results are merged strictly in chunk order, so the full result
+// — success counts, stage histogram, and the floating-point Welford moments
+// — is bit-identical for a fixed (Seed, ChunkSize) pair at ANY worker
+// count. In adaptive mode the stopping chunk is the first chunk boundary
+// (scanning prefixes in order) at which the Wilson half-width reaches the
+// target, which is itself a pure function of (Seed, ChunkSize); workers
+// only decide how many speculative chunks beyond the stopping point are
+// computed and discarded. Runners hand the engine reusable per-worker run
+// state: each worker slot owns one Runner, paths on a slot run
+// sequentially, and a Runner's result must depend only on the path seed.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// ErrBadConfig reports an invalid engine configuration.
+var ErrBadConfig = errors.New("mc: invalid configuration")
+
+// DefaultChunkSize is the chunk size used when Config.ChunkSize is zero:
+// large enough to amortise scheduling, small enough that adaptive stopping
+// checks the CI at a useful granularity.
+const DefaultChunkSize = 256
+
+// Path is the outcome of one simulated path.
+type Path struct {
+	// Success reports the path's success indicator (the Bernoulli variable
+	// whose rate the engine estimates).
+	Success bool
+	// Atomic reports whether the path kept the protocol's all-or-nothing
+	// property; non-atomic paths are tallied as violations.
+	Atomic bool
+	// Stage is the path's terminal-stage histogram key.
+	Stage string
+	// Duration feeds the engine's Welford mean/variance accumulator.
+	Duration float64
+}
+
+// Runner executes paths with reusable internal state. A Runner is used by
+// one worker slot at a time (no internal locking needed), and RunPath must
+// be a pure function of seed: the engine's determinism contract relies on
+// a path's outcome not depending on which slot ran it or what ran before.
+type Runner interface {
+	// RunPath executes one path for the given seed, reusing internal state.
+	RunPath(seed int64) (Path, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface (stateless runners,
+// tests).
+type RunnerFunc func(seed int64) (Path, error)
+
+// RunPath implements Runner.
+func (f RunnerFunc) RunPath(seed int64) (Path, error) { return f(seed) }
+
+// Config parameterises a streaming Monte Carlo estimate.
+type Config struct {
+	// Seed is the base seed; path i draws from the decorrelated stream
+	// sweep.Seed(Seed, i).
+	Seed int64
+	// MaxPaths is the hard cap on executed paths (> 0). With CIWidth == 0
+	// exactly MaxPaths paths run.
+	MaxPaths int
+	// ChunkSize is the number of paths per chunk (0 = DefaultChunkSize).
+	// Together with Seed it fixes the result bit-for-bit.
+	ChunkSize int
+	// CIWidth, when > 0, enables adaptive stopping: the engine stops at the
+	// first chunk boundary where the Wilson 95% half-width of the success
+	// rate is <= CIWidth, never exceeding MaxPaths.
+	CIWidth float64
+	// Workers bounds concurrency; 0 uses all CPUs (see internal/sweep).
+	// The worker count never affects the result.
+	Workers int
+	// NewRunner constructs one reusable Runner per worker slot.
+	NewRunner func() (Runner, error)
+}
+
+// Result aggregates a streaming Monte Carlo estimate.
+type Result struct {
+	// Paths is the number of paths executed and counted (MaxPaths unless an
+	// adaptive stop fired earlier).
+	Paths int
+	// Successes counts successful paths.
+	Successes int
+	// Violations counts non-atomic paths.
+	Violations int
+	// Stages is the terminal-stage histogram.
+	Stages map[string]int
+	// SuccessRate is the success proportion with its Wilson 95% interval.
+	SuccessRate stats.Proportion
+	// Duration accumulates path durations (mean/variance), merged in
+	// chunk order so the float result is reproducible.
+	Duration stats.Welford
+	// Stopped reports an adaptive early stop (CIWidth reached before
+	// MaxPaths).
+	Stopped bool
+	// Chunks is the number of chunks merged into the result.
+	Chunks int
+}
+
+// HalfWidth returns the Wilson 95% half-width of the success-rate interval.
+func (r Result) HalfWidth() float64 { return (r.SuccessRate.Hi - r.SuccessRate.Lo) / 2 }
+
+// chunkResult is one chunk's aggregate, merged into the stream in chunk
+// order.
+type chunkResult struct {
+	n, successes, violations int
+	stages                   map[string]int
+	dur                      stats.Welford
+}
+
+// Run executes the workload and streams the aggregation. See the package
+// comment for the determinism contract.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	switch {
+	case cfg.MaxPaths <= 0:
+		return Result{}, fmt.Errorf("%w: maxPaths=%d must be > 0", ErrBadConfig, cfg.MaxPaths)
+	case cfg.ChunkSize < 0:
+		return Result{}, fmt.Errorf("%w: chunkSize=%d must be >= 0", ErrBadConfig, cfg.ChunkSize)
+	case cfg.CIWidth < 0 || math.IsNaN(cfg.CIWidth):
+		return Result{}, fmt.Errorf("%w: ciWidth=%g must be >= 0", ErrBadConfig, cfg.CIWidth)
+	case cfg.NewRunner == nil:
+		return Result{}, fmt.Errorf("%w: nil NewRunner", ErrBadConfig)
+	}
+	chunk := cfg.ChunkSize
+	if chunk == 0 {
+		chunk = DefaultChunkSize
+	}
+	numChunks := (cfg.MaxPaths + chunk - 1) / chunk
+	workers := sweep.Workers(cfg.Workers)
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	// One reusable Runner per worker slot, shared across waves through a
+	// free list.
+	runners := make(chan Runner, workers)
+	for i := 0; i < workers; i++ {
+		r, err := cfg.NewRunner()
+		if err != nil {
+			return Result{}, fmt.Errorf("mc: runner %d: %w", i, err)
+		}
+		runners <- r
+	}
+	runChunk := func(c int) (chunkResult, error) {
+		r := <-runners
+		defer func() { runners <- r }()
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > cfg.MaxPaths {
+			hi = cfg.MaxPaths
+		}
+		cr := chunkResult{stages: make(map[string]int)}
+		for i := lo; i < hi; i++ {
+			p, err := r.RunPath(sweep.Seed(cfg.Seed, i))
+			if err != nil {
+				return chunkResult{}, fmt.Errorf("path %d: %w", i, err)
+			}
+			cr.n++
+			if p.Success {
+				cr.successes++
+			}
+			if !p.Atomic {
+				cr.violations++
+			}
+			cr.stages[p.Stage]++
+			cr.dur.Add(p.Duration)
+		}
+		return cr, nil
+	}
+
+	// Fixed-N mode runs every chunk in one sweep; adaptive mode dispatches
+	// worker-sized waves so the merged prefix can stop the sampling early.
+	wave := numChunks
+	if cfg.CIWidth > 0 {
+		wave = workers
+	}
+	res := Result{Stages: make(map[string]int)}
+	for start := 0; start < numChunks && !res.Stopped; start += wave {
+		end := start + wave
+		if end > numChunks {
+			end = numChunks
+		}
+		crs, err := sweep.Map(ctx, end-start, workers, func(i int) (chunkResult, error) {
+			return runChunk(start + i)
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("mc: %w", err)
+		}
+		// Merge strictly in chunk order; in adaptive mode check the Wilson
+		// criterion at every chunk boundary and discard any speculative
+		// chunks computed past the stopping point.
+		for _, cr := range crs {
+			res.Paths += cr.n
+			res.Successes += cr.successes
+			res.Violations += cr.violations
+			for s, n := range cr.stages {
+				res.Stages[s] += n
+			}
+			res.Duration.Merge(cr.dur)
+			res.Chunks++
+			if cfg.CIWidth > 0 {
+				prop, err := stats.NewProportion(res.Successes, res.Paths)
+				if err != nil {
+					return Result{}, fmt.Errorf("mc: %w", err)
+				}
+				if (prop.Hi-prop.Lo)/2 <= cfg.CIWidth {
+					res.Stopped = res.Paths < cfg.MaxPaths
+					if res.Stopped {
+						break
+					}
+				}
+			}
+		}
+	}
+	prop, err := stats.NewProportion(res.Successes, res.Paths)
+	if err != nil {
+		return Result{}, fmt.Errorf("mc: %w", err)
+	}
+	res.SuccessRate = prop
+	return res, nil
+}

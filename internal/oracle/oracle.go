@@ -71,6 +71,15 @@ func New(sched *sim.Scheduler, chainA, chainB *chain.Chain, tl timeline.Timeline
 	}, nil
 }
 
+// Reset clears the oracle's per-run settlement state (secret sighting,
+// settlement flags, log) so it can be re-armed with CollectDeposits on a
+// reset chain pair, keeping the log capacity.
+func (o *Oracle) Reset() {
+	o.secretSeenAt = 0
+	o.settledA, o.settledB = false, false
+	o.log = o.log[:0]
+}
+
 // Log returns the oracle's settlement decisions in order.
 func (o *Oracle) Log() []string {
 	out := make([]string, len(o.log))

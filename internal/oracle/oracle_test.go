@@ -243,3 +243,42 @@ func TestRefundsCompleteTheUnwind(t *testing.T) {
 		t.Errorf("alice TokenA = %v, want 10.5 (refund + both deposits)", got)
 	}
 }
+
+func TestResetReArmsAcrossRuns(t *testing.T) {
+	// First run: no swap happens, so both deposits come back at t2.
+	f := newFixture(t, 0.5)
+	if err := f.orc.CollectDeposits(); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run()
+	if len(f.orc.Log()) == 0 {
+		t.Fatal("first run settled nothing")
+	}
+	aliceAfterFirst := f.chainA.Balance("alice")
+
+	// Reset the whole stack and replay: the reused oracle must settle the
+	// second run exactly like the first.
+	f.sched.Reset()
+	f.chainA.Reset()
+	f.chainB.Reset()
+	if err := f.chainA.Mint("alice", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.chainA.Mint("bob", 10); err != nil {
+		t.Fatal(err)
+	}
+	f.orc.Reset()
+	if len(f.orc.Log()) != 0 {
+		t.Errorf("Reset left a settlement log: %v", f.orc.Log())
+	}
+	if err := f.orc.CollectDeposits(); err != nil {
+		t.Fatalf("CollectDeposits after reset: %v", err)
+	}
+	f.sched.Run()
+	if got := f.chainA.Balance("alice"); got != aliceAfterFirst {
+		t.Errorf("second run left alice with %g, first run %g", got, aliceAfterFirst)
+	}
+	if len(f.orc.Log()) == 0 {
+		t.Error("reused oracle settled nothing on the second run")
+	}
+}

@@ -17,12 +17,22 @@ import (
 // RunOpts configures a batch run.
 type RunOpts struct {
 	// Runs overrides every scenario's Monte Carlo run count (0 keeps each
-	// scenario's own setting).
+	// scenario's own setting — MCRuns, or scenario.DefaultMCRuns). It is
+	// the fixed sample size, and the default adaptive cap.
 	Runs int
 	// MCWorkers bounds the concurrency of the inner Monte Carlo of a single
 	// scenario. RunAll parallelises across scenarios and pins this to 1;
 	// Run on its own uses all CPUs when 0.
 	MCWorkers int
+	// CIWidth, when > 0, switches the Monte Carlo validation to adaptive
+	// precision: sampling stops once the Wilson 95% half-width of the
+	// success rate is <= CIWidth, capped at MaxPaths (or the run count).
+	CIWidth float64
+	// ChunkSize is the streaming engine's chunk size (0 = the engine
+	// default); results are bit-reproducible per (seed, chunk-size) pair.
+	ChunkSize int
+	// MaxPaths overrides the adaptive hard cap when > 0.
+	MaxPaths int
 }
 
 // Report is the solved summary of one scenario: the basic-game thresholds
@@ -61,9 +71,13 @@ type Report struct {
 	// SimulatedGame names the game the Monte Carlo validation executed:
 	// "collateral" when the scenario carries a deposit, "basic" otherwise.
 	SimulatedGame string
-	// MCRunCount is the number of protocol executions actually run (the
-	// scenario's own setting unless RunOpts overrode it).
+	// MCRunCount is the number of protocol executions actually run: the
+	// scenario's own setting (unless RunOpts overrode it), or fewer when
+	// adaptive precision stopped sampling early.
 	MCRunCount int
+	// MCStopped reports that adaptive precision (RunOpts.CIWidth) ended
+	// sampling before the cap.
+	MCStopped bool
 	// MC is the empirical success proportion of the protocol simulation
 	// with its Wilson 95% interval. The simulation conditions on initiation
 	// (as Eq. 31 does), so it validates the analytic SR even at rates A
@@ -167,14 +181,18 @@ func Run(sc Scenario, opts RunOpts) (Report, error) {
 			Collateral: sc.Collateral,
 			Seed:       sc.Seed,
 		},
-		Runs:    runs,
-		Workers: opts.MCWorkers,
+		Runs:      runs,
+		Workers:   opts.MCWorkers,
+		CIWidth:   opts.CIWidth,
+		ChunkSize: opts.ChunkSize,
+		MaxPaths:  opts.MaxPaths,
 	})
 	if err != nil {
 		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 	r.MC = res.SuccessRate
-	r.MCRunCount = runs
+	r.MCRunCount = res.Paths
+	r.MCStopped = res.Stopped
 	r.MCStages = res.Stages
 	r.MCMeanDurationHours = res.MeanDurationHours
 	analytic := r.analyticForSim()
@@ -222,7 +240,11 @@ func (r Report) Render() string {
 	}
 	fmt.Fprintf(&b, "  collateral SR_c(P*) at Q=%g (Eq. 40):     %.4f\n", sc.Collateral, r.CollateralSR)
 	fmt.Fprintf(&b, "  uncertain SR_x (Eq. 46):                  %.4f\n", r.UncertainSR)
-	fmt.Fprintf(&b, "  Monte Carlo (%s game, %d runs, seed %d):\n", r.SimulatedGame, r.MCRunCount, sc.Seed)
+	stopNote := ""
+	if r.MCStopped {
+		stopNote = ", adaptive early stop"
+	}
+	fmt.Fprintf(&b, "  Monte Carlo (%s game, %d runs, seed %d%s):\n", r.SimulatedGame, r.MCRunCount, sc.Seed, stopNote)
 	fmt.Fprintf(&b, "    simulated SR: %.4f, Wilson 95%% [%.4f, %.4f], analytic %.4f, agrees: %v\n",
 		r.MC.P, r.MC.Lo, r.MC.Hi, r.analyticForSim(), r.MCAgrees)
 	fmt.Fprintf(&b, "    mean completion %.2fh; outcomes:", r.MCMeanDurationHours)

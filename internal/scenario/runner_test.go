@@ -188,3 +188,50 @@ func TestDiffReports(t *testing.T) {
 		t.Errorf("self diff should be empty:\n%s", self)
 	}
 }
+
+func TestRunOptsAdaptivePrecisionKnobs(t *testing.T) {
+	sc, err := Lookup("tableIII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default: the fixed run count is honoured exactly.
+	fixed, err := Run(sc, RunOpts{Runs: testRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.MCRunCount != testRuns || fixed.MCStopped {
+		t.Errorf("fixed mode ran %d paths (stopped=%v), want exactly %d",
+			fixed.MCRunCount, fixed.MCStopped, testRuns)
+	}
+	// A loose CI target stops well before a large cap, at a chunk boundary.
+	adaptive, err := Run(sc, RunOpts{Runs: 50000, CIWidth: 0.05, ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.MCStopped {
+		t.Fatal("loose CI target did not stop early")
+	}
+	if adaptive.MCRunCount >= 50000 || adaptive.MCRunCount%128 != 0 {
+		t.Errorf("adaptive ran %d paths, want a chunk-aligned early stop", adaptive.MCRunCount)
+	}
+	if half := (adaptive.MC.Hi - adaptive.MC.Lo) / 2; half > 0.05 {
+		t.Errorf("half-width at stop %g, want <= 0.05", half)
+	}
+	// MaxPaths caps adaptive sampling below the run count.
+	capped, err := Run(sc, RunOpts{Runs: 50000, CIWidth: 1e-9, ChunkSize: 128, MaxPaths: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.MCRunCount != 256 || capped.MCStopped {
+		t.Errorf("capped run executed %d paths (stopped=%v), want 256 at the cap",
+			capped.MCRunCount, capped.MCStopped)
+	}
+	// The adaptive estimate agrees with the fixed one to CI precision.
+	if diff := adaptive.MC.P - fixed.MC.P; diff > 0.1 || diff < -0.1 {
+		t.Errorf("adaptive SR %.4f far from fixed SR %.4f", adaptive.MC.P, fixed.MC.P)
+	}
+	// The early stop is surfaced in the rendered report.
+	if !strings.Contains(adaptive.Render(), "adaptive early stop") {
+		t.Error("Render does not mention the adaptive early stop")
+	}
+}

@@ -69,15 +69,37 @@ func (h *eventHeap) Pop() any {
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
 // ready to use with the clock at time zero.
 type Scheduler struct {
-	now     float64
-	seq     uint64
-	events  eventHeap
-	stopped bool
-	history []string
+	now       float64
+	seq       uint64
+	events    eventHeap
+	stopped   bool
+	history   []string
+	noHistory bool
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Reset rewinds the scheduler to a freshly constructed state — clock at
+// zero, no pending events, empty history — while retaining the allocated
+// event-heap and history capacity, so a reused scheduler schedules without
+// reallocating. The history-recording setting survives the reset.
+func (s *Scheduler) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	for i := range s.events {
+		s.events[i] = nil
+	}
+	s.events = s.events[:0]
+	s.history = s.history[:0]
+}
+
+// SetHistoryRecording toggles the execution-history log (on by default).
+// Recording formats one label per event, which dominates the allocation
+// cost of short runs; throughput-oriented callers (the Monte Carlo engine)
+// turn it off. Disabling does not clear labels already recorded.
+func (s *Scheduler) SetHistoryRecording(on bool) { s.noHistory = !on }
 
 // Now returns the current simulated time in hours.
 func (s *Scheduler) Now() float64 { return s.now }
@@ -123,7 +145,9 @@ func (s *Scheduler) Run() int {
 	for len(s.events) > 0 && !s.stopped {
 		ev := heap.Pop(&s.events).(*event)
 		s.now = ev.at
-		s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		if !s.noHistory {
+			s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		}
 		ev.fn()
 		n++
 	}
@@ -139,7 +163,9 @@ func (s *Scheduler) RunUntil(t float64) int {
 	for len(s.events) > 0 && !s.stopped && s.events[0].at <= t {
 		ev := heap.Pop(&s.events).(*event)
 		s.now = ev.at
-		s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		if !s.noHistory {
+			s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
+		}
 		ev.fn()
 		n++
 	}

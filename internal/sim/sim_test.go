@@ -161,3 +161,51 @@ func TestHistoryRecordsLabels(t *testing.T) {
 		t.Error("History exposed internal state")
 	}
 }
+
+func TestResetRewindsToFreshState(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	if err := s.Schedule(1, "a", func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(5, "b", func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(2)
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || len(s.History()) != 0 {
+		t.Errorf("after Reset: now=%g pending=%d history=%v", s.Now(), s.Pending(), s.History())
+	}
+	// The leftover event "b" must not fire after the reset.
+	if n := s.Run(); n != 0 {
+		t.Errorf("reset scheduler ran %d stale events", n)
+	}
+	// The scheduler is fully reusable: scheduling before the old clock
+	// value is legal again and ordering restarts from scratch.
+	if err := s.Schedule(0.5, "c", func() { fired++ }); err != nil {
+		t.Fatalf("schedule after reset: %v", err)
+	}
+	if n := s.Run(); n != 1 || fired != 2 {
+		t.Errorf("post-reset run processed %d events (fired=%d), want 1 (fired=2)", n, fired)
+	}
+}
+
+func TestSetHistoryRecordingOffSkipsLabels(t *testing.T) {
+	s := NewScheduler()
+	s.SetHistoryRecording(false)
+	if err := s.Schedule(1, "quiet", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if h := s.History(); len(h) != 0 {
+		t.Errorf("history recorded %v with recording off", h)
+	}
+	s.SetHistoryRecording(true)
+	if err := s.Schedule(2, "loud", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if h := s.History(); len(h) != 1 || h[0] != "2.0000 loud" {
+		t.Errorf("history after re-enabling = %v", h)
+	}
+}

@@ -1,6 +1,7 @@
 // Package stats provides the small statistical toolkit used to report
-// Monte Carlo results: moment summaries, binomial proportion confidence
-// intervals (Wilson score), and fixed-width histograms.
+// Monte Carlo results: batch and streaming (Welford) moment summaries,
+// binomial proportion confidence intervals (Wilson score), and
+// fixed-width histograms.
 package stats
 
 import (
@@ -58,6 +59,56 @@ func Summarize(xs []float64) (Summary, error) {
 	}
 	return s, nil
 }
+
+// Welford is an online mean/variance accumulator (Welford's algorithm),
+// mergeable across shards with the standard parallel combine — the
+// streaming counterpart of Summarize, used by the Monte Carlo engine
+// (internal/mc) to fold per-chunk moments in chunk order.
+type Welford struct {
+	// N is the number of observations.
+	N int
+	// Mean is the running mean.
+	Mean float64
+	// M2 is the running sum of squared deviations from the mean.
+	M2 float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.N++
+	delta := x - w.Mean
+	w.Mean += delta / float64(w.N)
+	w.M2 += delta * (x - w.Mean)
+}
+
+// Merge folds another accumulator in (Chan et al. parallel combine).
+// Merging is associative up to floating-point rounding; callers that need
+// a reproducible float result must fix the merge order.
+func (w *Welford) Merge(o Welford) {
+	switch {
+	case o.N == 0:
+		return
+	case w.N == 0:
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	delta := o.Mean - w.Mean
+	w.Mean += delta * float64(o.N) / float64(n)
+	w.M2 += o.M2 + delta*delta*float64(w.N)*float64(o.N)/float64(n)
+	w.N = n
+}
+
+// Var returns the unbiased sample variance (zero for N < 2).
+func (w Welford) Var() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.N-1)
+}
+
+// SD returns the sample standard deviation.
+func (w Welford) SD() float64 { return math.Sqrt(w.Var()) }
 
 // Proportion is a binomial success-rate estimate with a Wilson score
 // confidence interval.

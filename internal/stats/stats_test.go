@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -161,5 +162,72 @@ func TestQuantiles(t *testing.T) {
 	}
 	if _, err := Quantiles(xs, 1.5); !errors.Is(err, ErrBadInput) {
 		t.Errorf("out-of-range q err = %v", err)
+	}
+}
+
+func TestWelfordMatchesBatchMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+		w.Add(xs[i])
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Mean-want.Mean) > 1e-12 {
+		t.Errorf("mean %v, want %v", w.Mean, want.Mean)
+	}
+	if w.N != want.N {
+		t.Errorf("n %d, want %d", w.N, want.N)
+	}
+	if math.Abs(w.Var()-want.Var) > 1e-9 {
+		t.Errorf("var %v, want %v", w.Var(), want.Var)
+	}
+	if math.Abs(w.SD()-want.SD) > 1e-9 {
+		t.Errorf("sd %v, want %v", w.SD(), want.SD)
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole Welford
+	var parts []Welford
+	part := Welford{}
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		part.Add(x)
+		if (i+1)%37 == 0 {
+			parts = append(parts, part)
+			part = Welford{}
+		}
+	}
+	parts = append(parts, part)
+	var merged Welford
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N != whole.N {
+		t.Fatalf("merged N %d, want %d", merged.N, whole.N)
+	}
+	if math.Abs(merged.Mean-whole.Mean) > 1e-12 || math.Abs(merged.Var()-whole.Var()) > 1e-9 {
+		t.Errorf("merged (%v, %v), sequential (%v, %v)", merged.Mean, merged.Var(), whole.Mean, whole.Var())
+	}
+	// Merging into/from empty accumulators is the identity.
+	var empty Welford
+	before := merged
+	merged.Merge(empty)
+	if merged != before {
+		t.Error("merging an empty accumulator changed the state")
+	}
+	empty.Merge(before)
+	if empty != before {
+		t.Error("merging into an empty accumulator did not copy")
+	}
+	if (Welford{N: 1, Mean: 3}).Var() != 0 {
+		t.Error("variance of a single observation should be 0")
 	}
 }

@@ -12,16 +12,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/agent"
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/mc"
 	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/sweep"
-	"repro/internal/timeline"
 	"repro/internal/utility"
 )
 
@@ -102,146 +100,15 @@ type Outcome struct {
 	AliceDecisions, BobDecisions []agent.Decision
 }
 
-// Run executes one swap and classifies the outcome.
+// Run executes one swap and classifies the outcome. It builds a one-shot
+// Runner, so a single run and a Monte Carlo path with the same seed are
+// the same computation.
 func Run(cfg Config) (Outcome, error) {
-	if err := cfg.Params.Validate(); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if cfg.Strategy.PStar <= 0 {
-		return Outcome{}, fmt.Errorf("%w: strategy PStar=%g", ErrBadConfig, cfg.Strategy.PStar)
-	}
-	if cfg.Collateral < 0 || math.IsNaN(cfg.Collateral) {
-		return Outcome{}, fmt.Errorf("%w: collateral %g", ErrBadConfig, cfg.Collateral)
-	}
-	scale := cfg.InitialBalanceScale
-	if scale <= 0 {
-		scale = 2
-	}
-
-	sched := sim.NewScheduler()
-	tl, err := timeline.Idealized(cfg.Params.Chains)
+	r, err := NewRunner(cfg)
 	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
+		return Outcome{}, err
 	}
-	chainA, err := chain.New(chain.Config{
-		Name: "chain_a", Asset: "TokenA",
-		Tau: cfg.Params.Chains.TauA, Eps: 0,
-	}, sched)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	chainB, err := chain.New(chain.Config{
-		Name: "chain_b", Asset: "TokenB",
-		Tau: cfg.Params.Chains.TauB, Eps: cfg.Params.Chains.EpsB,
-	}, sched)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if err := armHalt(sched, chainA, cfg.HaltA); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if err := armHalt(sched, chainB, cfg.HaltB); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-
-	// Funding: A needs P* Token_a (+ collateral), B needs 1 Token_b and
-	// collateral in Token_a.
-	fundAliceA := scale * (cfg.Strategy.PStar + cfg.Collateral)
-	fundBobB := scale * 1
-	fundBobA := scale * cfg.Collateral
-	if err := chainA.Mint(AliceAccount, fundAliceA); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if err := chainB.Mint(BobAccount, fundBobB); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if fundBobA > 0 {
-		if err := chainA.Mint(BobAccount, fundBobA); err != nil {
-			return Outcome{}, fmt.Errorf("swapsim: %w", err)
-		}
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	feed, err := agent.NewPriceFeed(cfg.Params.Price, cfg.Params.P0, rng)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	env := agent.Env{Sched: sched, ChainA: chainA, ChainB: chainB, Feed: feed, Timeline: tl}
-
-	alice, err := agent.NewAlice(env, AliceAccount, BobAccount, cfg.Strategy, 1, nil)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	bob, err := agent.NewBob(env, BobAccount, AliceAccount, cfg.Strategy, 1)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-
-	var orc *oracle.Oracle
-	if cfg.Collateral > 0 {
-		orc, err = oracle.New(sched, chainA, chainB, tl, cfg.Collateral, AliceAccount, BobAccount)
-		if err != nil {
-			return Outcome{}, fmt.Errorf("swapsim: %w", err)
-		}
-		if err := orc.CollectDeposits(); err != nil {
-			return Outcome{}, fmt.Errorf("swapsim: %w", err)
-		}
-	}
-
-	balA0 := map[string]float64{
-		AliceAccount: chainA.Balance(AliceAccount),
-		BobAccount:   chainA.Balance(BobAccount),
-	}
-	balB0 := map[string]float64{
-		AliceAccount: chainB.Balance(AliceAccount),
-		BobAccount:   chainB.Balance(BobAccount),
-	}
-
-	if err := alice.Start(); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	if err := bob.Start(); err != nil {
-		return Outcome{}, fmt.Errorf("swapsim: %w", err)
-	}
-	sched.Run()
-
-	out := Outcome{
-		EndTime:        sched.Now(),
-		PT2:            math.NaN(),
-		PT3:            math.NaN(),
-		AliceDecisions: alice.Decisions(),
-		BobDecisions:   bob.Decisions(),
-	}
-	out.AliceDeltaA = chainA.Balance(AliceAccount) - balA0[AliceAccount]
-	out.AliceDeltaB = chainB.Balance(AliceAccount) - balB0[AliceAccount]
-	out.BobDeltaA = chainA.Balance(BobAccount) - balA0[BobAccount]
-	out.BobDeltaB = chainB.Balance(BobAccount) - balB0[BobAccount]
-	if cfg.Collateral > 0 {
-		// Everything paid out of the oracle escrow is collateral flow; net
-		// it out of the chain-a deltas so Table I comparisons stay clean.
-		// Deposits were debited before balA0 was captured, so an agent who
-		// recovers their deposit shows +Q in the raw delta.
-		collA := escrowPaidTo(chainA, AliceAccount)
-		collB := escrowPaidTo(chainA, BobAccount)
-		out.CollateralDeltaAlice = collA - cfg.Collateral
-		out.CollateralDeltaBob = collB - cfg.Collateral
-		out.AliceDeltaA -= collA
-		out.BobDeltaA -= collB
-	}
-
-	for _, d := range out.AliceDecisions {
-		if d.Stage == "t3" && d.Price > 0 {
-			out.PT3 = d.Price
-		}
-	}
-	for _, d := range out.BobDecisions {
-		if d.Stage == "t2" && d.Price > 0 {
-			out.PT2 = d.Price
-		}
-	}
-
-	out.Stage, out.Success, out.Atomic = classify(cfg, out)
-	return out, nil
+	return r.RunOutcome(cfg.Seed)
 }
 
 // HaltWindow describes a crash-failure injection: the chain stops
@@ -325,10 +192,21 @@ type MCConfig struct {
 	// Config is the per-run configuration; run i is seeded with
 	// sweep.Seed(Seed, i), a decorrelated stream per run.
 	Config
-	// Runs is the number of independent protocol executions.
+	// Runs is the number of independent protocol executions in fixed-N
+	// mode, and the default hard cap in adaptive mode.
 	Runs int
 	// Workers bounds concurrency; 0 uses all CPUs (see internal/sweep).
+	// The worker count never affects the result.
 	Workers int
+	// CIWidth, when > 0, enables adaptive precision: sampling stops at the
+	// first chunk boundary where the Wilson 95% half-width of the success
+	// rate is <= CIWidth, capped at MaxPaths (or Runs).
+	CIWidth float64
+	// ChunkSize is the engine's chunk size (0 = mc.DefaultChunkSize). The
+	// result is bit-reproducible per (Seed, ChunkSize) pair.
+	ChunkSize int
+	// MaxPaths overrides Runs as the adaptive hard cap when > 0.
+	MaxPaths int
 }
 
 // MCResult aggregates a Monte Carlo estimate.
@@ -343,44 +221,51 @@ type MCResult struct {
 	Violations int
 	// MeanDurationHours averages the simulated completion time.
 	MeanDurationHours float64
+	// Paths is the number of protocol executions actually run — the cap
+	// unless adaptive stopping ended sampling earlier.
+	Paths int
+	// Stopped reports an adaptive early stop (CIWidth hit before the cap).
+	Stopped bool
 }
 
-// MonteCarlo runs cfg.Runs independent executions on the sweep worker pool
-// and aggregates. Run i draws its price path from the decorrelated stream
-// sweep.Seed(Seed, i), and the outcomes are folded in run order, so the
-// result — including the floating-point duration mean — is identical for
-// every worker count.
+// MonteCarlo estimates the success rate through the streaming engine of
+// internal/mc: chunked execution over the sweep worker pool with reusable
+// per-worker Runners, path i seeded with sweep.Seed(Seed, i), and chunk
+// aggregates merged in chunk order — so the result, including the
+// floating-point duration moments, is identical for every worker count.
+// With CIWidth == 0 it runs exactly cfg.Runs paths, reproducing the
+// legacy fixed-N driver's per-seed outcomes.
 func MonteCarlo(cfg MCConfig) (MCResult, error) {
 	if cfg.Runs <= 0 {
 		return MCResult{}, fmt.Errorf("%w: runs=%d", ErrBadConfig, cfg.Runs)
 	}
-	outcomes, err := sweep.Map(context.Background(), cfg.Runs, cfg.Workers, func(i int) (Outcome, error) {
-		run := cfg.Config
-		run.Seed = sweep.Seed(cfg.Seed, i)
-		return Run(run)
+	maxPaths := cfg.Runs
+	// MaxPaths is the *adaptive* cap: in fixed-N mode the sample size is
+	// exactly Runs, as documented, so the override must not shrink it.
+	if cfg.CIWidth > 0 && cfg.MaxPaths > 0 {
+		maxPaths = cfg.MaxPaths
+	}
+	res, err := mc.Run(context.Background(), mc.Config{
+		Seed:      cfg.Seed,
+		MaxPaths:  maxPaths,
+		ChunkSize: cfg.ChunkSize,
+		CIWidth:   cfg.CIWidth,
+		Workers:   cfg.Workers,
+		NewRunner: func() (mc.Runner, error) { return NewRunner(cfg.Config) },
 	})
-	if err != nil {
-		return MCResult{}, err
-	}
-
-	agg := MCResult{Stages: make(map[Stage]int)}
-	successes := 0
-	var durSum float64
-	for _, out := range outcomes {
-		agg.Stages[out.Stage]++
-		if out.Success {
-			successes++
-		}
-		if !out.Atomic {
-			agg.Violations++
-		}
-		durSum += out.EndTime
-	}
-	prop, err := stats.NewProportion(successes, len(outcomes))
 	if err != nil {
 		return MCResult{}, fmt.Errorf("swapsim: %w", err)
 	}
-	agg.SuccessRate = prop
-	agg.MeanDurationHours = durSum / float64(len(outcomes))
+	agg := MCResult{
+		SuccessRate:       res.SuccessRate,
+		Stages:            make(map[Stage]int, len(res.Stages)),
+		Violations:        res.Violations,
+		MeanDurationHours: res.Duration.Mean,
+		Paths:             res.Paths,
+		Stopped:           res.Stopped,
+	}
+	for s, n := range res.Stages {
+		agg.Stages[Stage(s)] += n
+	}
 	return agg, nil
 }

@@ -1,0 +1,185 @@
+// Command benchmc turns `go test -bench` output into the machine-readable
+// benchmark artifact BENCH_mc.json, and gates CI against allocation
+// regressions.
+//
+// Writing the baseline (see `make bench-json`):
+//
+//	go test -bench='^BenchmarkMC_' -benchmem -run='^$' . | go run ./tools/benchmc -o BENCH_mc.json
+//
+// Checking a run against the committed baseline (see `make bench-check`,
+// run by CI's bench-mc-regression job):
+//
+//	go test -bench='^BenchmarkMC_' -benchmem -benchtime=32x -run='^$' . |
+//	  go run ./tools/benchmc -against BENCH_mc.json -max-alloc-ratio 2
+//
+// The check fails (exit 1) when any benchmark present in both the run and
+// the baseline reports more than max-alloc-ratio times the baseline's
+// allocs/op — the guardrail that keeps the streaming engine's
+// reused-state path from silently regressing to per-path allocation.
+// ns/op is deliberately not gated: wall-clock is hardware-dependent,
+// allocation counts are not.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark function name, with any -GOMAXPROCS suffix
+	// stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported values were averaged over.
+	Iterations int `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// PathsPerSec is the engine benchmarks' custom throughput metric.
+	PathsPerSec float64 `json:"paths_per_sec,omitempty"`
+}
+
+// File is the BENCH_mc.json schema.
+type File struct {
+	// Note says how to regenerate the artifact.
+	Note string `json:"note"`
+	// Benchmarks lists the parsed results in output order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark lines ("BenchmarkX  N  v unit  v unit ...")
+// from go test -bench output.
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: procSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmc: %q: bad value %q", b.Name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "paths/s":
+				b.PathsPerSec = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchmc: reading input: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchmc: no benchmark lines in input (did the bench run fail?)")
+	}
+	return out, nil
+}
+
+// check compares a run against the baseline's allocs/op.
+func check(current []Benchmark, baseline File, maxRatio float64, out io.Writer) error {
+	base := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	matched := 0
+	var failures []string
+	for _, cur := range current {
+		ref, ok := base[cur.Name]
+		if !ok || ref.AllocsPerOp <= 0 {
+			continue
+		}
+		matched++
+		ratio := cur.AllocsPerOp / ref.AllocsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "FAIL"
+			failures = append(failures, cur.Name)
+		}
+		fmt.Fprintf(out, "%-40s allocs/op %10.0f vs baseline %10.0f (%.2fx) %s\n",
+			cur.Name, cur.AllocsPerOp, ref.AllocsPerOp, ratio, status)
+	}
+	if matched == 0 {
+		return fmt.Errorf("benchmc: no benchmark matched the baseline — regenerate with `make bench-json`")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmc: allocs/op regressed >%.1fx on: %s", maxRatio, strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchmc", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("o", "", "write parsed results as JSON to this path (default: stdout)")
+		against  = fs.String("against", "", "check allocs/op against this committed baseline instead of writing JSON")
+		maxRatio = fs.Float64("max-alloc-ratio", 2, "with -against: fail when allocs/op exceeds baseline by this factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			return fmt.Errorf("benchmc: %w", err)
+		}
+		var baseline File
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("benchmc: parsing %s: %w", *against, err)
+		}
+		return check(benches, baseline, *maxRatio, stdout)
+	}
+	f := File{
+		Note:       "Monte Carlo engine benchmark baseline; regenerate with `make bench-json`, CI gates allocs/op at 2x via `make bench-check`.",
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchmc: %w", err)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return fmt.Errorf("benchmc: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(benches), *outPath)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMC_PathLegacyAlloc-8        	   38552	     31493 ns/op	   11359 B/op	      85 allocs/op
+BenchmarkMC_PathReused               	   74062	     16233 ns/op	    2157 B/op	      49 allocs/op
+BenchmarkMC_EngineFixedN1Worker      	      36	  33094187 ns/op	     61884 paths/s	 4422994 B/op	  100913 allocs/op
+PASS
+ok  	repro	7.840s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	first := benches[0]
+	if first.Name != "BenchmarkMC_PathLegacyAlloc" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Iterations != 38552 || first.NsPerOp != 31493 || first.BytesPerOp != 11359 || first.AllocsPerOp != 85 {
+		t.Errorf("metrics = %+v", first)
+	}
+	if benches[2].PathsPerSec != 61884 {
+		t.Errorf("custom paths/s metric = %v, want 61884", benches[2].PathsPerSec)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("empty bench output should be an error")
+	}
+}
+
+// writeBaseline runs the tool in write mode against the sample output and
+// returns the JSON path.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_mc.json")
+	var out strings.Builder
+	if err := run([]string{"-o", path}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteAndCheckRoundTrip(t *testing.T) {
+	path := writeBaseline(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(f.Benchmarks) != 3 || f.Note == "" {
+		t.Fatalf("artifact = %+v", f)
+	}
+	// The identical run passes the 2x gate.
+	var out strings.Builder
+	if err := run([]string{"-against", path}, strings.NewReader(sample), &out); err != nil {
+		t.Errorf("identical run failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("check output lacks per-benchmark lines:\n%s", out.String())
+	}
+}
+
+func TestCheckFailsOnAllocRegression(t *testing.T) {
+	path := writeBaseline(t)
+	regressed := strings.ReplaceAll(sample,
+		"   74062	     16233 ns/op	    2157 B/op	      49 allocs/op",
+		"   74062	     16233 ns/op	    2157 B/op	     199 allocs/op")
+	var out strings.Builder
+	err := run([]string{"-against", path, "-max-alloc-ratio", "2"}, strings.NewReader(regressed), &out)
+	if err == nil {
+		t.Fatalf("4x alloc regression passed the 2x gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMC_PathReused") {
+		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestCheckFailsWhenNothingMatches(t *testing.T) {
+	path := writeBaseline(t)
+	foreign := "BenchmarkOther \t 10\t 5 ns/op\t 1 B/op\t 1 allocs/op\n"
+	if err := run([]string{"-against", path}, strings.NewReader(foreign), &strings.Builder{}); err == nil {
+		t.Error("a run matching no baseline entry should fail the check")
+	}
+}
