@@ -5,10 +5,11 @@
 GO ?= go
 
 # Coverage floors enforced by `make cover` and CI.
-COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc
+COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
+	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng
 COVER_MIN  = 80
 
-.PHONY: all build test race bench bench-smoke bench-json bench-check lint cover fuzz-smoke scenarios figures clean
+.PHONY: all build test race bench bench-smoke bench-json bench-check pprof-smoke lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
@@ -31,16 +32,36 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Regenerate the Monte Carlo engine benchmark baseline BENCH_mc.json
-# (commit the result; CI gates allocs/op against it).
+# Regenerate the benchmark baselines (commit the results; CI gates
+# allocs/op against them): BENCH_mc.json for the Monte Carlo engine,
+# BENCH_solve.json for the amortized solve engine.
 bench-json:
 	$(GO) test -bench='^BenchmarkMC_' -benchmem -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_mc.json
+	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_solve.json \
+		-note "Amortized solve engine baseline (cold process: first Generate populates the process-wide caches); regenerate with make bench-json, CI gates allocs/op at 2x via make bench-check."
 
-# CI's Monte Carlo bench-regression smoke: a short run must stay within 2x
-# of the committed baseline's allocs/op (wall-clock is not gated — allocs
-# are hardware-independent).
+# CI's bench-regression smoke (bench-mc-regression and
+# bench-solve-regression jobs): a short run of both suites must stay
+# within 2x of the committed baselines' allocs/op, reported in one merged
+# table (wall-clock is not gated — allocs are hardware-independent). The
+# MC suite runs 0.2s per benchmark — enough iterations that one-time pool
+# warm-up amortizes to zero against the 1-alloc/path baseline — while the
+# solve suite runs once so the process-wide caches are as cold as the
+# baseline's.
 bench-check:
-	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=32x -run='^$$' . | $(GO) run ./tools/benchmc -against BENCH_mc.json -max-alloc-ratio 2
+	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
+	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=0.2s -run='^$$' . > $$tmp; \
+	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . >> $$tmp; \
+	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 < $$tmp
+
+# Profiling smoke: run one solve benchmark under -cpuprofile and assert
+# the profile came out non-empty, so the profiling workflow every perf PR
+# leans on cannot silently rot (CI runs this in bench-solve-regression).
+pprof-smoke:
+	$(GO) test -bench='^BenchmarkSolve_ScenarioSolves$$' -benchtime=1x -run='^$$' -cpuprofile /tmp/solve.prof .
+	@test -s /tmp/solve.prof || { echo "pprof-smoke: empty cpu profile" >&2; exit 1; }
+	$(GO) tool pprof -top -nodecount=3 /tmp/solve.prof >/dev/null
+	@echo "pprof-smoke: profile ok"
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,112 @@
+// Solve-engine benchmarks: the amortized quadrature/constant/memo layers
+// behind every analytic artifact. `make bench-json` runs these alongside the
+// BenchmarkMC_* suite and records the machine-readable BENCH_solve.json
+// baseline that CI's bench-solve-regression gate checks; the PR 3 -> PR 4
+// wall-time trajectory is recorded in EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/scenario"
+	"repro/internal/utility"
+)
+
+// BenchmarkSolve_FiguresGenerate regenerates all 18 artifact groups on one
+// worker — the end-to-end cost of a full paper reproduction and the number
+// the amortized solve engine is gated on (>= 2x faster than the PR 3
+// baseline; see EXPERIMENTS.md).
+func BenchmarkSolve_FiguresGenerate(b *testing.B) {
+	p := utility.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		figs, err := figures.Generate(p, "", figures.Opts{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no figures")
+		}
+	}
+}
+
+// BenchmarkSolve_ModelNew measures solver construction — with shared
+// quadrature tables this is parameter validation plus the precomputed
+// discount-factor family, not a Gauss–Legendre/Hermite Newton iteration.
+func BenchmarkSolve_ModelNew(b *testing.B) {
+	p := utility.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve_ContSetCold measures B's t2 continuation-region scan on a
+// fresh Model per iteration (no memo reuse): the per-cell cost of the
+// hot root-finding primitive behind Eqs. 24/35.
+func BenchmarkSolve_ContSetCold(b *testing.B) {
+	p := utility.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.ContRangeT2(2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve_ContSetWarm measures a memoized solve hit: the same cell
+// re-queried on a warm Model — the path every cross-artifact re-solve now
+// takes.
+func BenchmarkSolve_ContSetWarm(b *testing.B) {
+	m, err := core.New(utility.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := m.ContRangeT2(2.0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.ContRangeT2(2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve_ScenarioSolves runs the analytic half of a scenario report
+// (thresholds, ranges, optimal rate, collateral and uncertain SRs) on a
+// fresh Model each iteration — the unit of work the solve cache amortizes
+// across the preset batch.
+func BenchmarkSolve_ScenarioSolves(b *testing.B) {
+	sc, err := scenario.Lookup("tableIII")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(sc.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.ContRangeT2(sc.PStar); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.SuccessRate(sc.PStar); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := m.OptimalRate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/plot"
+	"repro/internal/solvecache"
 	"repro/internal/utility"
 )
 
@@ -42,9 +43,13 @@ func run(args []string, out io.Writer) error {
 		ciWidth  = fs.Float64("ci-width", 0, "montecarlo artifact: adaptive stop once the Wilson 95% half-width is <= this (0 = fixed runs)")
 		chunk    = fs.Int("chunk", 0, "montecarlo artifact: engine chunk size (0 = default)")
 		maxPaths = fs.Int("max-paths", 0, "montecarlo artifact: hard cap on adaptive sampling (0 = default runs)")
+		stats    = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table hit/miss counters after generation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stats {
+		defer solvecache.WriteStats(out)
 	}
 
 	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{

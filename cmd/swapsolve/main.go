@@ -28,6 +28,7 @@ import (
 	"repro/internal/gbm"
 	"repro/internal/mathx"
 	"repro/internal/scenario"
+	"repro/internal/solvecache"
 	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
@@ -61,9 +62,14 @@ func run(args []string, out *os.File) error {
 		p0     = fs.Float64("p0", 2, "Token_b price at t0 (Token_a)")
 		mu     = fs.Float64("mu", 0.002, "price drift per hour")
 		sigma  = fs.Float64("sigma", 0.1, "price volatility per sqrt-hour")
+
+		stats = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table hit/miss counters before exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stats {
+		defer solvecache.WriteStats(out)
 	}
 
 	params := utility.Params{
@@ -92,7 +98,10 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	m, err := core.New(params)
+	// Route through the shared solve cache: a -sweep re-solves one model's
+	// cells, and repeated CLI invocations inside one process (tests) share
+	// them.
+	m, err := solvecache.SharedModel(params)
 	if err != nil {
 		return err
 	}

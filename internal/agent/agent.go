@@ -74,6 +74,12 @@ type Alice struct {
 	claimTxB   string
 	decisions  []Decision
 	cutoffEval func(p float64) bool
+
+	// secretStore backs the per-path secret so a reused Alice draws every
+	// path's preimage into the same buffer; findBobLock is the t3 contract
+	// predicate, built once so the per-path search captures no closure.
+	secretStore [htlc.SecretSize]byte
+	findBobLock func(*htlc.Contract) bool
 }
 
 // NewAlice validates and binds an Alice agent to the environment.
@@ -96,8 +102,24 @@ func NewAlice(env Env, account, counterparty string, strat core.Strategy, tokenB
 		env:          env,
 	}
 	a.cutoffEval = func(p float64) bool { return p > strat.AliceCutoffT3 }
+	a.findBobLock = func(c *htlc.Contract) bool {
+		return c.Lock == a.hash &&
+			c.Recipient == a.Account &&
+			c.State() == htlc.Locked &&
+			c.Amount >= a.TokenBAmount &&
+			c.Expiry >= a.env.Timeline.TB
+	}
 	return a, nil
 }
+
+// Scheduler-call adapters: package-level functions with the agent passed
+// as an interface word, so per-path scheduling allocates neither a closure
+// nor a method value (see sim.Scheduler.ScheduleCall).
+func aliceT1Call(a, _ any)     { a.(*Alice).actT1() }
+func aliceT3Call(a, _ any)     { a.(*Alice).actT3() }
+func aliceRefundCall(a, _ any) { a.(*Alice).refund() }
+func bobT2Call(b, _ any)       { b.(*Bob).actT2() }
+func bobRefundCall(b, _ any)   { b.(*Bob).refund() }
 
 // Reset clears Alice's per-run state (secret, contract bindings, decision
 // log) so the agent can be restarted on a reset environment, keeping its
@@ -131,7 +153,7 @@ func (a *Alice) Secret() htlc.Secret { return append(htlc.Secret(nil), a.secret.
 
 // Start schedules Alice's protocol actions.
 func (a *Alice) Start() error {
-	return a.env.Sched.Schedule(a.env.Timeline.T1, "alice-t1", a.actT1)
+	return a.env.Sched.ScheduleCall(a.env.Timeline.T1, sim.PriorityDefault, "alice-t1", aliceT1Call, a, nil)
 }
 
 func (a *Alice) record(stage string, price float64, action core.Action, reason string) {
@@ -150,12 +172,12 @@ func (a *Alice) actT1() {
 		a.record("t1", 0, core.Stop, "rate-outside-feasible-range")
 		return
 	}
-	secret, hash, err := htlc.NewSecret(a.SecretSource)
+	hash, err := htlc.FillSecret(a.secretStore[:], a.SecretSource)
 	if err != nil {
 		a.record("t1", 0, core.Stop, "secret-generation-failed: "+err.Error())
 		return
 	}
-	a.secret, a.hash = secret, hash
+	a.secret, a.hash = a.secretStore[:], hash
 	_, ctID, err := a.env.ChainA.SubmitLock(a.Account, a.Counterparty, a.Strategy.PStar, hash, a.env.Timeline.TA)
 	if err != nil {
 		a.record("t1", 0, core.Stop, "lock-submission-failed: "+err.Error())
@@ -164,23 +186,17 @@ func (a *Alice) actT1() {
 	a.contractA = ctID
 	a.record("t1", 0, core.Cont, "initiate")
 	// t3 decision and the safety refund at expiry.
-	if err := a.env.Sched.Schedule(a.env.Timeline.T3, "alice-t3", a.actT3); err != nil {
+	if err := a.env.Sched.ScheduleCall(a.env.Timeline.T3, sim.PriorityDefault, "alice-t3", aliceT3Call, a, nil); err != nil {
 		a.record("t3", 0, core.Stop, "scheduling-failed: "+err.Error())
 	}
-	if err := a.env.Sched.Schedule(a.env.Timeline.TA, "alice-refund", a.refund); err != nil {
+	if err := a.env.Sched.ScheduleCall(a.env.Timeline.TA, sim.PriorityDefault, "alice-refund", aliceRefundCall, a, nil); err != nil {
 		a.record("t8", 0, core.Stop, "scheduling-failed: "+err.Error())
 	}
 }
 
 // actT3 verifies Bob's contract and applies the cut-off rule (Eq. 19).
 func (a *Alice) actT3() {
-	ct, ok := a.env.ChainB.FindContract(func(c *htlc.Contract) bool {
-		return c.Lock == a.hash &&
-			c.Recipient == a.Account &&
-			c.State() == htlc.Locked &&
-			c.Amount >= a.TokenBAmount &&
-			c.Expiry >= a.env.Timeline.TB
-	})
+	ct, ok := a.env.ChainB.FindContract(a.findBobLock)
 	if !ok {
 		a.record("t3", 0, core.Stop, "counterparty-contract-missing")
 		return
@@ -203,11 +219,12 @@ func (a *Alice) actT3() {
 	}
 }
 
+// refundErr records a failed refund.
+func (a *Alice) refundErr(reason string) { a.record("t8", 0, core.Stop, reason) }
+
 // refund reclaims Alice's escrow if her contract is still locked at expiry.
 func (a *Alice) refund() {
-	retryRefund(a.env, a.env.ChainA, a.contractA, "alice-refund-retry", func(reason string) {
-		a.record("t8", 0, core.Stop, reason)
-	})
+	retryRefund(a.env, a.env.ChainA, a.contractA, "alice-refund-retry", a.refundErr)
 }
 
 // Bob is the responder: he verifies Alice's lock at t2, decides by the
@@ -228,6 +245,11 @@ type Bob struct {
 	contractB string // Bob's own lock
 	claimed   bool
 	decisions []Decision
+
+	// onSecretFn and findAliceLock are built once at construction so the
+	// per-path mempool watch and contract search capture no closure.
+	onSecretFn    chain.SecretObserver
+	findAliceLock func(*htlc.Contract) bool
 }
 
 // NewBob validates and binds a Bob agent to the environment.
@@ -241,13 +263,21 @@ func NewBob(env Env, account, counterparty string, strat core.Strategy, tokenB f
 	if tokenB <= 0 {
 		return nil, fmt.Errorf("%w: tokenB amount %g", ErrBadAgent, tokenB)
 	}
-	return &Bob{
+	b := &Bob{
 		Account:      account,
 		Counterparty: counterparty,
 		Strategy:     strat,
 		TokenBAmount: tokenB,
 		env:          env,
-	}, nil
+	}
+	b.onSecretFn = b.onSecret
+	b.findAliceLock = func(c *htlc.Contract) bool {
+		return c.Recipient == b.Account &&
+			c.State() == htlc.Locked &&
+			c.Amount >= b.Strategy.PStar-1e-12 &&
+			c.Expiry >= b.env.Timeline.TA-1e-12
+	}
+	return b, nil
 }
 
 // Reset clears Bob's per-run state so the agent can be restarted on a
@@ -278,8 +308,8 @@ func (b *Bob) ContractB() string { return b.contractB }
 
 // Start schedules Bob's protocol actions and mempool watching.
 func (b *Bob) Start() error {
-	b.env.ChainB.WatchSecrets(b.onSecret)
-	return b.env.Sched.Schedule(b.env.Timeline.T2, "bob-t2", b.actT2)
+	b.env.ChainB.WatchSecrets(b.onSecretFn)
+	return b.env.Sched.ScheduleCall(b.env.Timeline.T2, sim.PriorityDefault, "bob-t2", bobT2Call, b, nil)
 }
 
 func (b *Bob) record(stage string, price float64, action core.Action, reason string) {
@@ -295,12 +325,7 @@ func (b *Bob) record(stage string, price float64, action core.Action, reason str
 // actT2 verifies Alice's contract and applies the continuation region
 // (Eq. 24).
 func (b *Bob) actT2() {
-	ct, ok := b.env.ChainA.FindContract(func(c *htlc.Contract) bool {
-		return c.Recipient == b.Account &&
-			c.State() == htlc.Locked &&
-			c.Amount >= b.Strategy.PStar-1e-12 &&
-			c.Expiry >= b.env.Timeline.TA-1e-12
-	})
+	ct, ok := b.env.ChainA.FindContract(b.findAliceLock)
 	if !ok {
 		b.record("t2", 0, core.Stop, "initiator-contract-missing")
 		return
@@ -322,7 +347,7 @@ func (b *Bob) actT2() {
 	}
 	b.contractB = ctID
 	b.record("t2", price, core.Cont, "lock-token-b")
-	if err := b.env.Sched.Schedule(b.env.Timeline.TB, "bob-refund", b.refund); err != nil {
+	if err := b.env.Sched.ScheduleCall(b.env.Timeline.TB, sim.PriorityDefault, "bob-refund", bobRefundCall, b, nil); err != nil {
 		b.record("t7", 0, core.Stop, "scheduling-failed: "+err.Error())
 	}
 }
@@ -341,11 +366,12 @@ func (b *Bob) onSecret(contractID string, secret htlc.Secret) {
 	b.record("t4", 0, core.Cont, "claim-with-revealed-secret")
 }
 
+// refundErr records a failed refund (see Alice.refundErr).
+func (b *Bob) refundErr(reason string) { b.record("t7", 0, core.Stop, reason) }
+
 // refund reclaims Bob's escrow if his contract is still locked at expiry.
 func (b *Bob) refund() {
-	retryRefund(b.env, b.env.ChainB, b.contractB, "bob-refund-retry", func(reason string) {
-		b.record("t7", 0, core.Stop, reason)
-	})
+	retryRefund(b.env, b.env.ChainB, b.contractB, "bob-refund-retry", b.refundErr)
 }
 
 // retryRefund submits a refund for a still-locked contract, re-arming after

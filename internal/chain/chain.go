@@ -133,6 +133,17 @@ type Chain struct {
 	nextID      int
 	haltedUntil float64
 	observers   []SecretObserver
+
+	// Reuse pools and caches for the Monte Carlo hot path: transactions
+	// and contracts recycled across Reset, and the deterministic ID/event
+	// label strings (a pure function of the chain name and a counter that
+	// restarts at every Reset, so each run regenerates the same strings).
+	txFree  []*Tx
+	ctFree  []*htlc.Contract
+	txIDs   []string // txIDs[n-1] = "<name>-tx%04d" for counter n
+	txExec  []string // txIDs[n-1] + "-execute"
+	txVis   []string // txIDs[n-1] + "-visible"
+	htlcIDs []string // "<name>-htlc%04d"
 }
 
 // Config holds chain construction parameters.
@@ -173,17 +184,70 @@ func New(cfg Config, sched *sim.Scheduler) (*Chain, error) {
 
 // Reset rewinds the chain to its freshly constructed state — no balances,
 // contracts, transactions, observers or halt window — while keeping the
-// allocated map and slice capacity for reuse. The caller must reset the
-// shared scheduler in the same breath: pending events referencing the old
-// run would otherwise fire against the cleared state.
+// allocated map and slice capacity for reuse, and recycling every
+// transaction and contract object into the chain's free pools. The caller
+// must reset the shared scheduler in the same breath: pending events
+// referencing the old run would otherwise fire against the cleared state.
 func (c *Chain) Reset() {
 	clear(c.balances)
+	for _, id := range c.order {
+		if tx := c.txs[id]; tx != nil {
+			secret := tx.secret[:0]
+			*tx = Tx{secret: secret}
+			c.txFree = append(c.txFree, tx)
+		}
+	}
+	for _, ct := range c.contracts {
+		c.ctFree = append(c.ctFree, ct)
+	}
 	clear(c.contracts)
 	clear(c.txs)
 	c.order = c.order[:0]
 	c.nextID = 0
 	c.haltedUntil = 0
 	c.observers = c.observers[:0]
+}
+
+// newTx returns a zeroed transaction from the free pool, or a fresh one.
+func (c *Chain) newTx() *Tx {
+	if n := len(c.txFree); n > 0 {
+		tx := c.txFree[n-1]
+		c.txFree = c.txFree[:n-1]
+		return tx
+	}
+	return &Tx{}
+}
+
+// newContract returns a recycled contract from the free pool, or a fresh
+// one; the caller re-arms it with Init.
+func (c *Chain) newContract() *htlc.Contract {
+	if n := len(c.ctFree); n > 0 {
+		ct := c.ctFree[n-1]
+		c.ctFree = c.ctFree[:n-1]
+		return ct
+	}
+	return &htlc.Contract{}
+}
+
+// txLabels returns the cached ID and event labels for transaction counter
+// n (1-based), formatting them on first use. Counters restart at Reset, so
+// across Monte Carlo paths every label is served from the cache.
+func (c *Chain) txLabels(n int) (id, exec, vis string) {
+	for len(c.txIDs) < n {
+		next := fmt.Sprintf("%s-tx%04d", c.name, len(c.txIDs)+1)
+		c.txIDs = append(c.txIDs, next)
+		c.txExec = append(c.txExec, next+"-execute")
+		c.txVis = append(c.txVis, next+"-visible")
+	}
+	return c.txIDs[n-1], c.txExec[n-1], c.txVis[n-1]
+}
+
+// htlcID returns the cached contract ID for contract counter n (1-based).
+func (c *Chain) htlcID(n int) string {
+	for len(c.htlcIDs) < n {
+		c.htlcIDs = append(c.htlcIDs, fmt.Sprintf("%s-htlc%04d", c.name, len(c.htlcIDs)+1))
+	}
+	return c.htlcIDs[n-1]
 }
 
 // Name returns the chain's label.
@@ -237,6 +301,17 @@ func (c *Chain) Transactions() []*Tx {
 	return out
 }
 
+// EachTransaction calls fn for every transaction in submission order until
+// fn returns false — Transactions without the slice allocation, for audit
+// passes on the Monte Carlo hot path.
+func (c *Chain) EachTransaction(fn func(*Tx) bool) {
+	for _, id := range c.order {
+		if !fn(c.txs[id]) {
+			return
+		}
+	}
+}
+
 // WatchSecrets registers an observer for secrets appearing in the mempool.
 func (c *Chain) WatchSecrets(obs SecretObserver) {
 	if obs != nil {
@@ -256,11 +331,19 @@ func (c *Chain) Halt(until float64) {
 // HaltedUntil returns the end of the current halt (zero if none).
 func (c *Chain) HaltedUntil() float64 { return c.haltedUntil }
 
+// notifyCall and executeCall adapt the chain's event handlers to the
+// scheduler's allocation-free calling convention: package-level function
+// values with the chain and transaction passed as interface words, so
+// scheduling a per-path event captures no closure.
+func notifyCall(c, tx any)  { c.(*Chain).notify(tx.(*Tx)) }
+func executeCall(c, tx any) { c.(*Chain).execute(tx.(*Tx)) }
+
 // submit registers a transaction and schedules its mempool-visibility and
 // execution events.
 func (c *Chain) submit(tx *Tx) (string, error) {
 	c.nextID++
-	tx.ID = fmt.Sprintf("%s-tx%04d", c.name, c.nextID)
+	id, execName, visName := c.txLabels(c.nextID)
+	tx.ID = id
 	tx.SubmittedAt = c.sched.Now()
 	tx.VisibleAt = tx.SubmittedAt + c.eps
 	tx.Status = TxPending
@@ -268,20 +351,24 @@ func (c *Chain) submit(tx *Tx) (string, error) {
 	c.order = append(c.order, tx.ID)
 
 	if tx.Kind == TxClaim {
-		if err := c.sched.ScheduleWithPriority(tx.VisibleAt, sim.PriorityMempool, tx.ID+"-visible", func() { c.notify(tx) }); err != nil {
+		if err := c.sched.ScheduleCall(tx.VisibleAt, sim.PriorityMempool, visName, notifyCall, c, tx); err != nil {
 			return "", fmt.Errorf("chain %s: scheduling visibility: %w", c.name, err)
 		}
 	}
-	if err := c.sched.ScheduleWithPriority(tx.SubmittedAt+c.tau, sim.PriorityConsensus, tx.ID+"-execute", func() { c.execute(tx) }); err != nil {
+	if err := c.sched.ScheduleCall(tx.SubmittedAt+c.tau, sim.PriorityConsensus, execName, executeCall, c, tx); err != nil {
 		return "", fmt.Errorf("chain %s: scheduling execution: %w", c.name, err)
 	}
 	return tx.ID, nil
 }
 
-// notify fans a newly visible secret out to the observers.
+// notify fans a newly visible secret out to the observers. The secret
+// slice is the transaction's own buffer: observers must not retain or
+// mutate it past the callback (both in-tree observers immediately copy —
+// Bob's claim submission into a pooled transaction, the Oracle not at
+// all).
 func (c *Chain) notify(tx *Tx) {
 	for _, obs := range c.observers {
-		obs(tx.ContractID, append(htlc.Secret(nil), tx.secret...))
+		obs(tx.ContractID, tx.secret)
 	}
 }
 
@@ -291,7 +378,7 @@ func (c *Chain) execute(tx *Tx) {
 	now := c.sched.Now()
 	if now < c.haltedUntil {
 		// Crash failure: retry once the chain recovers.
-		if err := c.sched.ScheduleWithPriority(c.haltedUntil, sim.PriorityConsensus, tx.ID+"-execute-retry", func() { c.execute(tx) }); err != nil {
+		if err := c.sched.ScheduleCall(c.haltedUntil, sim.PriorityConsensus, tx.ID+"-execute-retry", executeCall, c, tx); err != nil {
 			tx.Status = TxFailed
 			tx.Err = err
 		}
@@ -322,8 +409,9 @@ func (c *Chain) apply(tx *Tx, now float64) error {
 			return fmt.Errorf("%w: %s has %g, needs %g", ErrInsufficientFunds,
 				tx.from, c.balances[tx.from], tx.amount)
 		}
-		ct, err := htlc.New(tx.ContractID, tx.from, tx.to, c.asset, tx.amount, tx.lock, tx.expiry)
-		if err != nil {
+		ct := c.newContract()
+		if err := ct.Init(tx.ContractID, tx.from, tx.to, c.asset, tx.amount, tx.lock, tx.expiry); err != nil {
+			c.ctFree = append(c.ctFree, ct)
 			return err
 		}
 		c.balances[tx.from] -= tx.amount
@@ -359,7 +447,9 @@ func (c *Chain) SubmitTransfer(from, to string, amount float64) (string, error) 
 	if from == "" || to == "" || amount <= 0 {
 		return "", fmt.Errorf("%w: transfer %g from %q to %q", ErrBadSubmission, amount, from, to)
 	}
-	return c.submit(&Tx{Kind: TxTransfer, from: from, to: to, amount: amount})
+	tx := c.newTx()
+	tx.Kind, tx.from, tx.to, tx.amount = TxTransfer, from, to, amount
+	return c.submit(tx)
 }
 
 // SubmitLock submits an HTLC deployment escrowing amount from sender to
@@ -373,16 +463,12 @@ func (c *Chain) SubmitLock(sender, recipient string, amount float64, lock htlc.H
 	if expiry <= c.sched.Now() {
 		return "", "", fmt.Errorf("%w: expiry %g not in the future (now %g)", ErrBadSubmission, expiry, c.sched.Now())
 	}
-	contractID = fmt.Sprintf("%s-htlc%04d", c.name, len(c.contracts)+1)
-	txID, err = c.submit(&Tx{
-		Kind:       TxLock,
-		from:       sender,
-		to:         recipient,
-		amount:     amount,
-		lock:       lock,
-		expiry:     expiry,
-		ContractID: contractID,
-	})
+	contractID = c.htlcID(len(c.contracts) + 1)
+	tx := c.newTx()
+	tx.Kind, tx.from, tx.to = TxLock, sender, recipient
+	tx.amount, tx.lock, tx.expiry = amount, lock, expiry
+	tx.ContractID = contractID
+	txID, err = c.submit(tx)
 	if err != nil {
 		return "", "", err
 	}
@@ -396,11 +482,10 @@ func (c *Chain) SubmitClaim(contractID string, secret htlc.Secret) (string, erro
 	if contractID == "" || len(secret) == 0 {
 		return "", fmt.Errorf("%w: claim on %q", ErrBadSubmission, contractID)
 	}
-	return c.submit(&Tx{
-		Kind:       TxClaim,
-		ContractID: contractID,
-		secret:     append(htlc.Secret(nil), secret...),
-	})
+	tx := c.newTx()
+	tx.Kind, tx.ContractID = TxClaim, contractID
+	tx.secret = append(tx.secret[:0], secret...)
+	return c.submit(tx)
 }
 
 // SubmitRefund submits a refund for an expired contract.
@@ -408,7 +493,9 @@ func (c *Chain) SubmitRefund(contractID string) (string, error) {
 	if contractID == "" {
 		return "", fmt.Errorf("%w: refund on %q", ErrBadSubmission, contractID)
 	}
-	return c.submit(&Tx{Kind: TxRefund, ContractID: contractID})
+	tx := c.newTx()
+	tx.Kind, tx.ContractID = TxRefund, contractID
+	return c.submit(tx)
 }
 
 // FindContract returns the first hosted contract satisfying the predicate,

@@ -12,12 +12,11 @@ import (
 // cut-off is clamped at zero: with enough collateral at stake A continues at
 // any price.
 func (m *Model) cutoffT3(pstar, q float64) float64 {
-	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
-	net := pstar*math.Exp(-a.R*(c.EpsB+2*c.TauA)) - q*math.Exp(-a.R*(c.EpsB+c.TauA))
+	net := pstar*m.k.refundT3 - q*m.k.qReturnA
 	if net <= 0 {
 		return 0
 	}
-	return math.Exp((a.R-pr.Mu)*c.TauB) * net / (1 + a.Alpha)
+	return m.k.cutoffScale * net / (1 + m.params.Alice.Alpha)
 }
 
 // CutoffT3 returns the cut-off price P̄_t3 of Eq. 18: A continues at t3 when
@@ -34,27 +33,23 @@ func (m *Model) CutoffT3(pstar float64) (float64, error) {
 // aliceContT3 is U^A_t3(cont) as a function of the t3 price x (Eq. 14):
 // (1+αA)·E(x,τb)·e^{−rA·τb}.
 func (m *Model) aliceContT3(x float64) float64 {
-	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
-	return (1 + a.Alpha) * x * math.Exp((pr.Mu-a.R)*c.TauB)
+	return (1 + m.params.Alice.Alpha) * x * m.k.growthA
 }
 
 // aliceStopT3 is U^A_t3(stop) (Eq. 16): the refund P* received at t8.
 func (m *Model) aliceStopT3(pstar float64) float64 {
-	a, c := m.params.Alice, m.params.Chains
-	return pstar * math.Exp(-a.R*(c.EpsB+2*c.TauA))
+	return pstar * m.k.refundT3
 }
 
 // bobContT3 is U^B_t3(cont) (Eq. 15): B banks P* Token_a at t6.
 func (m *Model) bobContT3(pstar float64) float64 {
-	b, c := m.params.Bob, m.params.Chains
-	return (1 + b.Alpha) * pstar * math.Exp(-b.R*(c.EpsB+c.TauA))
+	return (1 + m.params.Bob.Alpha) * pstar * m.k.bankB
 }
 
 // bobStopT3 is U^B_t3(stop) as a function of the t3 price x (Eq. 17):
 // B's Token_b returns at t7 = t3 + 2τb.
 func (m *Model) bobStopT3(x float64) float64 {
-	b, c, pr := m.params.Bob, m.params.Chains, m.params.Price
-	return x * math.Exp(2*(pr.Mu-b.R)*c.TauB)
+	return x * m.k.growth2B
 }
 
 // AliceUtilityT3 evaluates U^A_t3 (Eqs. 14 and 16) at t3 price pT3 for the
@@ -98,39 +93,102 @@ func (m *Model) BobUtilityT3(action Action, pT3, pstar float64) (float64, error)
 
 // ---- Stage t2 (Eqs. 20–23), generalised with collateral q ----
 
-// aliceContT2 is U^A_t2(cont) at t2 price y (Eq. 20; Eq. 34 when q > 0).
-// The success branch integrates A's t3 cont utility above the cut-off in
-// closed form via the truncated lognormal moment; with collateral, A's
-// returned deposit q·e^{−rA(εb+τa)} rides on the same branch.
-func (m *Model) aliceContT2(y, pstar, q float64) float64 {
-	a, c, pr := m.params.Alice, m.params.Chains, m.params.Price
+// t2Eval bundles every part of the t2 stage utilities that is constant in
+// the t2 price y: the cut-off P̄_t3 and its logarithm, the t3 continuation
+// and stop values, and the premium-weighted coefficients. One t2Eval is
+// built per (P*, Q) solve and reused across the hundreds of price points a
+// root scan or stage integral evaluates, replacing the per-point
+// recomputation of Eqs. 15–18. Every field stores the bit-exact value of
+// the subexpression it replaces, so evaluation through a t2Eval returns
+// the same floats as the original per-point formulas.
+type t2Eval struct {
+	m        *Model
+	pstar, q float64
+	pbar     float64 // cutoffT3(pstar, q)
+	logPbar  float64 // math.Log(pbar)
+
+	aliceStop3 float64 // aliceStopT3(pstar)
+	bobCont3   float64 // bobContT3(pstar)
+	contCoefA  float64 // (1+αA)·exp((µ−rA)τb), A's t3 cont coefficient
+	qReturn    float64 // q·exp(−rA(εb+τa)), A's returned deposit
+	qDiscB     float64 // q·exp(−rB·τa), B's own released deposit
+	qBank      float64 // q·exp(−rB(εb+τa)), A's forfeited deposit to B
+}
+
+// newT2Eval hoists the y-independent parts of Eqs. 20–24 (33–35 with q>0).
+func (m *Model) newT2Eval(pstar, q float64) t2Eval {
 	pbar := m.cutoffT3(pstar, q)
-	tr := m.transition(y, c.TauB)
-	cont := (1+a.Alpha)*math.Exp((pr.Mu-a.R)*c.TauB)*tr.PartialExpectationAbove(pbar) +
-		q*math.Exp(-a.R*(c.EpsB+c.TauA))*tr.TailProb(pbar)
-	stop := tr.CDF(pbar) * m.aliceStopT3(pstar)
-	return math.Exp(-a.R*c.TauB) * (cont + stop)
+	return t2Eval{
+		m:          m,
+		pstar:      pstar,
+		q:          q,
+		pbar:       pbar,
+		logPbar:    math.Log(pbar),
+		aliceStop3: m.aliceStopT3(pstar),
+		bobCont3:   m.bobContT3(pstar),
+		contCoefA:  (1 + m.params.Alice.Alpha) * m.k.growthA,
+		qReturn:    q * m.k.qReturnA,
+		qDiscB:     q * m.k.discBTauA,
+		qBank:      q * m.k.bankB,
+	}
+}
+
+// aliceCont is U^A_t2(cont) at t2 price y with logy = math.Log(y)
+// (Eq. 20; Eq. 34 when q > 0): the success branch integrates A's t3 cont
+// utility above the cut-off in closed form via the truncated lognormal
+// moment; with collateral, A's returned deposit rides on the same branch.
+func (e *t2Eval) aliceCont(logy float64) float64 {
+	tr := e.m.transitionTauBAtLog(logy)
+	cont := e.contCoefA * tr.PartialExpectationAboveAtLog(e.pbar, e.logPbar)
+	if e.qReturn != 0 {
+		// The deposit term vanishes exactly in the basic game; skipping it
+		// skips one erfc without moving the sum (adding +0 is exact).
+		cont += e.qReturn * tr.TailProbAtLog(e.pbar, e.logPbar)
+	}
+	stop := tr.CDFAtLog(e.pbar, e.logPbar) * e.aliceStop3
+	return e.m.k.discATauB * (cont + stop)
+}
+
+// bobCont is U^B_t2(cont) at t2 price y with logy = math.Log(y)
+// (Eq. 21; Eq. 35 when q > 0). With collateral, B's own deposit is released
+// at t3 and received at t3+τa, and A's forfeited deposit accrues to B on
+// the branch where A stops.
+func (e *t2Eval) bobCont(logy float64) float64 {
+	tr := e.m.transitionTauBAtLog(logy)
+	val := e.qDiscB +
+		tr.TailProbAtLog(e.pbar, e.logPbar)*e.bobCont3 +
+		e.m.k.growth2B*tr.PartialExpectationBelowAtLog(e.pbar, e.logPbar)
+	if e.qBank != 0 {
+		// Forfeited-deposit term: exactly zero in the basic game, so the
+		// hottest scan of the solve engine skips one of its three erfc
+		// evaluations (adding +0 is exact; every term is non-negative).
+		val += e.qBank * tr.CDFAtLog(e.pbar, e.logPbar)
+	}
+	return e.m.k.discBTauB * val
+}
+
+// succ is the success probability of the t3 subgame seen from t2 price y
+// (the inner factor of Eq. 31): P[P_t3 > P̄_t3 | P_t2 = y].
+func (e *t2Eval) succ(logy float64) float64 {
+	return e.m.transitionTauBAtLog(logy).TailProbAtLog(e.pbar, e.logPbar)
+}
+
+// aliceContT2 is U^A_t2(cont) at t2 price y (Eq. 20; Eq. 34 when q > 0).
+func (m *Model) aliceContT2(y, pstar, q float64) float64 {
+	e := m.newT2Eval(pstar, q)
+	return e.aliceCont(math.Log(y))
 }
 
 // aliceStopT2 is U^A_t2(stop) (Eq. 22): A's refund arrives at
 // t8 = t2 + τb + εb + 2τa after B walks away.
 func (m *Model) aliceStopT2(pstar float64) float64 {
-	a, c := m.params.Alice, m.params.Chains
-	return pstar * math.Exp(-a.R*(c.TauB+c.EpsB+2*c.TauA))
+	return pstar * m.k.stopT2A
 }
 
 // bobContT2 is U^B_t2(cont) at t2 price y (Eq. 21; Eq. 35 when q > 0).
-// With collateral, B's own deposit is released at t3 and received at t3+τa,
-// and A's forfeited deposit accrues to B on the branch where A stops.
 func (m *Model) bobContT2(y, pstar, q float64) float64 {
-	b, c, pr := m.params.Bob, m.params.Chains, m.params.Price
-	pbar := m.cutoffT3(pstar, q)
-	tr := m.transition(y, c.TauB)
-	val := q*math.Exp(-b.R*c.TauA) +
-		tr.TailProb(pbar)*m.bobContT3(pstar) +
-		math.Exp(2*(pr.Mu-b.R)*c.TauB)*tr.PartialExpectationBelow(pbar) +
-		q*math.Exp(-b.R*(c.EpsB+c.TauA))*tr.CDF(pbar)
-	return math.Exp(-b.R*c.TauB) * val
+	e := m.newT2Eval(pstar, q)
+	return e.bobCont(math.Log(y))
 }
 
 // bobStopT2 is U^B_t2(stop) (Eq. 23): B simply keeps his Token_b (and, with
@@ -179,10 +237,22 @@ func (m *Model) BobUtilityT2(action Action, pT2, pstar float64) (float64, error)
 // Eq. 24; with collateral the difference can have one or three roots
 // (Fig. 7), hence the general interval-set machinery. The scan happens in
 // log-price space, matching the lognormal geometry of the transition law.
+//
+// The scan is the solve engine's hottest primitive, so the result is
+// memoized per (P*, Q) — ContRangeT2, SuccessRate and Strategy at the same
+// rate share one scan.
 func (m *Model) contSetT2(pstar, q float64) mathx.IntervalSet {
-	diff := func(y float64) float64 { return m.bobContT2(y, pstar, q) - m.bobStopT2(y) }
+	return m.solve.contSet.Do(solveKey{pstar, q}, func() mathx.IntervalSet {
+		return m.contSetT2Scan(pstar, q)
+	})
+}
+
+// contSetT2Scan is the uncached scan behind contSetT2.
+func (m *Model) contSetT2Scan(pstar, q float64) mathx.IntervalSet {
+	e := m.newT2Eval(pstar, q)
+	diff := func(y float64) float64 { return e.bobCont(math.Log(y)) - y }
 	b := m.params.Bob
-	pbar := m.cutoffT3(pstar, q)
+	pbar := e.pbar
 	// Upper bound: U^B_t2(cont) ≤ q + (1+αB)P* + e^{2(µ−rB)τb}·P̄_t3 up to
 	// discount factors ≤ e^{|µ|τ}, so cont < stop surely beyond a small
 	// multiple of that bound.
@@ -219,40 +289,76 @@ func (m *Model) ContRangeT2(pstar float64) (mathx.Interval, bool, error) {
 // aliceContT1 is U^A_t1(cont) (Eq. 25): the discounted expectation of A's
 // t2 position over B's continuation region, plus her refund on the stop
 // region. The q generalisation implements Eq. 36 excluding the collateral
-// constant in the stop branch, which aliceContT1Collateral adds.
+// constant in the stop branch, which Collateral.aliceContT1 adds.
+// Memoized per P* so Strategy and the figure curves reuse the feasibility
+// scan's evaluations.
 func (m *Model) aliceContT1(pstar float64) float64 {
-	a, c := m.params.Alice, m.params.Chains
+	return m.solve.aliceT1.Do(solveKey{pstar, 0}, func() float64 {
+		return m.aliceContT1Integrate(pstar)
+	})
+}
+
+func (m *Model) aliceContT1Integrate(pstar float64) float64 {
+	e := m.newT2Eval(pstar, 0)
 	set := m.contSetT2(pstar, 0)
-	tr := m.transition(m.params.P0, c.TauA)
+	tr := m.transitionTauA(m.params.P0)
+	// Stack-backed scratch for the default 64-point rule; larger orders
+	// spill to the heap.
+	var arr [64]float64
+	buf := arr[:0]
+	if n := m.gl.N(); n > len(arr) {
+		buf = make([]float64, 0, n)
+	}
 	var contPart, prob float64
 	for _, iv := range set.Intervals() {
-		contPart += m.gl.Integrate(func(y float64) float64 {
-			return tr.PDF(y) * m.aliceContT2(y, pstar, 0)
-		}, iv.Lo, iv.Hi)
+		// Scratch-free quadrature: evaluate the integrand over the mapped
+		// nodes in place; IntegrateMapped reproduces Integrate bit for bit.
+		nodes := m.gl.MapNodes(buf[:0], iv.Lo, iv.Hi)
+		for i, y := range nodes {
+			logy := math.Log(y)
+			nodes[i] = tr.PDFAtLog(y, logy) * e.aliceCont(logy)
+		}
+		contPart += m.gl.IntegrateMapped(nodes, iv.Lo, iv.Hi)
 		prob += tr.CDF(iv.Hi) - tr.CDF(iv.Lo)
 	}
 	stopPart := (1 - prob) * m.aliceStopT2(pstar)
-	return math.Exp(-a.R*c.TauA) * (contPart + stopPart)
+	return m.k.discATauA * (contPart + stopPart)
 }
 
 // bobContT1 is U^B_t1(cont) (Eq. 26, with the upper stop region restored —
 // see DESIGN.md deviation 1): B's expected t2 position whether or not he
-// ends up continuing.
+// ends up continuing. Memoized per P*, like aliceContT1.
 func (m *Model) bobContT1(pstar float64) float64 {
-	b, c := m.params.Bob, m.params.Chains
+	return m.solve.bobT1.Do(solveKey{pstar, 0}, func() float64 {
+		return m.bobContT1Integrate(pstar)
+	})
+}
+
+func (m *Model) bobContT1Integrate(pstar float64) float64 {
+	e := m.newT2Eval(pstar, 0)
 	set := m.contSetT2(pstar, 0)
-	tr := m.transition(m.params.P0, c.TauA)
+	tr := m.transitionTauA(m.params.P0)
+	// Stack-backed scratch for the default 64-point rule; larger orders
+	// spill to the heap.
+	var arr [64]float64
+	buf := arr[:0]
+	if n := m.gl.N(); n > len(arr) {
+		buf = make([]float64, 0, n)
+	}
 	var contPart, peInside float64
 	for _, iv := range set.Intervals() {
-		contPart += m.gl.Integrate(func(y float64) float64 {
-			return tr.PDF(y) * m.bobContT2(y, pstar, 0)
-		}, iv.Lo, iv.Hi)
+		nodes := m.gl.MapNodes(buf[:0], iv.Lo, iv.Hi)
+		for i, y := range nodes {
+			logy := math.Log(y)
+			nodes[i] = tr.PDFAtLog(y, logy) * e.bobCont(logy)
+		}
+		contPart += m.gl.IntegrateMapped(nodes, iv.Lo, iv.Hi)
 		peInside += tr.PartialExpectationBelow(iv.Hi) - tr.PartialExpectationBelow(iv.Lo)
 	}
 	// On the stop region B's utility is the price itself (Eq. 23), so the
 	// stop contribution is the complementary partial expectation.
 	stopPart := tr.Mean() - peInside
-	return math.Exp(-b.R*c.TauA) * (contPart + stopPart)
+	return m.k.discBTauA * (contPart + stopPart)
 }
 
 // AliceUtilityT1 evaluates U^A_t1 (Eqs. 25 and 27).
@@ -298,15 +404,19 @@ func (m *Model) rateScanBound() float64 {
 // within which A initiates the swap at t1; with Table III parameters this is
 // the paper's Eq. 29, approximately (1.5, 2.5). ok is false when no rate is
 // viable (for instance under an exceedingly high discount rate, §III.F.2).
+// The scan — several hundred full t1 solves — is memoized on the Model.
 func (m *Model) FeasibleRateRange() (mathx.Interval, bool, error) {
-	diff := func(pstar float64) float64 { return m.aliceContT1(pstar) - pstar }
-	lo, hi := 1e-3, m.rateScanBound()
-	roots := mathx.FindAllRoots(diff, lo, hi, m.scanN/2, m.tol)
-	set := mathx.FromSignChanges(diff, lo, hi, roots)
-	if set.Empty() {
+	res := m.solve.ranges.Do(rangeKind{kind: 'F'}, func() rangeResult {
+		diff := func(pstar float64) float64 { return m.aliceContT1(pstar) - pstar }
+		lo, hi := 1e-3, m.rateScanBound()
+		roots := mathx.FindAllRoots(diff, lo, hi, m.scanN/2, m.tol)
+		set := mathx.FromSignChanges(diff, lo, hi, roots)
+		return rangeResult{set: set, ok: !set.Empty()}
+	})
+	if !res.ok {
 		return mathx.Interval{Lo: 1, Hi: 0}, false, nil
 	}
-	return set.Bounds(), true, nil
+	return res.set.Bounds(), true, nil
 }
 
 // SuccessRate evaluates SR(P*) of Eq. 31: the probability, at initiation,
@@ -322,37 +432,55 @@ func (m *Model) SuccessRate(pstar float64) (float64, error) {
 }
 
 func (m *Model) successRate(pstar, q float64) float64 {
-	c := m.params.Chains
+	return m.solve.sr.Do(solveKey{pstar, q}, func() float64 {
+		return m.successRateIntegrate(pstar, q)
+	})
+}
+
+func (m *Model) successRateIntegrate(pstar, q float64) float64 {
 	set := m.contSetT2(pstar, q)
 	if set.Empty() {
 		return 0
 	}
-	pbar := m.cutoffT3(pstar, q)
-	tr := m.transition(m.params.P0, c.TauA)
+	e := m.newT2Eval(pstar, q)
+	tr := m.transitionTauA(m.params.P0)
+	// Stack-backed scratch for the default 64-point rule; larger orders
+	// spill to the heap.
+	var arr [64]float64
+	buf := arr[:0]
+	if n := m.gl.N(); n > len(arr) {
+		buf = make([]float64, 0, n)
+	}
 	var sr float64
 	for _, iv := range set.Intervals() {
-		sr += m.gl.Integrate(func(y float64) float64 {
-			succ := m.transition(y, c.TauB).TailProb(pbar)
-			return tr.PDF(y) * succ
-		}, iv.Lo, iv.Hi)
+		nodes := m.gl.MapNodes(buf[:0], iv.Lo, iv.Hi)
+		for i, y := range nodes {
+			logy := math.Log(y)
+			nodes[i] = tr.PDFAtLog(y, logy) * e.succ(logy)
+		}
+		sr += m.gl.IntegrateMapped(nodes, iv.Lo, iv.Hi)
 	}
 	return mathx.Clamp(sr, 0, 1)
 }
 
 // OptimalRate returns the exchange rate maximising SR(P*) over the feasible
 // range (the concave optimum of §III.F), along with the achieved success
-// rate. It returns ErrNotViable when no rate is feasible at t1.
+// rate. It returns ErrNotViable when no rate is feasible at t1. The search
+// is memoized on the Model.
 func (m *Model) OptimalRate() (pstar, sr float64, err error) {
-	rng, ok, err := m.FeasibleRateRange()
-	if err != nil {
-		return 0, 0, err
-	}
-	if !ok {
+	res := m.solve.optimal.Do(rangeKind{kind: 'O'}, func() optResult {
+		rng, ok, err := m.FeasibleRateRange()
+		if err != nil || !ok {
+			return optResult{ok: false}
+		}
+		arg, val := mathx.GridMax(func(p float64) float64 { return m.successRate(p, 0) },
+			rng.Lo, rng.Hi, 64, 1e-9)
+		return optResult{arg: arg, val: val, ok: true}
+	})
+	if !res.ok {
 		return 0, 0, fmt.Errorf("%w: no feasible exchange rate at t1", ErrNotViable)
 	}
-	arg, val := mathx.GridMax(func(p float64) float64 { return m.successRate(p, 0) },
-		rng.Lo, rng.Hi, 64, 1e-9)
-	return arg, val, nil
+	return res.arg, res.val, nil
 }
 
 // Strategy summarises the subgame-perfect strategies for a given exchange
@@ -371,7 +499,9 @@ type Strategy struct {
 }
 
 // Strategy solves the game at the given exchange rate and returns the
-// subgame-perfect threshold strategies.
+// subgame-perfect threshold strategies. With the solve memo, the t1 value
+// and the continuation region are shared with any earlier solve at the
+// same rate (ContRangeT2, SuccessRate, the feasibility scan).
 func (m *Model) Strategy(pstar float64) (Strategy, error) {
 	if err := checkRate(pstar); err != nil {
 		return Strategy{}, err

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/memo"
 )
 
 // TypePrior is a discrete prior over a counterparty's success premium —
@@ -72,6 +73,9 @@ type Bayesian struct {
 	m      *Model
 	priorA TypePrior
 	priorB TypePrior
+	// typed memoizes the per-type model clones so each (αA, αB) pair gets
+	// one solve memo shared across the stage computations.
+	typed memo.Map[[2]float64, *Model]
 }
 
 // Bayesian returns the incomplete-information solver for the given priors
@@ -86,14 +90,20 @@ func (m *Model) Bayesian(priorA, priorB TypePrior) (*Bayesian, error) {
 	return &Bayesian{m: m, priorA: priorA, priorB: priorB}, nil
 }
 
-// typedModel returns a copy of the base model with the premia replaced.
+// typedModel returns a copy of the base model with the premia replaced,
+// memoized per type pair. The clone keeps the shared quadrature tables and
+// the discount constants (none depend on the premia) but gets its own solve
+// memo, since its parameter set differs from the base model's.
 func (b *Bayesian) typedModel(alphaA, alphaB float64) *Model {
-	p := b.m.params
-	p.Alice.Alpha = alphaA
-	p.Bob.Alpha = alphaB
-	clone := *b.m
-	clone.params = p
-	return &clone
+	return b.typed.Do([2]float64{alphaA, alphaB}, func() *Model {
+		p := b.m.params
+		p.Alice.Alpha = alphaA
+		p.Bob.Alpha = alphaB
+		clone := *b.m
+		clone.params = p
+		clone.solve = &solveMemo{}
+		return &clone
+	})
 }
 
 // CutoffT3 returns the t3 cut-off for an A of type alphaA (Eq. 18 with her

@@ -92,37 +92,64 @@ func (c *Collateral) ContSetT2(pstar float64) (mathx.IntervalSet, error) {
 
 // aliceContT1 is U^A_t1,c(cont) of Eq. 36: A's expected t2 position, where
 // on B's stop region A recovers her refund plus both deposits
-// (2Q at t3, received τa later).
+// (2Q at t3, received τa later). Memoized per (P*, Q) on the Model.
 func (c *Collateral) aliceContT1(pstar float64) float64 {
-	a, ch := c.m.params.Alice, c.m.params.Chains
-	set := c.m.contSetT2(pstar, c.q)
-	tr := c.m.transition(c.m.params.P0, ch.TauA)
-	var contPart, prob float64
-	for _, iv := range set.Intervals() {
-		contPart += c.m.gl.Integrate(func(y float64) float64 {
-			return tr.PDF(y) * c.m.aliceContT2(y, pstar, c.q)
-		}, iv.Lo, iv.Hi)
-		prob += tr.CDF(iv.Hi) - tr.CDF(iv.Lo)
-	}
-	stopVal := c.m.aliceStopT2(pstar) + 2*c.q*math.Exp(-a.R*(ch.TauB+ch.TauA))
-	return math.Exp(-a.R*ch.TauA) * (contPart + (1-prob)*stopVal)
+	m := c.m
+	return m.solve.aliceT1.Do(solveKey{pstar, c.q}, func() float64 {
+		e := m.newT2Eval(pstar, c.q)
+		set := m.contSetT2(pstar, c.q)
+		tr := m.transitionTauA(m.params.P0)
+		// Stack-backed scratch for the default 64-point rule; larger orders
+		// spill to the heap.
+		var arr [64]float64
+		buf := arr[:0]
+		if n := m.gl.N(); n > len(arr) {
+			buf = make([]float64, 0, n)
+		}
+		var contPart, prob float64
+		for _, iv := range set.Intervals() {
+			nodes := m.gl.MapNodes(buf[:0], iv.Lo, iv.Hi)
+			for i, y := range nodes {
+				logy := math.Log(y)
+				nodes[i] = tr.PDFAtLog(y, logy) * e.aliceCont(logy)
+			}
+			contPart += m.gl.IntegrateMapped(nodes, iv.Lo, iv.Hi)
+			prob += tr.CDF(iv.Hi) - tr.CDF(iv.Lo)
+		}
+		stopVal := m.aliceStopT2(pstar) + 2*c.q*m.k.collStopA
+		return m.k.discATauA * (contPart + (1-prob)*stopVal)
+	})
 }
 
 // bobContT1 is U^B_t1,c(cont) of Eq. 37 (discounted at rB; see DESIGN.md
-// deviation 3): B's expected t2 position over both regions.
+// deviation 3): B's expected t2 position over both regions. Memoized per
+// (P*, Q) on the Model.
 func (c *Collateral) bobContT1(pstar float64) float64 {
-	b, ch := c.m.params.Bob, c.m.params.Chains
-	set := c.m.contSetT2(pstar, c.q)
-	tr := c.m.transition(c.m.params.P0, ch.TauA)
-	var contPart, peInside float64
-	for _, iv := range set.Intervals() {
-		contPart += c.m.gl.Integrate(func(y float64) float64 {
-			return tr.PDF(y) * c.m.bobContT2(y, pstar, c.q)
-		}, iv.Lo, iv.Hi)
-		peInside += tr.PartialExpectationBelow(iv.Hi) - tr.PartialExpectationBelow(iv.Lo)
-	}
-	stopPart := tr.Mean() - peInside
-	return math.Exp(-b.R*ch.TauA) * (contPart + stopPart)
+	m := c.m
+	return m.solve.bobT1.Do(solveKey{pstar, c.q}, func() float64 {
+		e := m.newT2Eval(pstar, c.q)
+		set := m.contSetT2(pstar, c.q)
+		tr := m.transitionTauA(m.params.P0)
+		// Stack-backed scratch for the default 64-point rule; larger orders
+		// spill to the heap.
+		var arr [64]float64
+		buf := arr[:0]
+		if n := m.gl.N(); n > len(arr) {
+			buf = make([]float64, 0, n)
+		}
+		var contPart, peInside float64
+		for _, iv := range set.Intervals() {
+			nodes := m.gl.MapNodes(buf[:0], iv.Lo, iv.Hi)
+			for i, y := range nodes {
+				logy := math.Log(y)
+				nodes[i] = tr.PDFAtLog(y, logy) * e.bobCont(logy)
+			}
+			contPart += m.gl.IntegrateMapped(nodes, iv.Lo, iv.Hi)
+			peInside += tr.PartialExpectationBelow(iv.Hi) - tr.PartialExpectationBelow(iv.Lo)
+		}
+		stopPart := tr.Mean() - peInside
+		return m.k.discBTauA * (contPart + stopPart)
+	})
 }
 
 // AliceUtilityT1 evaluates U^A_t1,c (Eqs. 36 and 38). Stopping keeps the
@@ -164,15 +191,23 @@ func (c *Collateral) feasibleSet(diff mathx.Func1) mathx.IntervalSet {
 }
 
 // FeasibleRatesAlice returns 𝒫^A: exchange rates at which A prefers to
-// engage at t1 (U^A_t1,c(cont) > P* + Q).
+// engage at t1 (U^A_t1,c(cont) > P* + Q). Memoized per Q on the Model.
 func (c *Collateral) FeasibleRatesAlice() mathx.IntervalSet {
-	return c.feasibleSet(func(p float64) float64 { return c.aliceContT1(p) - (p + c.q) })
+	res := c.m.solve.ranges.Do(rangeKind{kind: 'A', q: c.q}, func() rangeResult {
+		set := c.feasibleSet(func(p float64) float64 { return c.aliceContT1(p) - (p + c.q) })
+		return rangeResult{set: set, ok: !set.Empty()}
+	})
+	return res.set
 }
 
 // FeasibleRatesBob returns 𝒫^B: exchange rates at which B prefers to engage
-// at t1 (U^B_t1,c(cont) > P_t1 + Q).
+// at t1 (U^B_t1,c(cont) > P_t1 + Q). Memoized per Q on the Model.
 func (c *Collateral) FeasibleRatesBob() mathx.IntervalSet {
-	return c.feasibleSet(func(p float64) float64 { return c.bobContT1(p) - (c.m.params.P0 + c.q) })
+	res := c.m.solve.ranges.Do(rangeKind{kind: 'B', q: c.q}, func() rangeResult {
+		set := c.feasibleSet(func(p float64) float64 { return c.bobContT1(p) - (c.m.params.P0 + c.q) })
+		return rangeResult{set: set, ok: !set.Empty()}
+	})
+	return res.set
 }
 
 // FeasibleRatesIntersection returns 𝒫^A ∩ 𝒫^B: rates at which the

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/mathx"
+	"repro/internal/memo"
 	"repro/internal/utility"
 )
 
@@ -62,30 +63,155 @@ func (a Action) String() string {
 
 // Model solves the basic swap game for a fixed parameter set.
 // Construct with New; the zero value is not usable.
+//
+// A Model is safe for concurrent use: its parameters, quadrature tables and
+// precomputed constants are immutable after New, and the solve memo behind
+// the expensive entry points (ContRangeT2, SuccessRate, FeasibleRateRange,
+// OptimalRate, …) is concurrency-safe. Repeated solves of the same cell —
+// the same (query, collateral) under this Model's parameters and quadrature
+// options — are computed once and shared.
 type Model struct {
 	params utility.Params
 	gl     *mathx.GaussLegendre
 	gh     *mathx.GaussHermite
 	scanN  int
 	tol    float64
+
+	// k holds the parameter-only discount/transition constants of
+	// Eqs. 14–46, precomputed once at New (see consts).
+	k consts
+
+	// solve memoizes the solve cells; held by pointer so that a Model is
+	// never copied with live memo state (see Bayesian.typedModel).
+	solve *solveMemo
+}
+
+// consts is the precomputed `exp((r−µ)τ)` discount-factor family of the
+// stage utilities, plus the lognormal transition constants for the two
+// decision horizons. Every field stores the bit-exact value of the
+// subexpression it replaces (same math.Exp/math.Sqrt argument expressions
+// as the original equations), so routing through consts cannot move any
+// result by even one ULP. None of the fields depend on the premia α, which
+// is what allows Bayesian's typed clones to share them.
+type consts struct {
+	// Alice's discount family.
+	refundT3    float64 // exp(−rA(εb+2τa)): t8 refund seen from t3 (Eq. 16)
+	qReturnA    float64 // exp(−rA(εb+τa)): A's returned deposit (Eq. 33/34)
+	cutoffScale float64 // exp((rA−µ)τb): the cut-off scale of Eq. 18
+	growthA     float64 // exp((µ−rA)τb): A's t3 cont growth (Eq. 14)
+	discATauB   float64 // exp(−rA·τb): one-stage discount at t2 (Eq. 20)
+	stopT2A     float64 // exp(−rA(τb+εb+2τa)): t8 refund seen from t2 (Eq. 22)
+	discATauA   float64 // exp(−rA·τa): one-stage discount at t1 (Eq. 25)
+	collStopA   float64 // exp(−rA(τb+τa)): forfeited deposits at t1 (Eq. 36)
+	// Bob's discount family.
+	bankB     float64 // exp(−rB(εb+τa)): B banks Token_a at t6 (Eq. 15)
+	growth2B  float64 // exp(2(µ−rB)τb): B's two-stage growth (Eq. 17)
+	discBTauA float64 // exp(−rB·τa): one-stage discount at t1 (Eq. 26)
+	discBTauB float64 // exp(−rB·τb): one-stage discount at t2 (Eq. 21)
+	// Lognormal transition constants: transition(p, τ) is
+	// LogNormal{Mu: log(p) + drift, Sigma: sig} for each horizon.
+	driftTauA, sigTauA float64
+	driftTauB, sigTauB float64
+}
+
+// computeConsts evaluates the discount family for a validated parameter
+// set, preserving the exact argument expressions of the stage utilities.
+func computeConsts(p utility.Params) consts {
+	a, b, c, pr := p.Alice, p.Bob, p.Chains, p.Price
+	return consts{
+		refundT3:    math.Exp(-a.R * (c.EpsB + 2*c.TauA)),
+		qReturnA:    math.Exp(-a.R * (c.EpsB + c.TauA)),
+		cutoffScale: math.Exp((a.R - pr.Mu) * c.TauB),
+		growthA:     math.Exp((pr.Mu - a.R) * c.TauB),
+		discATauB:   math.Exp(-a.R * c.TauB),
+		stopT2A:     math.Exp(-a.R * (c.TauB + c.EpsB + 2*c.TauA)),
+		discATauA:   math.Exp(-a.R * c.TauA),
+		collStopA:   math.Exp(-a.R * (c.TauB + c.TauA)),
+		bankB:       math.Exp(-b.R * (c.EpsB + c.TauA)),
+		growth2B:    math.Exp(2 * (pr.Mu - b.R) * c.TauB),
+		discBTauA:   math.Exp(-b.R * c.TauA),
+		discBTauB:   math.Exp(-b.R * c.TauB),
+		driftTauA:   (pr.Mu - pr.Sigma*pr.Sigma/2) * c.TauA,
+		sigTauA:     pr.Sigma * math.Sqrt(c.TauA),
+		driftTauB:   (pr.Mu - pr.Sigma*pr.Sigma/2) * c.TauB,
+		sigTauB:     pr.Sigma * math.Sqrt(c.TauB),
+	}
+}
+
+// solveKey identifies one solve cell under a fixed Model: the query value
+// (an exchange rate, a price, or a locked amount) and the second knob of
+// the extension in play (collateral Q, or B's budget for the uncertain
+// game; 0 when unused).
+type solveKey struct {
+	x, q float64
+}
+
+// rangeKind enumerates the memoized range/optimum computations.
+type rangeKind struct {
+	kind byte // 'F' feasible basic, 'A'/'B' collateral engagement, 'O' optimal rate
+	q    float64
+}
+
+// rangeResult is a memoized interval-set-valued solve with its viability
+// flag (used by FeasibleRateRange and the collateral engagement sets).
+type rangeResult struct {
+	set mathx.IntervalSet
+	ok  bool
+}
+
+// optResult is a memoized optimum (OptimalRate).
+type optResult struct {
+	arg, val float64
+	ok       bool
+}
+
+// solveMemo is the Model's concurrency-safe solve cache. Every entry is a
+// pure function of (Model parameters, quadrature options, key), so sharing
+// across goroutines and artifacts cannot change any result.
+type solveMemo struct {
+	contSet  memo.Map[solveKey, mathx.IntervalSet] // contSetT2(pstar, q)
+	aliceT1  memo.Map[solveKey, float64]           // aliceContT1(pstar, q)
+	bobT1    memo.Map[solveKey, float64]           // bobContT1(pstar, q)
+	sr       memo.Map[solveKey, float64]           // successRate(pstar, q)
+	ranges   memo.Map[rangeKind, rangeResult]      // feasible/engagement sets
+	optimal  memo.Map[rangeKind, optResult]        // OptimalRate
+	uncertSR memo.Map[solveKey, float64]           // Uncertain.SuccessRate(a, budget)
+	excessT1 memo.Map[solveKey, float64]           // Uncertain.aliceExcessT1(a, budget)
+}
+
+// MemoStats reports the Model's cumulative solve-cache hits and misses
+// across all memoized entry points.
+func (m *Model) MemoStats() (hits, misses uint64) {
+	add := func(h, mi uint64) { hits += h; misses += mi }
+	add(m.solve.contSet.Stats())
+	add(m.solve.aliceT1.Stats())
+	add(m.solve.bobT1.Stats())
+	add(m.solve.sr.Stats())
+	add(m.solve.ranges.Stats())
+	add(m.solve.optimal.Stats())
+	add(m.solve.uncertSR.Stats())
+	add(m.solve.excessT1.Stats())
+	return
 }
 
 // Option configures a Model.
 type Option func(*Model)
 
 // WithQuadOrder sets the Gauss–Legendre order used for the finite-interval
-// stage integrals (default 64).
+// stage integrals (default 64). The node table comes from the process-wide
+// shared cache.
 func WithQuadOrder(n int) Option {
 	return func(m *Model) {
-		m.gl = mathx.MustGaussLegendre(n)
+		m.gl = mathx.SharedGaussLegendre(n)
 	}
 }
 
 // WithHermiteOrder sets the Gauss–Hermite order used for full-line
-// expectations in the uncertain-amount extension (default 48).
+// expectations in the uncertain-amount extension (default 48). The node
+// table comes from the process-wide shared cache.
 func WithHermiteOrder(n int) Option {
 	return func(m *Model) {
-		m.gh = mathx.MustGaussHermite(n)
+		m.gh = mathx.SharedGaussHermite(n)
 	}
 }
 
@@ -104,10 +230,12 @@ func New(p utility.Params, opts ...Option) (*Model, error) {
 	}
 	m := &Model{
 		params: p,
-		gl:     mathx.MustGaussLegendre(64),
-		gh:     mathx.MustGaussHermite(48),
+		gl:     mathx.SharedGaussLegendre(64),
+		gh:     mathx.SharedGaussHermite(48),
 		scanN:  600,
 		tol:    1e-11,
+		k:      computeConsts(p),
+		solve:  &solveMemo{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -127,6 +255,19 @@ func (m *Model) transition(p, tau float64) dist.LogNormal {
 		panic(err)
 	}
 	return l
+}
+
+// transitionTauA is transition(p, Chains.TauA) through the precomputed
+// drift/volatility constants — bit-identical to the validated path for
+// p > 0, which every call site guarantees.
+func (m *Model) transitionTauA(p float64) dist.LogNormal {
+	return dist.LogNormal{Mu: math.Log(p) + m.k.driftTauA, Sigma: m.k.sigTauA}
+}
+
+// transitionTauBAtLog is transition(p, Chains.TauB) for a caller that has
+// already computed logp = math.Log(p); see transitionTauA.
+func (m *Model) transitionTauBAtLog(logp float64) dist.LogNormal {
+	return dist.LogNormal{Mu: logp + m.k.driftTauB, Sigma: m.k.sigTauB}
 }
 
 // checkRate validates an exchange-rate (or locked-amount) argument.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dist"
 	"repro/internal/mathx"
 )
 
@@ -60,35 +61,86 @@ func (u *Uncertain) CutoffT3(xLock, aLock float64) (float64, error) {
 	return u.m.cutoffT3(aLock, 0) / xLock, nil
 }
 
-// aliceT2 is U^A_t2,x(X) of Eq. 42 at t2 price y: X units of the t3 cont
-// utility above the scaled cut-off, plus the refund below it.
-func (u *Uncertain) aliceT2(xLock, y, aLock float64) float64 {
-	a, c, pr := u.m.params.Alice, u.m.params.Chains, u.m.params.Price
-	refund := aLock * math.Exp(-a.R*(c.EpsB+2*c.TauA))
-	if xLock <= 0 {
-		// B locked nothing; A's only outcome is the refund one stage later.
-		return math.Exp(-a.R*c.TauB) * refund
-	}
-	pbar := u.m.cutoffT3(aLock, 0) / xLock
-	tr := u.m.transition(y, c.TauB)
-	cont := xLock * (1 + a.Alpha) * math.Exp((pr.Mu-a.R)*c.TauB) * tr.PartialExpectationAbove(pbar)
-	stop := tr.CDF(pbar) * refund
-	return math.Exp(-a.R*c.TauB) * (cont + stop)
+// xEval bundles the parts of the §IV.B stage utilities that are constant
+// across B's response search at one t2 price: the unscaled cut-off, A's
+// refund, and the transition law out of y. The best-response optimisation
+// (Eq. 44) evaluates Eq. 43 at ~160 candidate amounts per price point;
+// before the hoist each evaluation rebuilt the transition and the cut-off
+// from scratch. Every field stores the bit-exact value of the
+// subexpression it replaces.
+type xEval struct {
+	u     *Uncertain
+	aLock float64
+	y     float64
+	pbar0 float64        // cutoffT3(aLock, 0), before the 1/X scaling
+	ref   float64        // aLock·exp(−rA(εb+2τa)), A's refund
+	tr    dist.LogNormal // transition(y, τb)
 }
 
-// bobT2 is U^B_t2,x(X) of Eq. 43 at t2 price y: B's expected gross utility
-// from locking X, net of the value X·y he surrenders by committing the
-// tokens. It is zero at X = 0 (locking nothing is equivalent to stop).
-func (u *Uncertain) bobT2(xLock, y, aLock float64) float64 {
+// newXEval hoists the X-independent parts of Eqs. 41–43.
+func (u *Uncertain) newXEval(y, aLock float64) xEval {
+	return xEval{
+		u:     u,
+		aLock: aLock,
+		y:     y,
+		pbar0: u.m.cutoffT3(aLock, 0),
+		ref:   aLock * u.m.k.refundT3,
+		tr:    u.m.transitionTauBAtLog(math.Log(y)),
+	}
+}
+
+// aliceT2 is U^A_t2,x(X) of Eq. 42: X units of the t3 cont utility above
+// the scaled cut-off, plus the refund below it.
+func (e *xEval) aliceT2(xLock float64) float64 {
+	m := e.u.m
+	if xLock <= 0 {
+		// B locked nothing; A's only outcome is the refund one stage later.
+		return m.k.discATauB * e.ref
+	}
+	pbar := e.pbar0 / xLock
+	logPbar := math.Log(pbar)
+	cont := xLock * (1 + m.params.Alice.Alpha) * m.k.growthA * e.tr.PartialExpectationAboveAtLog(pbar, logPbar)
+	stop := e.tr.CDFAtLog(pbar, logPbar) * e.ref
+	return m.k.discATauB * (cont + stop)
+}
+
+// bobT2 is U^B_t2,x(X) of Eq. 43: B's expected gross utility from locking
+// X, net of the value X·y he surrenders by committing the tokens. It is
+// zero at X = 0 (locking nothing is equivalent to stop).
+func (e *xEval) bobT2(xLock float64) float64 {
 	if xLock <= 0 {
 		return 0
 	}
-	b, c, pr := u.m.params.Bob, u.m.params.Chains, u.m.params.Price
-	pbar := u.m.cutoffT3(aLock, 0) / xLock
-	tr := u.m.transition(y, c.TauB)
-	gross := tr.TailProb(pbar)*(1+b.Alpha)*aLock*math.Exp(-b.R*(c.EpsB+c.TauA)) +
-		xLock*math.Exp(2*(pr.Mu-b.R)*c.TauB)*tr.PartialExpectationBelow(pbar)
-	return math.Exp(-b.R*c.TauB)*gross - xLock*y
+	m := e.u.m
+	pbar := e.pbar0 / xLock
+	logPbar := math.Log(pbar)
+	gross := e.tr.TailProbAtLog(pbar, logPbar)*(1+m.params.Bob.Alpha)*e.aLock*m.k.bankB +
+		xLock*m.k.growth2B*e.tr.PartialExpectationBelowAtLog(pbar, logPbar)
+	return m.k.discBTauB*gross - xLock*e.y
+}
+
+// optimal solves Eq. 44 at this price point: X*(P_t2) = argmax_{X≥0}
+// U^B_t2,x(X). The search runs over log X — the objective's scale is set by
+// P̄_t3/y, which spans orders of magnitude across the P_t2 axis of
+// Fig. 10a — and X = 0 is compared explicitly (B locks nothing and
+// effectively stops).
+func (e *xEval) optimal() (xStar, val float64) {
+	// Beyond X ≈ 50·P̄_t3/y the success probability has saturated and the
+	// marginal locked token is pure loss; below the grid floor the utility
+	// is O(X) small. The budget caps the search when finite.
+	xMax := 50*e.pbar0/e.y + 10
+	if xMax > 1e9 {
+		xMax = 1e9
+	}
+	if xMax > e.u.budget {
+		xMax = e.u.budget
+	}
+	obj := func(lx float64) float64 { return e.bobT2(math.Exp(lx)) }
+	lArg, lVal := mathx.GridMax(obj, math.Log(xMax)-25, math.Log(xMax), 160, 1e-10)
+	if lVal <= 0 {
+		return 0, 0
+	}
+	return math.Exp(lArg), lVal
 }
 
 // AliceUtilityT2 evaluates Eq. 42 with argument checks.
@@ -102,7 +154,8 @@ func (u *Uncertain) AliceUtilityT2(xLock, pT2, aLock float64) (float64, error) {
 	if err := checkRate(aLock); err != nil {
 		return 0, err
 	}
-	return u.aliceT2(xLock, pT2, aLock), nil
+	e := u.newXEval(pT2, aLock)
+	return e.aliceT2(xLock), nil
 }
 
 // BobExcessUtilityT2 evaluates Eq. 43 with argument checks.
@@ -116,7 +169,8 @@ func (u *Uncertain) BobExcessUtilityT2(xLock, pT2, aLock float64) (float64, erro
 	if err := checkRate(aLock); err != nil {
 		return 0, err
 	}
-	return u.bobT2(xLock, pT2, aLock), nil
+	e := u.newXEval(pT2, aLock)
+	return e.bobT2(xLock), nil
 }
 
 func (u *Uncertain) checkLock(xLock float64) error {
@@ -124,30 +178,6 @@ func (u *Uncertain) checkLock(xLock float64) error {
 		return fmt.Errorf("%w: X=%g must be >= 0 and finite", ErrBadParam, xLock)
 	}
 	return nil
-}
-
-// optimalLockB solves Eq. 44: X*(P_t2) = argmax_{X≥0} U^B_t2,x(X). The
-// search runs over log X — the objective's scale is set by P̄_t3/y, which
-// spans orders of magnitude across the P_t2 axis of Fig. 10a — and X = 0 is
-// compared explicitly (B locks nothing and effectively stops).
-func (u *Uncertain) optimalLockB(y, aLock float64) (xStar, val float64) {
-	pbar := u.m.cutoffT3(aLock, 0)
-	// Beyond X ≈ 50·P̄_t3/y the success probability has saturated and the
-	// marginal locked token is pure loss; below the grid floor the utility
-	// is O(X) small. The budget caps the search when finite.
-	xMax := 50*pbar/y + 10
-	if xMax > 1e9 {
-		xMax = 1e9
-	}
-	if xMax > u.budget {
-		xMax = u.budget
-	}
-	obj := func(lx float64) float64 { return u.bobT2(math.Exp(lx), y, aLock) }
-	lArg, lVal := mathx.GridMax(obj, math.Log(xMax)-25, math.Log(xMax), 160, 1e-10)
-	if lVal <= 0 {
-		return 0, 0
-	}
-	return math.Exp(lArg), lVal
 }
 
 // OptimalLockB returns X*(P_t2) of Eq. 44 together with B's excess utility
@@ -159,7 +189,8 @@ func (u *Uncertain) OptimalLockB(pT2, aLock float64) (xStar, excess float64, err
 	if err := checkRate(aLock); err != nil {
 		return 0, 0, err
 	}
-	xStar, excess = u.optimalLockB(pT2, aLock)
+	e := u.newXEval(pT2, aLock)
+	xStar, excess = e.optimal()
 	return xStar, excess, nil
 }
 
@@ -174,33 +205,43 @@ func (u *Uncertain) AliceExcessUtilityT1(aLock float64) (float64, error) {
 	return u.aliceExcessT1(aLock), nil
 }
 
+// aliceExcessT1 is memoized per (a, budget) on the Model: the Fig. 10b
+// curve, its break-even scan and the optimal-commitment search revisit the
+// same amounts.
 func (u *Uncertain) aliceExcessT1(aLock float64) float64 {
-	a, c := u.m.params.Alice, u.m.params.Chains
-	tr := u.m.transition(u.m.params.P0, c.TauA)
-	exp := u.m.gh.ExpectLogNormal(func(y float64) float64 {
-		xStar, _ := u.optimalLockB(y, aLock)
-		return u.aliceT2(xStar, y, aLock)
-	}, tr.Mu, tr.Sigma)
-	return math.Exp(-a.R*c.TauA)*exp - aLock
+	return u.m.solve.excessT1.Do(solveKey{aLock, u.budget}, func() float64 {
+		c := u.m.params.Chains
+		tr := u.m.transition(u.m.params.P0, c.TauA)
+		exp := u.m.gh.ExpectLogNormal(func(y float64) float64 {
+			e := u.newXEval(y, aLock)
+			xStar, _ := e.optimal()
+			return e.aliceT2(xStar)
+		}, tr.Mu, tr.Sigma)
+		return u.m.k.discATauA*exp - aLock
+	})
 }
 
 // SuccessRate evaluates Eq. 46: the probability that B locks a positive X*
 // and A subsequently reveals, under B's best response at every t2 price.
+// Memoized per (a, budget) on the Model.
 func (u *Uncertain) SuccessRate(aLock float64) (float64, error) {
 	if err := checkRate(aLock); err != nil {
 		return 0, err
 	}
-	c := u.m.params.Chains
-	pbar := u.m.cutoffT3(aLock, 0)
-	tr := u.m.transition(u.m.params.P0, c.TauA)
-	sr := u.m.gh.ExpectLogNormal(func(y float64) float64 {
-		xStar, _ := u.optimalLockB(y, aLock)
-		if xStar <= 0 {
-			return 0
-		}
-		return u.m.transition(y, c.TauB).TailProb(pbar / xStar)
-	}, tr.Mu, tr.Sigma)
-	return mathx.Clamp(sr, 0, 1), nil
+	sr := u.m.solve.uncertSR.Do(solveKey{aLock, u.budget}, func() float64 {
+		c := u.m.params.Chains
+		tr := u.m.transition(u.m.params.P0, c.TauA)
+		sr := u.m.gh.ExpectLogNormal(func(y float64) float64 {
+			e := u.newXEval(y, aLock)
+			xStar, _ := e.optimal()
+			if xStar <= 0 {
+				return 0
+			}
+			return e.tr.TailProb(e.pbar0 / xStar)
+		}, tr.Mu, tr.Sigma)
+		return mathx.Clamp(sr, 0, 1)
+	})
+	return sr, nil
 }
 
 // OptimalLockA maximises A's excess utility (Eq. 45) over the committed

@@ -97,6 +97,56 @@ func (l LogNormal) PartialExpectationAbove(k float64) float64 {
 	return l.Mean() * stdNormCDF(l.Sigma-l.score(k))
 }
 
+// The AtLog variants below take the threshold (or evaluation point) twice:
+// as x and as logx, which must equal math.Log(x). They exist for the solve
+// engine's hot loops, where one fixed threshold is evaluated against many
+// distributions: the caller hoists the logarithm out of the loop and every
+// variant reproduces its plain counterpart bit for bit, because score(x)
+// uses math.Log(x) and nothing else about x.
+
+// PDFAtLog is PDF with the evaluation point's logarithm precomputed.
+func (l LogNormal) PDFAtLog(x, logx float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (logx - l.Mu) / l.Sigma
+	return invSqrt2Pi / (x * l.Sigma) * math.Exp(-0.5*z*z)
+}
+
+// CDFAtLog is CDF with the threshold's logarithm precomputed.
+func (l LogNormal) CDFAtLog(x, logx float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return stdNormCDF((logx - l.Mu) / l.Sigma)
+}
+
+// TailProbAtLog is TailProb with the threshold's logarithm precomputed.
+func (l LogNormal) TailProbAtLog(x, logx float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return stdNormCDF(-((logx - l.Mu) / l.Sigma))
+}
+
+// PartialExpectationBelowAtLog is PartialExpectationBelow with the
+// threshold's logarithm precomputed.
+func (l LogNormal) PartialExpectationBelowAtLog(k, logk float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return l.Mean() * stdNormCDF((logk-l.Mu)/l.Sigma-l.Sigma)
+}
+
+// PartialExpectationAboveAtLog is PartialExpectationAbove with the
+// threshold's logarithm precomputed.
+func (l LogNormal) PartialExpectationAboveAtLog(k, logk float64) float64 {
+	if k <= 0 {
+		return l.Mean()
+	}
+	return l.Mean() * stdNormCDF(l.Sigma-(logk-l.Mu)/l.Sigma)
+}
+
 // Quantile returns the q-quantile exp(Mu + Sigma·Φ⁻¹(q)) for q in (0, 1).
 func (l LogNormal) Quantile(q float64) (float64, error) {
 	if !(q > 0 && q < 1) {

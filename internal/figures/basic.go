@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/plot"
+	"repro/internal/solvecache"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
 	"repro/internal/timeline"
@@ -139,7 +140,7 @@ func Fig2(p utility.Params, _ Opts) ([]Figure, error) {
 // Fig3 reproduces Alice's t3 utilities (cont vs stop) for the three panel
 // exchange rates, with the cut-off price P̄_t3 in the notes.
 func Fig3(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +183,7 @@ func Fig3(p utility.Params, o Opts) ([]Figure, error) {
 // Fig4 reproduces Bob's t2 utilities (cont vs stop) for the three panel
 // exchange rates, with the continuation range (P̲_t2, P̄_t2) in the notes.
 func Fig4(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +230,7 @@ func Fig4(p utility.Params, o Opts) ([]Figure, error) {
 // Fig5 reproduces Alice's t1 utilities over the exchange rate, with the
 // feasible range (P̲*, P̄*) of Eq. 29 in the notes.
 func Fig5(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +310,7 @@ func Fig6(p utility.Params, o Opts) ([]Figure, error) {
 	curves, err := sweep.Map(context.Background(), len(panels)*nVals, o.Workers, func(k int) (curve, error) {
 		panel := panels[k/nVals]
 		v := panel.values[k%nVals]
-		m, err := core.New(panel.with(p, v))
+		m, err := solvecache.SharedModel(panel.with(p, v))
 		if err != nil {
 			return curve{}, err
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/plot"
+	"repro/internal/solvecache"
 	"repro/internal/sweep"
 	"repro/internal/utility"
 )
@@ -19,7 +20,7 @@ var collateralPanels = []float64{0.01, 0.1}
 // Q ∈ {0.01, 0.1} and the three panel rates, with the indifference points
 // (1 or 3 of them) in the notes.
 func Fig7(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func indifferenceCount(set mathx.IntervalSet) int {
 // Fig8 reproduces both agents' t1 utilities in the collateral game over the
 // exchange rate, with each agent's engagement set in the notes.
 func Fig8(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +151,7 @@ func Fig8(p utility.Params, o Opts) ([]Figure, error) {
 
 // Fig9 reproduces the success rate under collateral for Q ∈ {0, 0.01, 0.1}.
 func Fig9(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +190,7 @@ func Fig9(p utility.Params, o Opts) ([]Figure, error) {
 // Fig10a reproduces B's optimal lock amount X*(P_t2) for the three
 // committed amounts, under the holdings budget (DESIGN.md deviation 6).
 func Fig10a(p utility.Params, budget float64, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +230,7 @@ func Fig10a(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 // Fig10b reproduces A's excess utility at t1 over the committed amount,
 // with the break-even range and optimum in the notes.
 func Fig10b(p utility.Params, budget float64, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +268,7 @@ func Fig10b(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 // Fig11 compares the success rate of the basic setup against the
 // uncertain-exchange-rate game (both capped and unconstrained responders).
 func Fig11(p utility.Params, budget float64, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/packetized"
 	"repro/internal/plot"
 	"repro/internal/repeated"
+	"repro/internal/solvecache"
 	"repro/internal/sweep"
 	"repro/internal/utility"
 )
@@ -18,7 +19,7 @@ import (
 // in counterparties' success premium"): SR(P*) under mean-preserving
 // spreads of Alice's belief about αB.
 func Uncertainty(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/plot"
+	"repro/internal/solvecache"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
 	"repro/internal/utility"
@@ -18,7 +19,7 @@ import (
 // simulator — the repository's end-to-end validation artifact (not a paper
 // figure; the paper's analysis is purely numerical).
 func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +106,7 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 // vertical gap is the failure risk added by B's rationality, the paper's
 // headline observation.
 func BaselineComparison(p utility.Params, o Opts) ([]Figure, error) {
-	m, err := core.New(p)
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
 		return nil, err
 	}

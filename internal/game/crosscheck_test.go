@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/solvecache"
 	"repro/internal/utility"
 )
 
@@ -19,9 +20,11 @@ import (
 // registry and the random draws span.
 func crossCheck(t *testing.T, p utility.Params, pstar float64) {
 	t.Helper()
-	m, err := core.New(p)
+	// Route through the shared solve cache, as every production consumer
+	// does: preset cells solved here are shared with the scenario batch.
+	m, err := solvecache.SharedModel(p)
 	if err != nil {
-		t.Fatalf("core.New: %v", err)
+		t.Fatalf("solvecache.SharedModel: %v", err)
 	}
 	g, err := SwapGame(p, pstar)
 	if err != nil {

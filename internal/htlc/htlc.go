@@ -41,14 +41,29 @@ type Hash [sha256.Size]byte
 // NewSecret draws a random secret from r (crypto/rand.Reader in production;
 // tests may pass a deterministic reader) and returns it with its hash.
 func NewSecret(r io.Reader) (Secret, Hash, error) {
+	s := make(Secret, SecretSize)
+	h, err := FillSecret(s, r)
+	if err != nil {
+		return nil, Hash{}, err
+	}
+	return s, h, nil
+}
+
+// FillSecret draws a fresh secret from r into buf — which must be
+// SecretSize bytes — and returns its hash. It is NewSecret without the
+// allocation: the simulator's reusable agents draw every path's secret
+// into one preallocated buffer.
+func FillSecret(buf Secret, r io.Reader) (Hash, error) {
+	if len(buf) != SecretSize {
+		return Hash{}, fmt.Errorf("%w: secret buffer of %d bytes, want %d", ErrBadContract, len(buf), SecretSize)
+	}
 	if r == nil {
 		r = rand.Reader
 	}
-	s := make(Secret, SecretSize)
-	if _, err := io.ReadFull(r, s); err != nil {
-		return nil, Hash{}, fmt.Errorf("htlc: generating secret: %w", err)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Hash{}, fmt.Errorf("htlc: generating secret: %w", err)
 	}
-	return s, HashOf(s), nil
+	return HashOf(buf), nil
 }
 
 // HashOf returns the hash lock of a secret.
@@ -111,21 +126,34 @@ type Contract struct {
 
 // New validates and creates a locked contract.
 func New(id, sender, recipient, asset string, amount float64, lock Hash, expiry float64) (*Contract, error) {
+	ct := &Contract{}
+	if err := ct.Init(id, sender, recipient, asset, amount, lock, expiry); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// Init validates the parameters and re-arms the contract value in place as
+// a fresh locked escrow, reusing the revealed-secret buffer's storage. It
+// is the pooled alternative to New: the chain simulator's reusable
+// transaction arena re-initialises recycled contracts instead of
+// allocating new ones on every Monte Carlo path.
+func (c *Contract) Init(id, sender, recipient, asset string, amount float64, lock Hash, expiry float64) error {
 	switch {
 	case id == "":
-		return nil, fmt.Errorf("%w: empty id", ErrBadContract)
+		return fmt.Errorf("%w: empty id", ErrBadContract)
 	case sender == "" || recipient == "":
-		return nil, fmt.Errorf("%w: empty party", ErrBadContract)
+		return fmt.Errorf("%w: empty party", ErrBadContract)
 	case sender == recipient:
-		return nil, fmt.Errorf("%w: sender and recipient are the same account %q", ErrBadContract, sender)
+		return fmt.Errorf("%w: sender and recipient are the same account %q", ErrBadContract, sender)
 	case asset == "":
-		return nil, fmt.Errorf("%w: empty asset", ErrBadContract)
+		return fmt.Errorf("%w: empty asset", ErrBadContract)
 	case amount <= 0:
-		return nil, fmt.Errorf("%w: amount %g must be > 0", ErrBadContract, amount)
+		return fmt.Errorf("%w: amount %g must be > 0", ErrBadContract, amount)
 	case expiry <= 0:
-		return nil, fmt.Errorf("%w: expiry %g must be > 0", ErrBadContract, expiry)
+		return fmt.Errorf("%w: expiry %g must be > 0", ErrBadContract, expiry)
 	}
-	return &Contract{
+	*c = Contract{
 		ID:        id,
 		Sender:    sender,
 		Recipient: recipient,
@@ -134,7 +162,9 @@ func New(id, sender, recipient, asset string, amount float64, lock Hash, expiry 
 		Lock:      lock,
 		Expiry:    expiry,
 		state:     Locked,
-	}, nil
+		secret:    c.secret[:0],
+	}
+	return nil
 }
 
 // State returns the contract's lifecycle state.
@@ -163,7 +193,9 @@ func (c *Contract) Claim(secret Secret, now float64) error {
 	if !c.Lock.Verify(secret) {
 		return ErrBadSecret
 	}
-	c.secret = append(Secret(nil), secret...)
+	// Reuse the buffer's storage (recycled contracts already carry one):
+	// Secret() hands out copies, so the stored preimage never escapes.
+	c.secret = append(c.secret[:0], secret...)
 	c.state = Claimed
 	return nil
 }

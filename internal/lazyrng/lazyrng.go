@@ -1,0 +1,185 @@
+// Package lazyrng provides a reseedable replacement for math/rand's default
+// source that produces the exact same stream at a fraction of the reseed
+// cost. It exists for the Monte Carlo hot path: every simulated path is
+// seeded with its own decorrelated seed, and math/rand's Seed computes a
+// 607-element lagged-Fibonacci vector (≈1 900 Lehmer steps, ~75% of the
+// per-path CPU before this package) of which a protocol path consumes a
+// handful of elements.
+//
+// The trick: math/rand's generator is an additive lagged-Fibonacci walk
+// over a vector seeded from a Lehmer LCG (seedrand, multiplier 48271 modulo
+// 2³¹−1). Draw j (for j < 273, the tap distance) reads only the two
+// original vector cells 333−j and 606−j, and cell i is a fixed function of
+// LCG iterates 21+3i, 22+3i, 23+3i of the seed. Lehmer iterates jump in
+// O(1) with precomputed multiplier powers, so the lazy source materialises
+// exactly the cells a draw touches — Seed becomes three stores, and each
+// draw costs six modular multiplications. Streams are bit-identical to
+// rand.NewSource by construction, which keeps every committed golden
+// artifact byte-identical; if more than lazyDraws values are drawn the
+// source falls back to materialising the full vector and walking it like
+// math/rand does.
+//
+// The stream contract is pinned by TestStreamMatchesMathRand, which
+// compares against math/rand itself across seeds and past the fallback
+// boundary.
+package lazyrng
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+
+	lcgA = 48271 // seedrand's Lehmer multiplier, modulo int32max
+
+	// lazyDraws is the number of draws served lazily before falling back
+	// to the materialised vector; it must stay below rngTap, the first
+	// draw whose tap re-reads a previously written cell.
+	lazyDraws = 256
+)
+
+// pow holds lcgA^n mod int32max for every iterate index the lazy window
+// can touch: cells 333−j and 606−j for j < lazyDraws need iterates
+// 21+3i … 23+3i for i up to 606.
+var pow [3*rngLen + 24]uint64
+
+func init() {
+	p := uint64(1)
+	for n := range pow {
+		pow[n] = p
+		p = p * lcgA % int32max
+	}
+}
+
+// Source is a reseedable math/rand-compatible source (implements
+// rand.Source64). The zero value is a source seeded with 0; Seed is O(1).
+// Like math/rand's source it is not safe for concurrent use.
+type Source struct {
+	x0   uint64 // adjusted Lehmer seed
+	j    int    // next lazy draw index
+	full bool   // vec materialised (fallback mode)
+
+	tap, feed int
+	vec       [rngLen]int64
+}
+
+// New returns a source seeded like rand.NewSource(seed).
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to the state rand.NewSource(seed) would start in.
+// It performs no vector computation: cells are materialised per draw.
+func (s *Source) Seed(seed int64) {
+	seed %= int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311 // math/rand's replacement for the fixed point 0
+	}
+	s.x0 = uint64(seed)
+	s.j = 0
+	s.full = false
+}
+
+// iterate returns Lehmer iterate n of the seed: seedrand applied n times.
+func (s *Source) iterate(n int) uint64 {
+	return s.x0 * pow[n] % int32max
+}
+
+// cell returns original vector cell i — the value math/rand's Seed stores
+// in vec[i] — from three Lehmer iterates and the cooked table.
+func (s *Source) cell(i int) int64 {
+	base := 21 + 3*i
+	u := int64(s.iterate(base)) << 40
+	u ^= int64(s.iterate(base+1)) << 20
+	u ^= int64(s.iterate(base + 2))
+	return u ^ cooked[i]
+}
+
+// Uint64 returns the next value of the stream rand.NewSource would
+// produce.
+func (s *Source) Uint64() uint64 {
+	if !s.full {
+		if s.j < lazyDraws {
+			// Draw j reads only original cells: the feed cell 333−j was
+			// never written (feed only decreases) and the tap cell 606−j
+			// stays ahead of every written cell while j < rngTap.
+			x := s.cell(rngLen-rngTap-1-s.j) + s.cell(rngLen-1-s.j)
+			s.j++
+			return uint64(x)
+		}
+		s.materialise()
+	}
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns Uint64 with the sign bit cleared, like math/rand.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() & rngMask)
+}
+
+// materialise computes the full vector (the work Seed does in math/rand)
+// and replays the lazy draws' writes, switching the source to the plain
+// lagged-Fibonacci walk.
+func (s *Source) materialise() {
+	x := int32(s.x0)
+	for i := -20; i < rngLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = seedrand(x)
+			u ^= int64(x) << 20
+			x = seedrand(x)
+			u ^= int64(x)
+			u ^= cooked[i]
+			s.vec[i] = u
+		}
+	}
+	s.tap = 0
+	s.feed = rngLen - rngTap
+	// Replay the draws already served lazily so the walk state matches.
+	for t := 0; t < s.j; t++ {
+		s.tap--
+		if s.tap < 0 {
+			s.tap += rngLen
+		}
+		s.feed--
+		if s.feed < 0 {
+			s.feed += rngLen
+		}
+		v := s.vec[s.feed] + s.vec[s.tap]
+		s.vec[s.feed] = v
+	}
+	s.full = true
+}
+
+// seedrand is math/rand's Lehmer step (Schrage's method): (48271·x) mod
+// (2³¹−1) without overflow in 32-bit arithmetic.
+func seedrand(x int32) int32 {
+	const (
+		a = lcgA
+		q = 44488
+		r = 3399
+	)
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += int32max
+	}
+	return x
+}

@@ -1,0 +1,57 @@
+package lazyrng
+
+// SplitMix is a preallocated, reseedable splitmix64 generator (Steele,
+// Lea & Flood, OOPSLA 2014 — the same finaliser internal/sweep uses to
+// decorrelate shard seeds). The Monte Carlo runner uses one per worker as
+// its secret source: reseeding is a single store, Read fills a preimage
+// buffer without allocating, and the stream is a pure function of the seed
+// — so secret generation stays deterministic per path without crypto/rand's
+// per-path allocation and syscall. It implements io.Reader and
+// rand.Source64. Not safe for concurrent use.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix returns a generator seeded with seed.
+func NewSplitMix(seed int64) *SplitMix {
+	return &SplitMix{state: uint64(seed)}
+}
+
+// Seed resets the stream. It is O(1): splitmix64 has no warm-up.
+func (s *SplitMix) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 returns the next value of the stream.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Int63 returns Uint64 with the sign bit cleared (rand.Source).
+func (s *SplitMix) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Read fills p with pseudorandom bytes (io.Reader; never fails).
+func (s *SplitMix) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) >= 8 {
+		v := s.Uint64()
+		for i := 0; i < 8; i++ {
+			p[i] = byte(v >> (8 * i))
+		}
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		v := s.Uint64()
+		for i := range p {
+			p[i] = byte(v >> (8 * i))
+		}
+	}
+	return n, nil
+}

@@ -89,6 +89,37 @@ func (gl *GaussLegendre) Integrate(f Func1, a, b float64) float64 {
 	return half * sum
 }
 
+// MapNodes appends the rule's nodes affinely mapped onto [a, b] to dst
+// (usually dst[:0] of a reusable scratch buffer) and returns the extended
+// slice. Together with IntegrateMapped it forms the scratch-free evaluation
+// path: callers evaluate the integrand over the mapped nodes in place —
+// vals[i] = f(nodes[i]) may overwrite the node buffer — and combine with
+// IntegrateMapped, reproducing Integrate's result bit for bit without a
+// closure or per-call allocation.
+func (gl *GaussLegendre) MapNodes(dst []float64, a, b float64) []float64 {
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	for _, x := range gl.nodes {
+		dst = append(dst, mid+half*x)
+	}
+	return dst
+}
+
+// IntegrateMapped combines integrand values evaluated at MapNodes(dst, a, b)
+// into the quadrature sum. The accumulation order matches Integrate exactly,
+// so for the same integrand the two paths return identical floats.
+func (gl *GaussLegendre) IntegrateMapped(vals []float64, a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	half := 0.5 * (b - a)
+	var sum float64
+	for i, v := range vals {
+		sum += gl.weights[i] * v
+	}
+	return half * sum
+}
+
 // IntegratePanels splits [a, b] into panels sub-intervals and applies the
 // rule on each, improving accuracy for integrands with localised features
 // (such as the kinked utility differences in the collateral game).

@@ -1,0 +1,126 @@
+// Package memo provides the small concurrency-safe memoization primitive
+// under the repository's amortized solve engine: a generic map from a
+// comparable key to a compute-once value, with lock-free reads on the hit
+// path and hit/miss counters for cache introspection.
+//
+// It is a leaf package (no repro imports) so that both the numeric layers
+// (internal/mathx quadrature tables) and the solver layers (internal/core
+// per-model solve memos, internal/solvecache cross-artifact model cache)
+// can share one implementation.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map memoizes a pure function of K. The zero value is ready to use.
+//
+// Reads of already-computed entries are lock-free (sync.Map fast path).
+// Concurrent first requests for the same key share one computation: losers
+// block until the winner's value is stored, so side-effect-free compute
+// functions run exactly once per key. Values must be treated as immutable
+// by callers — they are returned by reference to every future caller.
+type Map[K comparable, V any] struct {
+	m      sync.Map // K -> *entry[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// entry is a compute-once cell: done is closed after val (or panicked) is
+// set, which publishes it to waiters (channel close is a happens-before
+// edge). A compute that panicked records the panic value so waiters
+// re-panic instead of blocking forever or silently reading a zero value.
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked any
+}
+
+// await blocks until the entry is computed and returns its value,
+// re-raising the computing goroutine's panic if it had one.
+func (e *entry[V]) await() V {
+	<-e.done
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
+	return e.val
+}
+
+// Do returns the memoized value for key, computing it with compute on the
+// first request. compute must be a pure function of key: the value is
+// stored forever and shared with every later caller. If compute panics,
+// the panic propagates to the caller and to every waiter on the same key
+// (the entry stays poisoned: later calls re-panic rather than re-compute,
+// matching sync.Once semantics).
+func (c *Map[K, V]) Do(key K, compute func() V) V {
+	if e, ok := c.m.Load(key); ok {
+		c.hits.Add(1)
+		return e.(*entry[V]).await()
+	}
+	fresh := &entry[V]{done: make(chan struct{})}
+	e, loaded := c.m.LoadOrStore(key, fresh)
+	ent := e.(*entry[V])
+	if loaded {
+		c.hits.Add(1)
+		return ent.await()
+	}
+	c.misses.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			ent.panicked = r
+			close(ent.done)
+			panic(r)
+		}
+		close(ent.done)
+	}()
+	ent.val = compute()
+	return ent.val
+}
+
+// Get returns the memoized value without computing, and whether it exists.
+// An entry whose first computation is still in flight reports false.
+func (c *Map[K, V]) Get(key K) (V, bool) {
+	var zero V
+	e, ok := c.m.Load(key)
+	if !ok {
+		return zero, false
+	}
+	ent := e.(*entry[V])
+	select {
+	case <-ent.done:
+		if ent.panicked != nil {
+			return zero, false // poisoned by a panicking compute
+		}
+		return ent.val, true
+	default:
+		return zero, false
+	}
+}
+
+// Range calls fn for every completed entry (in-flight computations are
+// skipped) until fn returns false. Like sync.Map.Range, it does not
+// represent a consistent snapshot.
+func (c *Map[K, V]) Range(fn func(key K, val V) bool) {
+	c.m.Range(func(k, e any) bool {
+		ent := e.(*entry[V])
+		select {
+		case <-ent.done:
+			return fn(k.(K), ent.val)
+		default:
+			return true
+		}
+	})
+}
+
+// Len reports the number of cached entries (including in-flight ones).
+func (c *Map[K, V]) Len() int {
+	n := 0
+	c.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Map[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

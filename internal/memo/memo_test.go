@@ -1,0 +1,188 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	var m Map[int, int]
+	calls := 0
+	for i := 0; i < 5; i++ {
+		got := m.Do(7, func() int { calls++; return 42 })
+		if got != 42 {
+			t.Fatalf("Do(7) = %d, want 42", got)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if got := m.Do(8, func() int { return 43 }); got != 43 {
+		t.Fatalf("Do(8) = %d, want 43", got)
+	}
+	hits, misses := m.Stats()
+	if hits != 4 || misses != 2 {
+		t.Fatalf("Stats() = (%d, %d), want (4, 2)", hits, misses)
+	}
+	if n := m.Len(); n != 2 {
+		t.Fatalf("Len() = %d, want 2", n)
+	}
+}
+
+func TestGetDoesNotCompute(t *testing.T) {
+	var m Map[string, float64]
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get on empty map reported a value")
+	}
+	m.Do("k", func() float64 { return 1.5 })
+	v, ok := m.Get("k")
+	if !ok || v != 1.5 {
+		t.Fatalf("Get(k) = (%g, %v), want (1.5, true)", v, ok)
+	}
+}
+
+// TestConcurrentDoSharesOneComputation hammers one key from many
+// goroutines: the compute function must run exactly once and every caller
+// must observe its value (run with -race in CI).
+func TestConcurrentDoSharesOneComputation(t *testing.T) {
+	var m Map[int, *int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]*int, 64)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = m.Do(1, func() *int {
+				calls.Add(1)
+				v := 99
+				return &v
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("caller %d saw a different pointer", i)
+		}
+		if *r != 99 {
+			t.Fatalf("caller %d saw value %d", i, *r)
+		}
+	}
+}
+
+// TestConcurrentDistinctKeys checks independent keys do not serialise or
+// cross results.
+// TestInFlightEntryVisibility covers the in-flight branches: while a first
+// computation runs, Get reports the key absent and Range skips it; a
+// concurrent Do blocks until the winner finishes and returns its value.
+func TestInFlightEntryVisibility(t *testing.T) {
+	var m Map[int, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go m.Do(1, func() int {
+		close(started)
+		<-release
+		return 10
+	})
+	<-started
+	if _, ok := m.Get(1); ok {
+		t.Error("Get returned an in-flight entry")
+	}
+	seen := 0
+	m.Range(func(int, int) bool { seen++; return true })
+	if seen != 0 {
+		t.Errorf("Range visited %d in-flight entries", seen)
+	}
+	done := make(chan int)
+	go func() { done <- m.Do(1, func() int { t.Error("second compute ran"); return -1 }) }()
+	close(release)
+	if got := <-done; got != 10 {
+		t.Errorf("waiter saw %d, want 10", got)
+	}
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Errorf("Get after completion = (%d, %v)", v, ok)
+	}
+}
+
+// TestPanicPropagatesAndPoisons pins the failure mode a deadlock review
+// found: a panicking compute must re-panic in the caller AND in every
+// waiter (never block them), and later lookups must not silently read a
+// zero value.
+func TestPanicPropagatesAndPoisons(t *testing.T) {
+	var m Map[int, int]
+	mustPanic := func(name string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		m.Do(1, func() int { panic("boom") })
+	}
+	mustPanic("first Do")
+	// The key is poisoned: a second Do re-panics instead of blocking or
+	// recomputing, and Get reports the key absent.
+	mustPanic("second Do")
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get returned a value for a poisoned key")
+	}
+	// Concurrent waiters during the panic also re-panic rather than hang.
+	var m2 Map[int, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waiterDone := make(chan any, 1)
+	go func() {
+		defer func() { waiterDone <- recover() }()
+		<-started
+		m2.Do(7, func() int { t.Error("waiter recomputed"); return 0 })
+	}()
+	go func() {
+		defer func() { recover() }()
+		m2.Do(7, func() int { close(started); <-release; panic("late boom") })
+	}()
+	<-started
+	close(release)
+	if r := <-waiterDone; r == nil {
+		t.Fatal("waiter did not observe the panic")
+	}
+}
+
+func TestRangeStopsEarly(t *testing.T) {
+	var m Map[int, int]
+	for k := 0; k < 10; k++ {
+		m.Do(k, func() int { return k })
+	}
+	visited := 0
+	m.Range(func(int, int) bool { visited++; return false })
+	if visited != 1 {
+		t.Errorf("Range visited %d entries after returning false, want 1", visited)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	var m Map[int, int]
+	var wg sync.WaitGroup
+	for k := 0; k < 32; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				if got := m.Do(k, func() int { return k * k }); got != k*k {
+					t.Errorf("Do(%d) = %d, want %d", k, got, k*k)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if n := m.Len(); n != 32 {
+		t.Fatalf("Len() = %d, want 32", n)
+	}
+}

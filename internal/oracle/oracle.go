@@ -48,7 +48,20 @@ type Oracle struct {
 	settledA     bool
 	settledB     bool
 	log          []string
+	noLog        bool
+
+	// Built once so per-path re-arming captures no closures (the chains'
+	// observer lists are cleared on every reset).
+	onSecretFn    chain.SecretObserver
+	aliceLivePred func(*htlc.Contract) bool
+	bobLivePred   func(*htlc.Contract) bool
 }
+
+// Scheduler-call adapters (see sim.Scheduler.ScheduleCall): package-level
+// functions so arming the three settlement checks allocates nothing.
+func checkInitiationCall(o, _ any)  { o.(*Oracle).checkInitiation() }
+func checkBobLockCall(o, _ any)     { o.(*Oracle).checkBobLock() }
+func checkAliceRevealCall(o, _ any) { o.(*Oracle).checkAliceReveal() }
 
 // New creates the oracle. q is the per-agent deposit in Token_a.
 func New(sched *sim.Scheduler, chainA, chainB *chain.Chain, tl timeline.Timeline, q float64, alice, bob string) (*Oracle, error) {
@@ -60,7 +73,7 @@ func New(sched *sim.Scheduler, chainA, chainB *chain.Chain, tl timeline.Timeline
 	case alice == "" || bob == "" || alice == bob:
 		return nil, fmt.Errorf("%w: parties %q/%q", ErrBadConfig, alice, bob)
 	}
-	return &Oracle{
+	o := &Oracle{
 		sched:  sched,
 		chainA: chainA,
 		chainB: chainB,
@@ -68,8 +81,21 @@ func New(sched *sim.Scheduler, chainA, chainB *chain.Chain, tl timeline.Timeline
 		q:      q,
 		alice:  alice,
 		bob:    bob,
-	}, nil
+	}
+	o.onSecretFn = func(contractID string, secret htlc.Secret) {
+		if o.secretSeenAt == 0 {
+			o.secretSeenAt = o.sched.Now()
+		}
+	}
+	o.aliceLivePred = func(c *htlc.Contract) bool { return c.Recipient == o.bob }
+	o.bobLivePred = func(c *htlc.Contract) bool { return c.Recipient == o.alice }
+	return o, nil
 }
+
+// SetLogging toggles the settlement log (on by default). Formatting one
+// line per release dominates the oracle's per-path allocation cost;
+// throughput-oriented callers (the Monte Carlo runner) turn it off.
+func (o *Oracle) SetLogging(on bool) { o.noLog = !on }
 
 // Reset clears the oracle's per-run settlement state (secret sighting,
 // settlement flags, log) so it can be re-armed with CollectDeposits on a
@@ -104,18 +130,14 @@ func (o *Oracle) CollectDeposits() error {
 	if err := o.debit(o.bob); err != nil {
 		return err
 	}
-	o.chainB.WatchSecrets(func(contractID string, secret htlc.Secret) {
-		if o.secretSeenAt == 0 {
-			o.secretSeenAt = o.sched.Now()
-		}
-	})
-	if err := o.sched.Schedule(o.tl.T2, "oracle-check-initiation", o.checkInitiation); err != nil {
+	o.chainB.WatchSecrets(o.onSecretFn)
+	if err := o.sched.ScheduleCall(o.tl.T2, sim.PriorityDefault, "oracle-check-initiation", checkInitiationCall, o, nil); err != nil {
 		return fmt.Errorf("oracle: arming t2 check: %w", err)
 	}
-	if err := o.sched.Schedule(o.tl.T3, "oracle-check-bob", o.checkBobLock); err != nil {
+	if err := o.sched.ScheduleCall(o.tl.T3, sim.PriorityDefault, "oracle-check-bob", checkBobLockCall, o, nil); err != nil {
 		return fmt.Errorf("oracle: arming t3 check: %w", err)
 	}
-	if err := o.sched.Schedule(o.tl.T4, "oracle-check-alice", o.checkAliceReveal); err != nil {
+	if err := o.sched.ScheduleCall(o.tl.T4, sim.PriorityDefault, "oracle-check-alice", checkAliceRevealCall, o, nil); err != nil {
 		return fmt.Errorf("oracle: arming t4 check: %w", err)
 	}
 	return nil
@@ -144,25 +166,25 @@ func (o *Oracle) release(acct string, amount float64, why string) {
 		return
 	}
 	if _, err := o.chainA.SubmitTransfer(EscrowAccount, acct, amount); err != nil {
-		o.log = append(o.log, fmt.Sprintf("%.2f release to %s FAILED: %v", o.sched.Now(), acct, err))
+		if !o.noLog {
+			o.log = append(o.log, fmt.Sprintf("%.2f release to %s FAILED: %v", o.sched.Now(), acct, err))
+		}
 		return
 	}
-	o.log = append(o.log, fmt.Sprintf("%.2f release %g to %s (%s)", o.sched.Now(), amount, acct, why))
+	if !o.noLog {
+		o.log = append(o.log, fmt.Sprintf("%.2f release %g to %s (%s)", o.sched.Now(), amount, acct, why))
+	}
 }
 
 // aliceInitiated reports whether Alice's HTLC is live on Chain_a.
 func (o *Oracle) aliceInitiated() bool {
-	_, ok := o.chainA.FindContract(func(c *htlc.Contract) bool {
-		return c.Recipient == o.bob
-	})
+	_, ok := o.chainA.FindContract(o.aliceLivePred)
 	return ok
 }
 
 // bobLocked reports whether Bob's HTLC is live on Chain_b.
 func (o *Oracle) bobLocked() bool {
-	_, ok := o.chainB.FindContract(func(c *htlc.Contract) bool {
-		return c.Recipient == o.alice
-	})
+	_, ok := o.chainB.FindContract(o.bobLivePred)
 	return ok
 }
 

@@ -7,8 +7,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/solvecache"
 	"repro/internal/stats"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
@@ -108,7 +108,7 @@ func Run(sc Scenario, opts RunOpts) (Report, error) {
 	if err := sc.Validate(); err != nil {
 		return Report{}, err
 	}
-	m, err := core.New(sc.Params)
+	m, err := solvecache.SharedModel(sc.Params)
 	if err != nil {
 		return Report{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -32,46 +31,45 @@ const (
 	PriorityDefault = 100
 )
 
-// event is a pending callback.
+// event is a pending callback. Exactly one of fn and call is set: fn is
+// the closure form, call+a1+a2 the allocation-free form (a package-level
+// function pointer with its receiver and argument passed as interfaces,
+// which boxes nothing when both are pointers).
 type event struct {
 	at   float64
 	prio int
 	seq  uint64
 	name string
 	fn   func()
+	call func(a1, a2 any)
+	a1   any
+	a2   any
 }
 
-// eventHeap orders events by time, then priority tier, then submission
-// sequence.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time, then priority tier, then submission
+// sequence — the same total order the original container/heap
+// implementation used, so event execution order is unchanged.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+	if e.prio != o.prio {
+		return e.prio < o.prio
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
 // ready to use with the clock at time zero.
+//
+// The event queue is a binary min-heap of event values managed in place:
+// pushing and popping move values within one backing array, so a reset
+// scheduler schedules and runs without allocating (the Monte Carlo hot
+// path; see Reset).
 type Scheduler struct {
 	now       float64
 	seq       uint64
-	events    eventHeap
+	events    []event
 	stopped   bool
 	history   []string
 	noHistory bool
@@ -89,7 +87,7 @@ func (s *Scheduler) Reset() {
 	s.seq = 0
 	s.stopped = false
 	for i := range s.events {
-		s.events[i] = nil
+		s.events[i] = event{}
 	}
 	s.events = s.events[:0]
 	s.history = s.history[:0]
@@ -117,23 +115,94 @@ func (s *Scheduler) Schedule(at float64, name string, fn func()) error {
 // ScheduleWithPriority registers fn to fire at absolute time at within the
 // given priority tier (lower fires first among same-instant events).
 func (s *Scheduler) ScheduleWithPriority(at float64, prio int, name string, fn func()) error {
-	if math.IsNaN(at) || math.IsInf(at, 0) {
-		return fmt.Errorf("%w: %g", ErrBadTime, at)
-	}
-	if at < s.now {
-		return fmt.Errorf("%w: at=%g < now=%g", ErrPastEvent, at, s.now)
-	}
 	if fn == nil {
 		return fmt.Errorf("%w: nil callback for %q", ErrBadTime, name)
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: at, prio: prio, seq: s.seq, name: name, fn: fn})
-	return nil
+	return s.push(event{at: at, prio: prio, name: name, fn: fn})
+}
+
+// ScheduleCall registers fn(a1, a2) to fire at absolute time at within the
+// given priority tier. It is the allocation-free form of
+// ScheduleWithPriority: with fn a package-level function and a1/a2
+// pointers, scheduling captures no closure and boxes nothing — the Monte
+// Carlo hot path schedules every per-path event this way.
+func (s *Scheduler) ScheduleCall(at float64, prio int, name string, fn func(a1, a2 any), a1, a2 any) error {
+	if fn == nil {
+		return fmt.Errorf("%w: nil callback for %q", ErrBadTime, name)
+	}
+	return s.push(event{at: at, prio: prio, name: name, call: fn, a1: a1, a2: a2})
 }
 
 // ScheduleAfter registers fn to fire delay hours from now.
 func (s *Scheduler) ScheduleAfter(delay float64, name string, fn func()) error {
 	return s.Schedule(s.now+delay, name, fn)
+}
+
+// push validates the event time and sifts the event into the heap.
+func (s *Scheduler) push(ev event) error {
+	if math.IsNaN(ev.at) || math.IsInf(ev.at, 0) {
+		return fmt.Errorf("%w: %g", ErrBadTime, ev.at)
+	}
+	if ev.at < s.now {
+		return fmt.Errorf("%w: at=%g < now=%g", ErrPastEvent, ev.at, s.now)
+	}
+	s.seq++
+	ev.seq = s.seq
+	s.events = append(s.events, ev)
+	s.siftUp(len(s.events) - 1)
+	return nil
+}
+
+// pop removes and returns the front event. The vacated slot is cleared so
+// the backing array does not retain closures or arguments.
+func (s *Scheduler) pop() event {
+	ev := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events[n] = event{}
+	s.events = s.events[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return ev
+}
+
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.events[i].less(&s.events[parent]) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.events)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.events[l].less(&s.events[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.events[r].less(&s.events[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.events[i], s.events[least] = s.events[least], s.events[i]
+		i = least
+	}
+}
+
+// fire dispatches one event.
+func (s *Scheduler) fire(ev *event) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.call(ev.a1, ev.a2)
 }
 
 // Run processes events in time order until none remain or Stop is called.
@@ -143,12 +212,12 @@ func (s *Scheduler) Run() int {
 	s.stopped = false
 	n := 0
 	for len(s.events) > 0 && !s.stopped {
-		ev := heap.Pop(&s.events).(*event)
+		ev := s.pop()
 		s.now = ev.at
 		if !s.noHistory {
 			s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
 		}
-		ev.fn()
+		s.fire(&ev)
 		n++
 	}
 	return n
@@ -161,12 +230,12 @@ func (s *Scheduler) RunUntil(t float64) int {
 	s.stopped = false
 	n := 0
 	for len(s.events) > 0 && !s.stopped && s.events[0].at <= t {
-		ev := heap.Pop(&s.events).(*event)
+		ev := s.pop()
 		s.now = ev.at
 		if !s.noHistory {
 			s.history = append(s.history, fmt.Sprintf("%.4f %s", ev.at, ev.name))
 		}
-		ev.fn()
+		s.fire(&ev)
 		n++
 	}
 	if !s.stopped && t > s.now {

@@ -1,0 +1,192 @@
+// Package solvecache is the cross-artifact half of the amortized solve
+// engine: a process-wide, concurrency-safe cache of core solvers keyed by a
+// canonical hash of (parameter set, quadrature options). Everything that
+// solves the swap game from a utility.Params — the figure generators, the
+// scenario batch runner, the game-tree cross-checks — routes through
+// SharedModel, so identical solve cells are computed once per process
+// rather than once per curve, per preset, or per artifact.
+//
+// Sharing is sound because a core.Model is immutable after construction and
+// its solve memo only caches pure functions of (params, options, query);
+// see DESIGN.md ("Amortized solve engine") for the key scheme and the
+// invalidation rules (there are none to apply at runtime: a cache entry can
+// never go stale, it can only be evicted to bound memory).
+package solvecache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/memo"
+	"repro/internal/utility"
+)
+
+// maxSharedModels bounds the cache. Workloads with more distinct parameter
+// sets than this (randomised fuzzing, adversarial sweeps) fall back to
+// private, uncached models once the cache is full, which keeps memory
+// bounded without any invalidation machinery. The bound comfortably covers
+// the repository's own workloads: the 18 artifact groups plus the scenario
+// presets touch well under a hundred distinct parameter sets.
+const maxSharedModels = 512
+
+// QuadOpts are the solver options that participate in the cache key
+// alongside the parameter set. The zero value selects core's defaults.
+type QuadOpts struct {
+	// GLOrder is the Gauss–Legendre order (0 = core default, 64).
+	GLOrder int
+	// GHOrder is the Gauss–Hermite order (0 = core default, 48).
+	GHOrder int
+}
+
+// cacheEntry pairs a cached model with the exact key material it was
+// built from, so a 64-bit hash collision is detected on hit (and served a
+// private model) instead of silently returning a solver for different
+// parameters. utility.Params is a flat comparable struct, so the check is
+// two struct compares.
+type cacheEntry struct {
+	m    *core.Model
+	p    utility.Params
+	opts QuadOpts
+}
+
+var (
+	seed   = maphash.MakeSeed()
+	models memo.Map[uint64, cacheEntry]
+	full   atomic.Bool
+	bypass atomic.Uint64
+)
+
+// Key returns the canonical solve-cache key of a parameter set under the
+// given quadrature options: a 64-bit hash over the exact float bit patterns
+// of every model parameter, so two parameter sets collide only if they are
+// numerically identical (up to the sign of zero and NaN payloads, which
+// validated parameters exclude).
+func Key(p utility.Params, q QuadOpts) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	f := func(v float64) {
+		var b [8]byte
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	f(p.Alice.Alpha)
+	f(p.Alice.R)
+	f(p.Bob.Alpha)
+	f(p.Bob.R)
+	f(p.Chains.TauA)
+	f(p.Chains.TauB)
+	f(p.Chains.EpsB)
+	f(p.Price.Mu)
+	f(p.Price.Sigma)
+	f(p.P0)
+	f(float64(q.GLOrder))
+	f(float64(q.GHOrder))
+	return h.Sum64()
+}
+
+// SharedModel returns the process-wide solver for the parameter set with
+// core's default quadrature options, constructing and caching it on first
+// use. The returned model is shared: callers must treat it (and the
+// strategies/interval sets it returns) as read-only, which every core API
+// already guarantees. When the cache is full, a private uncached model is
+// returned instead, so unbounded parameter streams cannot grow memory.
+func SharedModel(p utility.Params) (*core.Model, error) {
+	return SharedModelQuad(p, QuadOpts{})
+}
+
+// SharedModelQuad is SharedModel with explicit quadrature options.
+func SharedModelQuad(p utility.Params, q QuadOpts) (*core.Model, error) {
+	// Validate before touching the cache so invalid parameters return the
+	// usual error instead of caching a nil model.
+	if err := p.Validate(); err != nil {
+		return core.New(p)
+	}
+	key := Key(p, q)
+	if full.Load() {
+		if _, ok := models.Get(key); !ok {
+			bypass.Add(1)
+			return newModel(p, q)
+		}
+	}
+	ent := models.Do(key, func() cacheEntry {
+		// Construction cannot fail here: the parameters were validated
+		// above and the quadrature orders are gated to positive values.
+		mm, err := newModel(p, q)
+		if err != nil {
+			return cacheEntry{}
+		}
+		return cacheEntry{m: mm, p: p, opts: q}
+	})
+	if ent.m == nil || ent.p != p || ent.opts != q {
+		// Defensive: a cached construction failure, or a 64-bit hash
+		// collision between distinct parameter sets — serve a private
+		// model rather than a wrong one.
+		bypass.Add(1)
+		return newModel(p, q)
+	}
+	if !full.Load() && models.Len() >= maxSharedModels {
+		full.Store(true)
+	}
+	return ent.m, nil
+}
+
+func newModel(p utility.Params, q QuadOpts) (*core.Model, error) {
+	var opts []core.Option
+	if q.GLOrder > 0 {
+		opts = append(opts, core.WithQuadOrder(q.GLOrder))
+	}
+	if q.GHOrder > 0 {
+		opts = append(opts, core.WithHermiteOrder(q.GHOrder))
+	}
+	return core.New(p, opts...)
+}
+
+// Stats reports the cache's cumulative behaviour: model-level hits and
+// misses, the number of requests served uncached after the cache filled,
+// and the aggregate solve-memo hits/misses across every cached model.
+type Stats struct {
+	// ModelHits and ModelMisses count SharedModel lookups.
+	ModelHits, ModelMisses uint64
+	// Bypassed counts requests served with a private model after the cache
+	// reached its size bound.
+	Bypassed uint64
+	// Models is the number of cached models.
+	Models int
+	// SolveHits and SolveMisses aggregate the per-model solve-memo
+	// counters of every cached model.
+	SolveHits, SolveMisses uint64
+}
+
+// WriteStats renders the process's solve- and quadrature-cache counters —
+// the diagnostic block behind the CLIs' -cache-stats flag.
+func WriteStats(w io.Writer) {
+	s := ReadStats()
+	fmt.Fprintf(w, "solve cache: %d models (hits %d, misses %d, bypassed %d); solve cells: hits %d, misses %d\n",
+		s.Models, s.ModelHits, s.ModelMisses, s.Bypassed, s.SolveHits, s.SolveMisses)
+	glH, glM, ghH, ghM := mathx.QuadCacheStats()
+	fmt.Fprintf(w, "quadrature tables: Gauss-Legendre hits %d, misses %d; Gauss-Hermite hits %d, misses %d\n",
+		glH, glM, ghH, ghM)
+}
+
+// ReadStats snapshots the cache counters.
+func ReadStats() Stats {
+	s := Stats{Bypassed: bypass.Load(), Models: models.Len()}
+	s.ModelHits, s.ModelMisses = models.Stats()
+	models.Range(func(_ uint64, ent cacheEntry) bool {
+		if ent.m != nil {
+			h, mi := ent.m.MemoStats()
+			s.SolveHits += h
+			s.SolveMisses += mi
+		}
+		return true
+	})
+	return s
+}

@@ -1,0 +1,140 @@
+package solvecache
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+func TestSharedModelReturnsOneModelPerParams(t *testing.T) {
+	p := utility.Default()
+	m1, err := SharedModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := SharedModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("same params produced distinct shared models")
+	}
+	q := p
+	q.Alice.Alpha = 0.31
+	m3, err := SharedModel(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Fatal("distinct params shared one model")
+	}
+}
+
+func TestSharedModelMatchesFreshSolve(t *testing.T) {
+	p := utility.Default()
+	shared, err := SharedModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := SharedModel(utility.Params{}) // invalid: exercises the error path
+	if err == nil || fresh != nil {
+		t.Fatalf("invalid params: model %v, err %v", fresh, err)
+	}
+	sr, err := shared.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared model must agree with an uncached one bit for bit.
+	priv, err := SharedModelQuad(p, QuadOpts{GLOrder: 64, GHOrder: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srPriv, err := priv.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sr) != math.Float64bits(srPriv) {
+		t.Fatalf("shared SR %v != private SR %v", sr, srPriv)
+	}
+}
+
+func TestKeyDistinguishesEveryParameter(t *testing.T) {
+	base := utility.Default()
+	k0 := Key(base, QuadOpts{})
+	mutations := []func(*utility.Params){
+		func(p *utility.Params) { p.Alice.Alpha += 1e-12 },
+		func(p *utility.Params) { p.Alice.R += 1e-12 },
+		func(p *utility.Params) { p.Bob.Alpha += 1e-12 },
+		func(p *utility.Params) { p.Bob.R += 1e-12 },
+		func(p *utility.Params) { p.Chains.TauA += 1e-9 },
+		func(p *utility.Params) { p.Chains.TauB += 1e-9 },
+		func(p *utility.Params) { p.Chains.EpsB += 1e-9 },
+		func(p *utility.Params) { p.Price.Mu += 1e-12 },
+		func(p *utility.Params) { p.Price.Sigma += 1e-12 },
+		func(p *utility.Params) { p.P0 += 1e-9 },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if Key(p, QuadOpts{}) == k0 {
+			t.Errorf("mutation %d did not change the key", i)
+		}
+	}
+	if Key(base, QuadOpts{GLOrder: 32}) == k0 {
+		t.Error("quad options did not change the key")
+	}
+	if Key(base, QuadOpts{}) != k0 {
+		t.Error("key is not deterministic")
+	}
+}
+
+// TestConcurrentSharedModel exercises the cache under parallel access (run
+// with -race in CI): one model per parameter set, no torn results.
+func TestConcurrentSharedModel(t *testing.T) {
+	p := utility.Default()
+	var wg sync.WaitGroup
+	got := make([]float64, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := SharedModel(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sr, err := m.SuccessRate(2.0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = sr
+		}(i)
+	}
+	wg.Wait()
+	for i, sr := range got {
+		if math.Float64bits(sr) != math.Float64bits(got[0]) {
+			t.Fatalf("goroutine %d saw SR %v, first saw %v", i, sr, got[0])
+		}
+	}
+}
+
+func TestReadStatsCounts(t *testing.T) {
+	p := utility.Default()
+	before := ReadStats()
+	if _, err := SharedModel(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SharedModel(p); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadStats()
+	if after.ModelHits+after.ModelMisses <= before.ModelHits+before.ModelMisses {
+		t.Fatal("stats did not advance")
+	}
+	if after.Models == 0 {
+		t.Fatal("no models recorded")
+	}
+}

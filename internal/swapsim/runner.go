@@ -7,11 +7,19 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/chain"
+	"repro/internal/lazyrng"
 	"repro/internal/mc"
 	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
+
+// secretStreamSalt decorrelates the secret-byte stream from the price
+// stream: both are reseeded per path from the same path seed, and the
+// price source must reproduce math/rand's draws exactly (the goldens pin
+// them), so the secret reader gets the seed XORed with an arbitrary
+// constant instead of a derived stream.
+const secretStreamSalt = 0x5eC2e7B17e50F
 
 // Runner executes protocol paths with a preallocated simulation stack —
 // scheduler, both chains, price feed, agents and (with collateral) the
@@ -30,11 +38,20 @@ type Runner struct {
 	sched  *sim.Scheduler
 	chainA *chain.Chain
 	chainB *chain.Chain
-	rng    *rand.Rand
-	feed   *agent.PriceFeed
-	alice  *agent.Alice
-	bob    *agent.Bob
-	orc    *oracle.Oracle
+	// src drives the price path: a lazily seeded replica of math/rand's
+	// stream, so the per-path reseed is O(1) instead of the 607-element
+	// vector computation that used to dominate per-path CPU, while every
+	// draw stays bit-identical to rand.NewSource (the goldens pin it).
+	src *lazyrng.Source
+	rng *rand.Rand
+	// secrets is the preallocated reseedable splitmix64 source behind
+	// Alice's per-path preimages (deterministic, allocation- and
+	// syscall-free; secret bytes never influence an outcome).
+	secrets *lazyrng.SplitMix
+	feed    *agent.PriceFeed
+	alice   *agent.Alice
+	bob     *agent.Bob
+	orc     *oracle.Oracle
 
 	fundAliceA, fundBobB, fundBobA float64
 
@@ -87,12 +104,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.fundBobB = r.scale * 1
 	r.fundBobA = r.scale * cfg.Collateral
 
-	r.rng = rand.New(rand.NewSource(cfg.Seed))
+	r.src = lazyrng.New(cfg.Seed)
+	r.rng = rand.New(r.src)
+	r.secrets = lazyrng.NewSplitMix(cfg.Seed ^ secretStreamSalt)
 	if r.feed, err = agent.NewPriceFeed(cfg.Params.Price, cfg.Params.P0, r.rng); err != nil {
 		return nil, fmt.Errorf("swapsim: %w", err)
 	}
 	env := agent.Env{Sched: r.sched, ChainA: r.chainA, ChainB: r.chainB, Feed: r.feed, Timeline: r.tl}
-	if r.alice, err = agent.NewAlice(env, AliceAccount, BobAccount, cfg.Strategy, 1, nil); err != nil {
+	if r.alice, err = agent.NewAlice(env, AliceAccount, BobAccount, cfg.Strategy, 1, r.secrets); err != nil {
 		return nil, fmt.Errorf("swapsim: %w", err)
 	}
 	if r.bob, err = agent.NewBob(env, BobAccount, AliceAccount, cfg.Strategy, 1); err != nil {
@@ -102,6 +121,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if r.orc, err = oracle.New(r.sched, r.chainA, r.chainB, r.tl, cfg.Collateral, AliceAccount, BobAccount); err != nil {
 			return nil, fmt.Errorf("swapsim: %w", err)
 		}
+		// The engine never reads the settlement log; formatting it would
+		// re-enter the per-path allocation budget.
+		r.orc.SetLogging(false)
 	}
 	return r, nil
 }
@@ -135,7 +157,8 @@ func (r *Runner) RunOutcome(seed int64) (Outcome, error) {
 			return Outcome{}, fmt.Errorf("swapsim: %w", err)
 		}
 	}
-	r.rng.Seed(seed)
+	r.src.Seed(seed)
+	r.secrets.Seed(seed ^ secretStreamSalt)
 	if err := r.feed.Reset(r.cfg.Params.P0); err != nil {
 		return Outcome{}, fmt.Errorf("swapsim: %w", err)
 	}

@@ -131,17 +131,19 @@ func armHalt(sched *sim.Scheduler, c *chain.Chain, w HaltWindow) error {
 	return sched.Schedule(w.From, c.Name()+"-halt", func() { c.Halt(w.Until) })
 }
 
-// escrowPaidTo sums confirmed escrow transfers to an account.
+// escrowPaidTo sums confirmed escrow transfers to an account, iterating
+// in place (this runs twice per collateral Monte Carlo path).
 func escrowPaidTo(c *chain.Chain, account string) float64 {
 	var sum float64
-	for _, tx := range c.Transactions() {
+	c.EachTransaction(func(tx *chain.Tx) bool {
 		if tx.Kind == chain.TxTransfer && tx.Status == chain.TxConfirmed {
 			from, to, amt := tx.Parties()
 			if from == oracle.EscrowAccount && to == account {
 				sum += amt
 			}
 		}
-	}
+		return true
+	})
 	return sum
 }
 

@@ -1,23 +1,29 @@
 // Command benchmc turns `go test -bench` output into the machine-readable
-// benchmark artifact BENCH_mc.json, and gates CI against allocation
-// regressions.
+// benchmark artifacts BENCH_mc.json / BENCH_solve.json, and gates CI
+// against allocation regressions.
 //
-// Writing the baseline (see `make bench-json`):
+// Writing a baseline (see `make bench-json`):
 //
 //	go test -bench='^BenchmarkMC_' -benchmem -run='^$' . | go run ./tools/benchmc -o BENCH_mc.json
+//	go test -bench='^BenchmarkSolve_' -benchmem -run='^$' . | go run ./tools/benchmc -o BENCH_solve.json \
+//	  -note "solve-engine baseline"
 //
-// Checking a run against the committed baseline (see `make bench-check`,
-// run by CI's bench-mc-regression job):
+// Checking a run against one or more committed baselines (see `make
+// bench-check`, run by CI's bench-regression jobs). -against accepts a
+// comma-separated list; the baselines are merged by benchmark name (later
+// files override earlier ones on collision), so the MC and solve suites
+// report in one table:
 //
-//	go test -bench='^BenchmarkMC_' -benchmem -benchtime=32x -run='^$' . |
-//	  go run ./tools/benchmc -against BENCH_mc.json -max-alloc-ratio 2
+//	go test -bench='^Benchmark(MC|Solve)_' -benchmem -benchtime=32x -run='^$' . |
+//	  go run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2
 //
 // The check fails (exit 1) when any benchmark present in both the run and
-// the baseline reports more than max-alloc-ratio times the baseline's
-// allocs/op — the guardrail that keeps the streaming engine's
-// reused-state path from silently regressing to per-path allocation.
-// ns/op is deliberately not gated: wall-clock is hardware-dependent,
-// allocation counts are not.
+// a baseline reports more than max-alloc-ratio times the baseline's
+// allocs/op — the guardrail that keeps the reused-state paths from
+// silently regressing to per-path/per-cell allocation. The table also
+// reports the ns/op and paths/s deltas against the baseline for the
+// operator's eyes; wall-clock is hardware-dependent, so those columns are
+// deliberately not gated.
 package main
 
 import (
@@ -100,14 +106,36 @@ func parse(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
-// check compares a run against the baseline's allocs/op.
-func check(current []Benchmark, baseline File, maxRatio float64, out io.Writer) error {
-	base := make(map[string]Benchmark, len(baseline.Benchmarks))
-	for _, b := range baseline.Benchmarks {
-		base[b.Name] = b
+// mergeBaselines unions the benchmark maps of several baseline files, in
+// order: on a name collision the later file wins (so a more specific
+// baseline can override a broader one). The returned map is keyed by
+// benchmark name.
+func mergeBaselines(files []File) map[string]Benchmark {
+	merged := make(map[string]Benchmark)
+	for _, f := range files {
+		for _, b := range f.Benchmarks {
+			merged[b.Name] = b
+		}
 	}
+	return merged
+}
+
+// delta formats a percentage change against a baseline value, or "-" when
+// the metric is absent on either side.
+func delta(cur, ref float64) string {
+	if cur == 0 || ref == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur/ref-1)*100)
+}
+
+// check compares a run against the merged baselines: allocs/op is gated at
+// maxRatio, ns/op and paths/s are reported as informational deltas.
+func check(current []Benchmark, base map[string]Benchmark, maxRatio float64, out io.Writer) error {
 	matched := 0
 	var failures []string
+	fmt.Fprintf(out, "%-40s %21s %8s %9s %9s %s\n",
+		"benchmark", "allocs/op (vs base)", "ratio", "ns/op Δ", "paths/s Δ", "gate")
 	for _, cur := range current {
 		ref, ok := base[cur.Name]
 		if !ok || ref.AllocsPerOp <= 0 {
@@ -120,11 +148,12 @@ func check(current []Benchmark, baseline File, maxRatio float64, out io.Writer) 
 			status = "FAIL"
 			failures = append(failures, cur.Name)
 		}
-		fmt.Fprintf(out, "%-40s allocs/op %10.0f vs baseline %10.0f (%.2fx) %s\n",
-			cur.Name, cur.AllocsPerOp, ref.AllocsPerOp, ratio, status)
+		fmt.Fprintf(out, "%-40s %10.0f %10.0f %7.2fx %9s %9s %s\n",
+			cur.Name, cur.AllocsPerOp, ref.AllocsPerOp, ratio,
+			delta(cur.NsPerOp, ref.NsPerOp), delta(cur.PathsPerSec, ref.PathsPerSec), status)
 	}
 	if matched == 0 {
-		return fmt.Errorf("benchmc: no benchmark matched the baseline — regenerate with `make bench-json`")
+		return fmt.Errorf("benchmc: no benchmark matched the baselines — regenerate with `make bench-json`")
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmc: allocs/op regressed >%.1fx on: %s", maxRatio, strings.Join(failures, ", "))
@@ -136,8 +165,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchmc", flag.ContinueOnError)
 	var (
 		outPath  = fs.String("o", "", "write parsed results as JSON to this path (default: stdout)")
-		against  = fs.String("against", "", "check allocs/op against this committed baseline instead of writing JSON")
+		against  = fs.String("against", "", "comma-separated baseline files to check allocs/op against instead of writing JSON")
 		maxRatio = fs.Float64("max-alloc-ratio", 2, "with -against: fail when allocs/op exceeds baseline by this factor")
+		note     = fs.String("note", "Monte Carlo engine benchmark baseline; regenerate with `make bench-json`, CI gates allocs/op at 2x via `make bench-check`.",
+			"with -o: the note field written into the JSON artifact")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,18 +178,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if *against != "" {
-		raw, err := os.ReadFile(*against)
-		if err != nil {
-			return fmt.Errorf("benchmc: %w", err)
+		var files []File
+		for _, path := range strings.Split(*against, ",") {
+			path = strings.TrimSpace(path)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("benchmc: %w", err)
+			}
+			var baseline File
+			if err := json.Unmarshal(raw, &baseline); err != nil {
+				return fmt.Errorf("benchmc: parsing %s: %w", path, err)
+			}
+			files = append(files, baseline)
 		}
-		var baseline File
-		if err := json.Unmarshal(raw, &baseline); err != nil {
-			return fmt.Errorf("benchmc: parsing %s: %w", *against, err)
-		}
-		return check(benches, baseline, *maxRatio, stdout)
+		return check(benches, mergeBaselines(files), *maxRatio, stdout)
 	}
 	f := File{
-		Note:       "Monte Carlo engine benchmark baseline; regenerate with `make bench-json`, CI gates allocs/op at 2x via `make bench-check`.",
+		Note:       *note,
 		Benchmarks: benches,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -102,3 +102,69 @@ func TestCheckFailsWhenNothingMatches(t *testing.T) {
 		t.Error("a run matching no baseline entry should fail the check")
 	}
 }
+
+func TestMergeBaselines(t *testing.T) {
+	a := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkMC_PathReused", AllocsPerOp: 49, NsPerOp: 16233},
+		{Name: "BenchmarkMC_EngineFixedN1Worker", AllocsPerOp: 100913, PathsPerSec: 61884},
+	}}
+	b := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSolve_FiguresGenerate", AllocsPerOp: 1753227, NsPerOp: 2.5e9},
+		// Collision: the later file must win.
+		{Name: "BenchmarkMC_PathReused", AllocsPerOp: 1, NsPerOp: 2145},
+	}}
+	merged := mergeBaselines([]File{a, b})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d entries, want 3", len(merged))
+	}
+	if got := merged["BenchmarkMC_PathReused"].AllocsPerOp; got != 1 {
+		t.Errorf("collision: later baseline did not win (allocs/op = %v, want 1)", got)
+	}
+	if merged["BenchmarkSolve_FiguresGenerate"].NsPerOp != 2.5e9 {
+		t.Error("solve baseline entry lost in merge")
+	}
+	if merged["BenchmarkMC_EngineFixedN1Worker"].PathsPerSec != 61884 {
+		t.Error("paths/s metric lost in merge")
+	}
+}
+
+// solveSample is a second suite's bench output, for multi-baseline checks.
+const solveSample = `BenchmarkSolve_FiguresGenerate 	       1	2539602623 ns/op	44288392 B/op	 1753227 allocs/op
+PASS
+`
+
+func TestCheckAgainstMultipleBaselines(t *testing.T) {
+	dir := t.TempDir()
+	mcPath := filepath.Join(dir, "BENCH_mc.json")
+	solvePath := filepath.Join(dir, "BENCH_solve.json")
+	if err := run([]string{"-o", mcPath}, strings.NewReader(sample), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", solvePath, "-note", "solve baseline"}, strings.NewReader(solveSample), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// A combined run must match entries from both baselines and report the
+	// delta columns in one table.
+	combined := sample + solveSample
+	var out strings.Builder
+	if err := run([]string{"-against", mcPath + "," + solvePath}, strings.NewReader(combined), &out); err != nil {
+		t.Fatalf("combined check failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkMC_PathReused", "BenchmarkSolve_FiguresGenerate", "paths/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("combined table lacks %q:\n%s", want, out.String())
+		}
+	}
+	// The solve note must land in the artifact.
+	raw, err := os.ReadFile(solvePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Note != "solve baseline" {
+		t.Errorf("note = %q", f.Note)
+	}
+}
