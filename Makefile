@@ -6,7 +6,9 @@ GO ?= go
 
 # Coverage floors enforced by `make cover` and CI.
 COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
-	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng
+	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng \
+	repro/internal/variant repro/internal/packetized repro/internal/repeated \
+	repro/internal/baseline
 COVER_MIN  = 80
 
 .PHONY: all build test race bench bench-smoke bench-json bench-check pprof-smoke lint cover fuzz-smoke scenarios figures clean
@@ -88,13 +90,16 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLognormal -fuzztime=10s -run='^$$' ./internal/dist
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=10s -run='^$$' ./internal/scenario
 
-# Batch-run every scenario preset (fails on any MC/analytic disagreement).
+# Batch-run every scenario preset across every registered variant (fails
+# when any variant's MC validation disagrees with its analytic solve).
 scenarios:
-	$(GO) run ./cmd/scenarios -run all
+	$(GO) run ./cmd/scenarios -run all -variant all
 
 # Regenerate every paper artifact (ASCII to stdout, CSV under out/).
 figures:
 	$(GO) run ./cmd/figures -csv out
 
+# Remove every local build artifact .gitignore shields from commits:
+# generated figures, coverage output, compiled test binaries and profiles.
 clean:
-	rm -rf out cover.out cover.txt
+	rm -rf out cover.out cover.txt *.test *.prof *.pprof profile.out bench.out

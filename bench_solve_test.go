@@ -12,6 +12,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/scenario"
 	"repro/internal/utility"
+	"repro/internal/variant"
 )
 
 // BenchmarkSolve_FiguresGenerate regenerates all 18 artifact groups on one
@@ -78,6 +79,66 @@ func BenchmarkSolve_ContSetWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := m.ContRangeT2(2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve_VariantMatrixAnalytic solves every registered variant of
+// the Table III scenario without the Monte Carlo validations — the
+// analytic (scenario × variant) cell cost the variant registry amortizes
+// through the shared solve cache. The sampled variants (packetized,
+// repeated) run their seeded experiments at a small fixed size so the
+// gated allocs/op stay deterministic.
+func BenchmarkSolve_VariantMatrixAnalytic(b *testing.B) {
+	sc, err := scenario.Lookup("tableIII")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Rounds = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := variant.Run(sc, variant.RunOpts{Runs: 256, Variants: "all", SkipMC: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(row.Reports) != len(variant.Keys()) {
+			b.Fatalf("solved %d variants", len(row.Reports))
+		}
+	}
+}
+
+// BenchmarkSolve_VariantPacketized runs one full packetized cell — the
+// seeded two-semantics experiment plus the n=1 cross-validation — the
+// unit of work the scenario batch fans out per packetized preset.
+func BenchmarkSolve_VariantPacketized(b *testing.B) {
+	sc, err := scenario.Lookup("tableIII")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := variant.Run(sc, variant.RunOpts{Runs: 256, Variants: "packetized"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve_VariantRepeated runs one full repeated cell — a 64-round
+// engagement through the process-wide quote memo plus its static-premia
+// validation.
+func BenchmarkSolve_VariantRepeated(b *testing.B) {
+	sc, err := scenario.Lookup("tableIII")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Rounds = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := variant.Run(sc, variant.RunOpts{Variants: "repeated"}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,24 +1,27 @@
-// Command scenarios drives the declarative scenario subsystem of
-// internal/scenario: it lists the registered presets, batch-runs any subset
-// of them (solving the basic, collateral and uncertain games and validating
-// the analytic success rate against a Monte Carlo protocol run per
-// scenario), diffs two regimes, and exports presets as JSON templates for
-// user-defined scenarios.
+// Command scenarios drives the declarative scenario subsystem: it lists
+// the registered presets and variant games, batch-runs any subset of the
+// (scenario × variant) matrix through the internal/variant registry
+// (solving each selected variant and validating analytic solves against
+// Monte Carlo protocol runs), diffs two regimes variant by variant, and
+// exports presets as JSON templates for user-defined scenarios.
 //
 // Usage:
 //
 //	scenarios -list
 //	scenarios -run all [-runs 4000] [-workers 0]
-//	scenarios -run high-vol,impatient-bob
+//	scenarios -run all -variant all            # every registered variant
+//	scenarios -run high-vol,impatient-bob -variant basic,packetized
 //	scenarios -run all -ci-width 0.01 -max-paths 50000   # adaptive precision
-//	scenarios -diff tableIII,high-vol
+//	scenarios -diff tableIII,high-vol [-variant all]
 //	scenarios -export tableIII -o my.json   # template for custom scenarios
 //	scenarios -file my.json                 # run a user-defined scenario
 //
-// Batch runs parallelise across scenarios through the internal/sweep worker
-// pool with reports in registry order, identical for every -workers value.
-// A batch exits non-zero if any scenario's analytic SR falls outside its
-// Monte Carlo Wilson interval — the same regression gate CI applies.
+// Without -variant a scenario runs its own variant selection (the classic
+// basic/collateral/uncertain trio when it names none). Batch runs
+// parallelise across (scenario × variant) cells through the internal/sweep
+// worker pool with reports in input order, identical for every -workers
+// value. A batch exits non-zero if any variant's Monte Carlo validation
+// disagrees with its analytic solve — the same regression gate CI applies.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/solvecache"
+	"repro/internal/variant"
 )
 
 func main() {
@@ -43,14 +47,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list the registered scenario presets")
+		list     = fs.Bool("list", false, "list the registered scenario presets and variant games")
 		runSpec  = fs.String("run", "", `batch-run "all" or a comma-separated list of preset names`)
 		file     = fs.String("file", "", "run a user-defined scenario from a JSON file")
 		diff     = fs.String("diff", "", `diff two scenarios: "nameA,nameB"`)
 		export   = fs.String("export", "", "write a preset as JSON (a template for -file scenarios)")
 		outPath  = fs.String("o", "", "output path for -export (default: stdout)")
+		variants = fs.String("variant", "", `variants to solve: "all", a comma-separated key list, or empty for each scenario's own selection`)
 		runs     = fs.Int("runs", 0, "override every scenario's Monte Carlo run count (0 = per-scenario default)")
-		workers  = fs.Int("workers", 0, "cross-scenario worker-pool size (0 = all CPUs; output is identical for any value)")
+		workers  = fs.Int("workers", 0, "cross-cell worker-pool size (0 = all CPUs; output is identical for any value)")
 		ciWidth  = fs.Float64("ci-width", 0, "adaptive Monte Carlo: stop once the Wilson 95% half-width is <= this (0 = fixed run count)")
 		chunk    = fs.Int("chunk", 0, "Monte Carlo engine chunk size (0 = default)")
 		maxPaths = fs.Int("max-paths", 0, "hard cap on adaptive sampling per scenario (0 = the run count)")
@@ -62,7 +67,10 @@ func run(args []string, out io.Writer) error {
 	if *stats {
 		defer solvecache.WriteStats(out)
 	}
-	opts := scenario.RunOpts{Runs: *runs, CIWidth: *ciWidth, ChunkSize: *chunk, MaxPaths: *maxPaths}
+	opts := variant.RunOpts{
+		Runs: *runs, CIWidth: *ciWidth, ChunkSize: *chunk, MaxPaths: *maxPaths,
+		Variants: *variants,
+	}
 
 	switch {
 	case *list:
@@ -88,13 +96,23 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// runList prints the preset table.
+// runList prints the preset table and the variant registry.
 func runList(out io.Writer) error {
 	reg := scenario.Registry()
 	fmt.Fprintf(out, "%d registered scenario presets:\n", len(reg))
 	for _, sc := range reg {
 		fmt.Fprintf(out, "  %-20s P*=%-4g Q=%-4g budget=%-4g  %s\n",
 			sc.Name, sc.PStar, sc.Collateral, sc.BobBudget, sc.Description)
+	}
+	keys := variant.Keys()
+	fmt.Fprintf(out, "%d registered variant games (default: %s):\n",
+		len(keys), strings.Join(variant.DefaultKeys(), ","))
+	for _, key := range keys {
+		g, err := variant.Lookup(key)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-20s %s\n", key, g.Describe())
 	}
 	return nil
 }
@@ -115,49 +133,54 @@ func selectScenarios(spec string) ([]scenario.Scenario, error) {
 	return scs, nil
 }
 
-// runBatch runs the scenarios through the batch runner and prints every
-// report, failing if any scenario's Monte Carlo validation disagrees with
-// the analytic success rate.
-func runBatch(out io.Writer, scs []scenario.Scenario, opts scenario.RunOpts, workers int) error {
-	reports, err := scenario.RunAll(context.Background(), scs, workers, opts)
+// runBatch fans the (scenario × variant) matrix through the batch runner,
+// prints every report plus the summary matrix, and fails if any variant's
+// Monte Carlo validation disagrees with its analytic solve.
+func runBatch(out io.Writer, scs []scenario.Scenario, opts variant.RunOpts, workers int) error {
+	reports, err := variant.RunAll(context.Background(), scs, workers, opts)
 	if err != nil {
 		return err
 	}
 	var disagree []string
+	cells := 0
 	for i, r := range reports {
 		if i > 0 {
 			fmt.Fprintln(out)
 		}
 		fmt.Fprint(out, r.Render())
-		if !r.MCAgrees {
-			disagree = append(disagree, r.Scenario.Name)
+		cells += len(r.Reports)
+		for _, key := range r.Disagreements() {
+			disagree = append(disagree, r.Scenario.Name+"/"+key)
 		}
 	}
-	fmt.Fprintf(out, "\n%d scenario(s) run, %d disagreement(s)\n", len(reports), len(disagree))
+	fmt.Fprintf(out, "\nper-variant success metrics:\n%s", variant.Matrix(reports))
+	fmt.Fprintf(out, "\n%d scenario(s) run across %d variant cell(s), %d disagreement(s)\n",
+		len(reports), cells, len(disagree))
 	if len(disagree) > 0 {
-		return fmt.Errorf("analytic SR outside the Monte Carlo Wilson interval for: %s",
+		return fmt.Errorf("analytic solve outside the Monte Carlo Wilson interval for: %s",
 			strings.Join(disagree, ", "))
 	}
 	return nil
 }
 
-// runDiff solves both scenarios and prints the field-by-field comparison.
-func runDiff(out io.Writer, spec string, opts scenario.RunOpts) error {
+// runDiff solves both scenarios across the selected variants and prints
+// the per-variant comparison.
+func runDiff(out io.Writer, spec string, opts variant.RunOpts) error {
 	names := strings.Split(spec, ",")
 	if len(names) != 2 {
 		return fmt.Errorf("-diff wants exactly two names, got %q", spec)
 	}
-	var reports [2]scenario.Report
+	var reports [2]variant.ScenarioReport
 	for i, name := range names {
 		sc, err := scenario.Lookup(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
-		if reports[i], err = scenario.Run(sc, opts); err != nil {
+		if reports[i], err = variant.Run(sc, opts); err != nil {
 			return err
 		}
 	}
-	fmt.Fprint(out, scenario.Diff(reports[0], reports[1], 1e-4))
+	fmt.Fprint(out, variant.Diff(reports[0], reports[1], 1e-4))
 	return nil
 }
 

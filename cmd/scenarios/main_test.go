@@ -7,7 +7,7 @@ import (
 	"testing"
 )
 
-func TestListShowsAtLeastTenPresets(t *testing.T) {
+func TestListShowsPresetsAndVariants(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-list"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
@@ -17,6 +17,8 @@ func TestListShowsAtLeastTenPresets(t *testing.T) {
 		"registered scenario presets", "tableIII", "high-vol", "low-vol",
 		"fee-stress", "asymmetric-discount", "short-timelock", "deep-collateral",
 		"uncertain-wide", "impatient-bob", "adversarial-premium",
+		"registered variant games", "basic", "collateral", "uncertain",
+		"packetized", "repeated", "baseline",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("list missing %q:\n%s", want, out)
@@ -32,11 +34,50 @@ func TestRunSubset(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"scenario tableIII", "scenario high-vol",
-		"2 scenario(s) run, 0 disagreement(s)",
+		"variant basic", "variant collateral", "variant uncertain",
+		"per-variant success metrics",
+		"2 scenario(s) run across 6 variant cell(s), 0 disagreement(s)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunVariantAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "tableIII", "-variant", "all", "-runs", "400"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"variant basic", "variant collateral", "variant uncertain",
+		"variant packetized", "variant repeated", "variant baseline",
+		"1 scenario(s) run across 6 variant cell(s), 0 disagreement(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVariantSubsetAndCacheStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "tableIII", "-variant", "basic,packetized", "-runs", "400", "-cache-stats"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"variant basic", "variant packetized",
+		"1 scenario(s) run across 2 variant cell(s)",
+		"solve cache:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "variant collateral") {
+		t.Errorf("-variant basic,packetized still ran collateral:\n%s", out)
 	}
 }
 
@@ -45,11 +86,14 @@ func TestRunAllAgrees(t *testing.T) {
 		t.Skip("full batch is slow")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-run", "all", "-runs", "800"}, &sb); err != nil {
-		t.Fatalf("run -run all: %v\n%s", err, sb.String())
+	// 1500 runs keeps the Wilson intervals wide enough that the fixed-seed
+	// agreement checks clear on every (preset × variant) cell; the
+	// acceptance-scale 4000-run batch is CI's `make scenarios` job.
+	if err := run([]string{"-run", "all", "-variant", "all", "-runs", "1500"}, &sb); err != nil {
+		t.Fatalf("run -run all -variant all: %v\n%s", err, sb.String())
 	}
-	if !strings.Contains(sb.String(), "10 scenario(s) run, 0 disagreement(s)") {
-		t.Errorf("batch should report 10 agreeing scenarios:\n%s", sb.String())
+	if !strings.Contains(sb.String(), "10 scenario(s) run across 60 variant cell(s), 0 disagreement(s)") {
+		t.Errorf("batch should report 60 agreeing cells:\n%s", sb.String())
 	}
 }
 
@@ -59,7 +103,7 @@ func TestDiffScenarios(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
-	for _, want := range []string{"diff tableIII -> high-vol", "param sigma: 0.1 -> 0.2", "basic SR"} {
+	for _, want := range []string{"diff tableIII -> high-vol", "param sigma: 0.1 -> 0.2", "basic sr", "->"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff missing %q:\n%s", want, out)
 		}
@@ -105,6 +149,7 @@ func TestErrors(t *testing.T) {
 		"no action":       {},
 		"unknown flag":    {"-bogus"},
 		"unknown preset":  {"-run", "nope"},
+		"unknown variant": {"-run", "tableIII", "-variant", "nope"},
 		"unknown export":  {"-export", "nope"},
 		"one-name diff":   {"-diff", "tableIII"},
 		"unknown diff":    {"-diff", "tableIII,nope"},

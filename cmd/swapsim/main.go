@@ -10,6 +10,12 @@
 //	swapsim -trace -seed 7
 //	swapsim -trace -haltb-from 7.5 -haltb-until 40   # atomicity violation
 //	swapsim -scenario impatient-bob -runs 20000      # a named scenario's regime
+//	swapsim -variant repeated -scenario tableIII     # a variant game + its MC validation
+//
+// With -variant, the run goes through the internal/variant registry: the
+// named variant games are solved and — where the variant supports it —
+// cross-validated against an independent Monte Carlo protocol run, exactly
+// the per-cell check the scenario batch gates on.
 package main
 
 import (
@@ -18,12 +24,14 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/packetized"
 	"repro/internal/scenario"
 	"repro/internal/swapsim"
 	"repro/internal/utility"
+	"repro/internal/variant"
 )
 
 func main() {
@@ -53,18 +61,23 @@ func run(args []string, out io.Writer) error {
 		requote    = fs.Bool("requote", false, "with -packets: re-quote the rate per packet")
 		keepGoing  = fs.Bool("continue", false, "with -packets: continue after a failed packet instead of aborting")
 		scen       = fs.String("scenario", "", "simulate under a named scenario's parameters, rate, deposit and seed (explicit flags override)")
+		variants   = fs.String("variant", "", `simulate through the variant registry: "all" or a comma-separated key list`)
+		rounds     = fs.Int("rounds", 0, "round count for the repeated variant (0 = variant default)")
+		budget     = fs.Float64("budget", 0, "Bob's holdings cap for the uncertain variant (0 = unconstrained)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	params := utility.Default()
+	name := "cli"
 	if *scen != "" {
 		sc, err := scenario.Lookup(*scen)
 		if err != nil {
 			return err
 		}
 		params = sc.Params
+		name = sc.Name
 		visited := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
 		if !visited["pstar"] {
@@ -76,14 +89,55 @@ func run(args []string, out io.Writer) error {
 		if !visited["seed"] {
 			*seed = sc.Seed
 		}
-	}
-	m, err := core.New(params)
-	if err != nil {
-		return err
+		if !visited["packets"] {
+			*packets = sc.Packets
+		}
+		if !visited["rounds"] {
+			*rounds = sc.Rounds
+		}
+		if !visited["budget"] {
+			*budget = sc.BobBudget
+		}
 	}
 
 	if *packets < 0 {
 		return fmt.Errorf("swapsim: -packets must be >= 0, got %d", *packets)
+	}
+
+	if *variants != "" {
+		sc := scenario.Scenario{
+			Name:       name,
+			Params:     params,
+			PStar:      *pstar,
+			Collateral: *q,
+			BobBudget:  *budget,
+			MCRuns:     *runs,
+			Seed:       *seed,
+			Packets:    *packets,
+			Rounds:     *rounds,
+		}
+		report, err := variant.Run(sc, variant.RunOpts{
+			Variants:  *variants,
+			CIWidth:   *ciWidth,
+			ChunkSize: *chunk,
+			MaxPaths:  *maxPaths,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprint(out, report.Render()); err != nil {
+			return err
+		}
+		if bad := report.Disagreements(); len(bad) > 0 {
+			return fmt.Errorf("analytic solve outside the Monte Carlo Wilson interval for: %s",
+				strings.Join(bad, ", "))
+		}
+		return nil
+	}
+
+	m, err := core.New(params)
+	if err != nil {
+		return err
 	}
 	if *packets > 0 {
 		res, err := packetized.Run(packetized.Config{

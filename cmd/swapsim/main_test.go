@@ -110,3 +110,37 @@ func TestScenarioFlagNotInitiatedNote(t *testing.T) {
 		t.Errorf("expected the not-initiated note:\n%s", sb.String())
 	}
 }
+
+func TestVariantMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-variant", "basic,baseline", "-scenario", "tableIII", "-runs", "800"}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"variant basic", "variant baseline",
+		"Monte Carlo (basic", "Monte Carlo (one-sided protocol",
+		"agrees: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVariantModeRepeatedRounds(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-variant", "repeated", "-rounds", "80", "-runs", "400"}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "engagement: 80 rounds") {
+		t.Errorf("output missing the 80-round engagement header:\n%s", sb.String())
+	}
+}
+
+func TestVariantModeUnknownKey(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-variant", "nope"}, &sb); err == nil {
+		t.Error("unknown variant key accepted")
+	}
+}

@@ -8,12 +8,17 @@
 //	swapsolve [-pstar 2.0] [-q 0.1] [-uncertain] [-budget 5] [model flags]
 //	swapsolve -sweep 0.2:3.2:61 [-workers 8]   # parallel SR(P*) grid scan
 //	swapsolve -scenario high-vol               # solve a named scenario
+//	swapsolve -variant all                     # every registered variant game
+//	swapsolve -scenario high-vol -variant packetized,repeated
 //
 // Model flags default to Table III (see -help). With -scenario, the named
 // scenario (cmd/scenarios -list) supplies the parameter set, rate and
-// deposit, and any explicitly set flag overrides that field. The -sweep grid
-// scan runs through the internal/sweep worker pool; its output is identical
-// for every -workers value.
+// deposit, and any explicitly set flag overrides that field. With -variant,
+// the parameter set is solved through the internal/variant registry —
+// analytic solves only; protocol simulation lives in swapsim — for the
+// named variant games ("all" for every one). The -sweep grid scan runs
+// through the internal/sweep worker pool; its output is identical for
+// every -workers value.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/utility"
+	"repro/internal/variant"
 )
 
 func main() {
@@ -51,6 +57,10 @@ func run(args []string, out *os.File) error {
 		sweepSpec = fs.String("sweep", "", "sweep SR over a lo:hi:n exchange-rate grid instead of solving one rate")
 		workers   = fs.Int("workers", 0, "worker-pool size for -sweep (0 = all CPUs)")
 		scen      = fs.String("scenario", "", "start from a named scenario's parameters (explicit flags override)")
+		variants  = fs.String("variant", "", `solve through the variant registry: "all" or a comma-separated key list`)
+		packets   = fs.Int("packets", 0, "packet count for the packetized variant (0 = variant default)")
+		rounds    = fs.Int("rounds", 0, "round count for the repeated variant (0 = variant default)")
+		seed      = fs.Int64("seed", 1, "seed of the sampled variants (packetized, repeated)")
 
 		alphaA = fs.Float64("alphaA", 0.3, "Alice's success premium")
 		alphaB = fs.Float64("alphaB", 0.3, "Bob's success premium")
@@ -79,11 +89,13 @@ func run(args []string, out *os.File) error {
 		Price:  gbm.Process{Mu: *mu, Sigma: *sigma},
 		P0:     *p0,
 	}
+	name := "cli"
 	if *scen != "" {
 		sc, err := scenario.Lookup(*scen)
 		if err != nil {
 			return err
 		}
+		name = sc.Name
 		visited := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
 		params = overrideParams(sc.Params, params, visited)
@@ -96,6 +108,34 @@ func run(args []string, out *os.File) error {
 		if !visited["budget"] {
 			*budget = sc.BobBudget
 		}
+		if !visited["seed"] {
+			*seed = sc.Seed
+		}
+		if !visited["packets"] {
+			*packets = sc.Packets
+		}
+		if !visited["rounds"] {
+			*rounds = sc.Rounds
+		}
+	}
+
+	if *variants != "" {
+		sc := scenario.Scenario{
+			Name:       name,
+			Params:     params,
+			PStar:      *pstar,
+			Collateral: *q,
+			BobBudget:  *budget,
+			Seed:       *seed,
+			Packets:    *packets,
+			Rounds:     *rounds,
+		}
+		report, err := variant.Run(sc, variant.RunOpts{Variants: *variants, SkipMC: true})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, report.Render())
+		return err
 	}
 
 	// Route through the shared solve cache: a -sweep re-solves one model's

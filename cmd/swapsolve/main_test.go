@@ -135,3 +135,43 @@ func TestScenarioFlagUnknownName(t *testing.T) {
 		t.Error("unknown scenario accepted")
 	}
 }
+
+func TestVariantAllSolvesEveryGame(t *testing.T) {
+	out, err := capture(t, []string{"-variant", "all", "-scenario", "tableIII"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"variant basic", "variant collateral", "variant uncertain",
+		"variant packetized", "variant repeated", "variant baseline",
+		"SR(P*) (Eq. 31)", "expected fraction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Monte Carlo") {
+		t.Errorf("-variant on swapsolve should skip the MC validations:\n%s", out)
+	}
+}
+
+func TestVariantSubsetWithKnobs(t *testing.T) {
+	out, err := capture(t, []string{"-variant", "packetized", "-packets", "2", "-seed", "5"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"variant packetized", "packets n=2", "per-round exposure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "variant basic") {
+		t.Errorf("unselected variant ran:\n%s", out)
+	}
+}
+
+func TestVariantUnknownKey(t *testing.T) {
+	if _, err := capture(t, []string{"-variant", "nope"}); err == nil {
+		t.Error("unknown variant key accepted")
+	}
+}

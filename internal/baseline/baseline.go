@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 
+	"repro/internal/stats"
 	"repro/internal/utility"
 )
 
@@ -114,6 +116,36 @@ func (m *Model) OptionPremium(pstar float64) (float64, error) {
 		return 0, err
 	}
 	return ov - fv, nil
+}
+
+// SimulateSR estimates the one-sided success rate by direct Monte Carlo:
+// B locks unconditionally at t2, the price walks the GBM through both
+// confirmation legs, and the swap succeeds exactly when P_t3 clears A's
+// reveal cut-off. It is the protocol-level validation of SuccessRate the
+// variant layer runs per scenario — the sampled two-step transition and the
+// closed-form tail probability share only the GBM law.
+func (m *Model) SimulateSR(pstar float64, runs int, seed int64) (stats.Proportion, error) {
+	cut, err := m.CutoffT3(pstar)
+	if err != nil {
+		return stats.Proportion{}, err
+	}
+	if runs < 1 {
+		return stats.Proportion{}, fmt.Errorf("%w: runs=%d must be >= 1", ErrBadParam, runs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c, pr := m.params.Chains, m.params.Price
+	successes := 0
+	for i := 0; i < runs; i++ {
+		pT2 := pr.Step(rng, m.params.P0, c.TauA)
+		if pT3 := pr.Step(rng, pT2, c.TauB); pT3 > cut {
+			successes++
+		}
+	}
+	prop, err := stats.NewProportion(successes, runs)
+	if err != nil {
+		return stats.Proportion{}, fmt.Errorf("baseline: %w", err)
+	}
+	return prop, nil
 }
 
 func check(pstar float64) error {

@@ -151,3 +151,53 @@ func TestArgumentValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestSimulateSRAgreesWithClosedForm(t *testing.T) {
+	m := newModel(t)
+	analytic, err := m.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := m.SimulateSR(2.0, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sampler and the tail probability share only the GBM law; the
+	// Wilson interval (with the repository's customary slack) must cover
+	// the closed form.
+	if analytic < prop.Lo-0.01 || analytic > prop.Hi+0.01 {
+		t.Errorf("closed-form SR %.4f outside sampled interval [%.4f, %.4f]", analytic, prop.Lo, prop.Hi)
+	}
+}
+
+func TestSimulateSRDeterministicPerSeed(t *testing.T) {
+	m := newModel(t)
+	a, err := m.SimulateSR(2.0, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateSR(2.0, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed drifted: %v vs %v", a, b)
+	}
+	c, err := m.SimulateSR(2.0, 500, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical proportions")
+	}
+}
+
+func TestSimulateSRRejectsBadArguments(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.SimulateSR(0, 100, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad pstar err = %v, want ErrBadParam", err)
+	}
+	if _, err := m.SimulateSR(2.0, 0, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero runs err = %v, want ErrBadParam", err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/solvecache"
 	"repro/internal/stats"
 	"repro/internal/timeline"
 	"repro/internal/utility"
@@ -55,6 +56,11 @@ type Config struct {
 	// ContinueAfterFailure keeps trading the remaining packets after a
 	// withdrawal instead of aborting the engagement.
 	ContinueAfterFailure bool
+	// ForceInitiate starts the engagement even when the fixed rate lies
+	// outside A's feasible band, so the completion estimate conditions on
+	// initiation exactly as the analytic SR of Eq. 31 does — the mode the
+	// variant layer's Monte Carlo cross-validation runs in.
+	ForceInitiate bool
 	// Runs is the number of Monte Carlo executions.
 	Runs int
 	// Seed drives the price paths.
@@ -110,7 +116,10 @@ func Run(cfg Config) (Result, error) {
 		cycle = tl.TB
 	}
 
-	m, err := core.New(cfg.Params)
+	// The stage solves route through the process-wide solve cache: the same
+	// parameter set solved by the figures, the scenario batch or another
+	// packet count shares one model and its memoized cells.
+	m, err := solvecache.SharedModel(cfg.Params)
 	if err != nil {
 		return Result{}, fmt.Errorf("packetized: %w", err)
 	}
@@ -153,7 +162,7 @@ func Run(cfg Config) (Result, error) {
 					BobContT2:      quoted.BobContT2.Scale(scale),
 					AliceCutoffT3:  quoted.AliceCutoffT3 * scale,
 				}
-			} else if !strat.AliceInitiates && k == 0 {
+			} else if !strat.AliceInitiates && !cfg.ForceInitiate && k == 0 {
 				// A fixed rate outside the feasible band never starts.
 				break
 			}

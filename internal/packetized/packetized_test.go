@@ -246,3 +246,37 @@ func TestContinueDominatesAbort(t *testing.T) {
 		}
 	}
 }
+
+func TestForceInitiateConditionsOnInitiation(t *testing.T) {
+	// Doubled volatility empties A's feasible band at the fair rate: the
+	// rational engagement never starts, so the completed fraction is zero …
+	p := utility.Default()
+	p.Price.Sigma = 0.2
+	cfg := Config{Params: p, PStar: 2.0, Packets: 1, Runs: 2000, Seed: 3}
+	rational, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rational.ExpectedFraction != 0 || rational.FullCompletion.P != 0 {
+		t.Fatalf("non-viable rate still completed packets: %+v", rational)
+	}
+	// … while forcing initiation samples the basic game conditioned on
+	// initiation, exactly what the analytic SR of Eq. 31 measures.
+	cfg.ForceInitiate = true
+	forced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want < forced.FullCompletion.Lo-0.01 || want > forced.FullCompletion.Hi+0.01 {
+		t.Errorf("forced n=1 completion [%.4f, %.4f] should cover SR %.4f",
+			forced.FullCompletion.Lo, forced.FullCompletion.Hi, want)
+	}
+}

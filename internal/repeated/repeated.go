@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/memo"
 	"repro/internal/utility"
 )
 
@@ -120,11 +121,42 @@ func (r Result) SuccessRate() float64 {
 // initiation decision unchanged.
 type cachedQuote struct {
 	viable bool
+	// sr is the success rate at the SR-maximising rate; scale invariance
+	// makes it price-level independent, so it doubles as the analytic
+	// success probability of every re-quoted round.
+	sr float64
 	// Normalised by the reference price:
 	pstarOverP0  float64
 	cutoffOverP0 float64
 	regionOverP0 mathx.IntervalSet
 }
+
+// quoteResult carries a solved quote through the process-wide memo; a
+// deterministic solve error is cached alongside (it is a pure function of
+// the key, so re-solving could only fail the same way).
+type quoteResult struct {
+	q   cachedQuote
+	err error
+}
+
+// quotes is the process-wide quote cache, keyed by the complete quantised
+// parameter set of the stage solve. It replaces the per-Play private map:
+// concurrent engagements under the sweep pool share one solve per distinct
+// premium pair (memo.Map serialises first computes), and a repeated
+// trajectory revisiting a premium pair in a later Play hits the cache.
+// Values are pure functions of the key, so the cache can never go stale.
+//
+// The stage models are built directly rather than through
+// solvecache.SharedModel: each quote key is solved exactly once and then
+// served from this memo forever, so sharing the model would buy nothing —
+// while a reputation-dynamics engagement visiting hundreds of quantised
+// premium pairs would fill solvecache's bounded cache with single-use
+// light models and push every later full solve onto the uncached path.
+var quotes memo.Map[utility.Params, quoteResult]
+
+// QuoteCacheStats reports the process-wide quote cache's cumulative hit
+// and miss counts.
+func QuoteCacheStats() (hits, misses uint64) { return quotes.Stats() }
 
 // Play runs the repeated engagement. Stage games are solved once per
 // distinct premium pair (at the reference price) and rescaled to the
@@ -143,13 +175,12 @@ func Play(cfg Config) (Result, error) {
 	alpha0B := cfg.Params.Bob.Alpha
 	alphaA, alphaB := alpha0A, alpha0B
 	refP := cfg.Params.P0
-	cache := make(map[[2]float64]cachedQuote)
 
 	res := Result{Rounds: make([]Round, 0, cfg.Rounds)}
 	for i := 0; i < cfg.Rounds; i++ {
 		round := Round{Index: i, Price: price, AlphaA: alphaA, AlphaB: alphaB}
 
-		quote, err := solveQuote(cfg.Params, cache, refP, alphaA, alphaB)
+		quote, err := solveQuote(cfg.Params, refP, alphaA, alphaB)
 		if err != nil {
 			return Result{}, fmt.Errorf("repeated: round %d: %w", i, err)
 		}
@@ -200,43 +231,62 @@ func Play(cfg Config) (Result, error) {
 // solveQuote solves (or retrieves) the stage game for a premium pair at the
 // reference price. Premia are quantised to 1e-3 — strategy thresholds move
 // negligibly below that resolution — and the game is solved *at* the
-// quantised premia, so cached and fresh results are always consistent.
-func solveQuote(params utility.Params, cache map[[2]float64]cachedQuote, refP, alphaA, alphaB float64) (cachedQuote, error) {
-	key := [2]float64{roundKey(alphaA), roundKey(alphaB)}
-	if q, ok := cache[key]; ok {
-		return q, nil
-	}
-	params.Alice.Alpha = key[0]
-	params.Bob.Alpha = key[1]
+// quantised premia, so cached and fresh results are always consistent. The
+// key is the full quantised parameter set: the process-wide cache is shared
+// across engagements and across goroutines.
+func solveQuote(params utility.Params, refP, alphaA, alphaB float64) (cachedQuote, error) {
+	params.Alice.Alpha = roundKey(alphaA)
+	params.Bob.Alpha = roundKey(alphaB)
 	params.P0 = refP
-	// A lighter numerical configuration: repeated-game trajectories visit
-	// dozens of premium pairs, and threshold errors far below the premium
-	// quantum do not change sampled outcomes.
-	m, err := core.New(params, core.WithScanPoints(200), core.WithQuadOrder(32))
-	if err != nil {
-		return cachedQuote{}, err
-	}
-	var q cachedQuote
-	pstar, _, err := m.OptimalRate()
-	switch {
-	case err == nil:
-		strat, err := m.Strategy(pstar)
+	res := quotes.Do(params, func() quoteResult {
+		// The lighter numerical configuration: repeated-game trajectories
+		// visit dozens of premium pairs, and threshold errors far below
+		// the premium quantum do not change sampled outcomes.
+		m, err := core.New(params, core.WithScanPoints(200), core.WithQuadOrder(32))
 		if err != nil {
-			return cachedQuote{}, err
+			return quoteResult{err: err}
 		}
-		q = cachedQuote{
-			viable:       true,
-			pstarOverP0:  pstar / refP,
-			cutoffOverP0: strat.AliceCutoffT3 / refP,
-			regionOverP0: strat.BobContT2.Scale(1 / refP),
+		pstar, sr, err := m.OptimalRate()
+		switch {
+		case err == nil:
+			strat, err := m.Strategy(pstar)
+			if err != nil {
+				return quoteResult{err: err}
+			}
+			return quoteResult{q: cachedQuote{
+				viable:       true,
+				sr:           sr,
+				pstarOverP0:  pstar / refP,
+				cutoffOverP0: strat.AliceCutoffT3 / refP,
+				regionOverP0: strat.BobContT2.Scale(1 / refP),
+			}}
+		case errors.Is(err, core.ErrNotViable):
+			return quoteResult{}
+		default:
+			return quoteResult{err: err}
 		}
-	case errors.Is(err, core.ErrNotViable):
-		q = cachedQuote{}
-	default:
-		return cachedQuote{}, err
+	})
+	return res.q, res.err
+}
+
+// QuoteAt exposes the quote solver to the variant layer: the SR-maximising
+// rate and its success rate for the given premium pair at the scenario's
+// reference price. viable is false when no exchange rate sustains the swap
+// (core.ErrNotViable), which is an outcome, not an error. By the game's
+// scale invariance the returned sr is also the per-round success
+// probability of a re-quoted engagement at any price level.
+func QuoteAt(params utility.Params, alphaA, alphaB float64) (pstar, sr float64, viable bool, err error) {
+	if err := params.Validate(); err != nil {
+		return 0, 0, false, fmt.Errorf("repeated: %w", err)
 	}
-	cache[key] = q
-	return q, nil
+	q, err := solveQuote(params, params.P0, alphaA, alphaB)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("repeated: %w", err)
+	}
+	if !q.viable {
+		return 0, 0, false, nil
+	}
+	return q.pstarOverP0 * params.P0, q.sr, true, nil
 }
 
 func roundKey(a float64) float64 {

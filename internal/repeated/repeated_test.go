@@ -3,6 +3,8 @@ package repeated
 import (
 	"errors"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -215,5 +217,84 @@ func TestPlayPropagatesStageErrors(t *testing.T) {
 		if err == nil {
 			t.Error("zero config should fail")
 		}
+	}
+}
+
+func TestQuoteAtMatchesFreshSolve(t *testing.T) {
+	p := utility.Default()
+	pstar, sr, viable, err := QuoteAt(p, p.Alice.Alpha, p.Bob.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viable {
+		t.Fatal("Table III must quote")
+	}
+	if pstar <= 0 || sr <= 0 || sr > 1 {
+		t.Errorf("quote (%v, %v) out of range", pstar, sr)
+	}
+	// The quote is served from the shared cache; asking again must return
+	// the identical solution.
+	pstar2, sr2, viable2, err := QuoteAt(p, p.Alice.Alpha, p.Bob.Alpha)
+	if err != nil || !viable2 || pstar2 != pstar || sr2 != sr {
+		t.Errorf("cached quote drifted: (%v, %v, %v, %v)", pstar2, sr2, viable2, err)
+	}
+	if _, _, _, err := QuoteAt(utility.Params{}, 0.3, 0.3); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestQuoteAtReportsFrozenMarketAsNotViable(t *testing.T) {
+	p := utility.Default()
+	// Near-zero premia with an impatient responder leave no viable rate.
+	p.Bob.R = 0.08
+	_, _, viable, err := QuoteAt(p, 0.001, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viable {
+		t.Error("frozen market reported viable")
+	}
+}
+
+// TestPlayConcurrentEngagementsShareQuoteCache drives many engagements
+// through the process-wide quote memo at once — the access pattern of the
+// (scenario × variant) sweep pool. The race detector (CI's -race job)
+// turns any unsynchronised cache access into a failure, and identical
+// seeds must keep producing identical trajectories while sharing solves.
+func TestPlayConcurrentEngagementsShareQuoteCache(t *testing.T) {
+	cfg := Config{
+		Params:         utility.Default(),
+		Rounds:         40,
+		GapHours:       24,
+		Seed:           9,
+		ReputationLoss: 0.2,
+		ReputationGain: 0.02,
+		AlphaMax:       0.6,
+	}
+	ref, err := Play(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	errs := make([]error, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Play(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], ref) {
+			t.Errorf("goroutine %d produced a different trajectory", i)
+		}
+	}
+	if hits, misses := QuoteCacheStats(); hits == 0 || misses == 0 {
+		t.Errorf("quote cache not exercised: hits %d, misses %d", hits, misses)
 	}
 }

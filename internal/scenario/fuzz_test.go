@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/gbm"
@@ -19,11 +20,19 @@ func FuzzScenarioJSON(f *testing.F) {
 			sc.Params.Bob.Alpha, sc.Params.Bob.R,
 			sc.Params.Chains.TauA, sc.Params.Chains.TauB, sc.Params.Chains.EpsB,
 			sc.Params.Price.Mu, sc.Params.Price.Sigma, sc.Params.P0,
-			sc.PStar, sc.Collateral, sc.BobBudget, sc.MCRuns, sc.Seed)
+			sc.PStar, sc.Collateral, sc.BobBudget, sc.MCRuns, sc.Seed,
+			"basic+packetized+repeated", sc.Packets, sc.Rounds)
 	}
 	f.Fuzz(func(t *testing.T, name string,
 		alphaA, rA, alphaB, rB, tauA, tauB, epsB, mu, sigma, p0,
-		pstar, collateral, budget float64, runs int, seed int64) {
+		pstar, collateral, budget float64, runs int, seed int64,
+		variants string, packets, rounds int) {
+		// The fuzzer cannot supply a []string directly; "+" joins variant
+		// keys (a character Validate permits inside a key).
+		var vs []string
+		if variants != "" {
+			vs = strings.Split(variants, "+")
+		}
 		sc := Scenario{
 			Name:        name,
 			Description: "fuzzed",
@@ -39,6 +48,9 @@ func FuzzScenarioJSON(f *testing.F) {
 			BobBudget:  budget,
 			MCRuns:     runs,
 			Seed:       seed,
+			Variants:   vs,
+			Packets:    packets,
+			Rounds:     rounds,
 		}
 		if sc.Validate() != nil {
 			t.Skip()

@@ -9,10 +9,14 @@
 // axis per figure; the interesting regimes (high volatility, asymmetric
 // discounting, fee stress, short timelocks — see arXiv:2103.02056 and
 // arXiv:2211.15804) live off that point. Registry names ten of them as
-// presets, JSON load/save admits user-defined ones, and the batch runner in
-// runner.go solves the basic, collateral and uncertain games plus a Monte
-// Carlo protocol validation for each, through the internal/sweep worker
-// pool.
+// presets and JSON load/save admits user-defined ones.
+//
+// A Scenario is pure data: it names the regime and, through the Variants
+// field and the per-variant knobs (Packets, Rounds), selects which of the
+// registered variant games internal/variant solves for it. The batch
+// runner that fans the (scenario × variant) matrix through the
+// internal/sweep worker pool lives in internal/variant, which layers on
+// top of this package.
 package scenario
 
 import (
@@ -65,6 +69,18 @@ type Scenario struct {
 	// Seed is the base RNG seed of the scenario's Monte Carlo validation;
 	// run i draws from the decorrelated stream sweep.Seed(Seed, i).
 	Seed int64 `json:"seed,omitempty"`
+	// Variants selects the variant games solved for this scenario, by
+	// registry key ("basic", "packetized", …; see internal/variant). Empty
+	// keeps the classic basic/collateral/uncertain trio. Key syntax is
+	// validated here; whether a key is actually registered is checked by
+	// the variant runner, which owns the registry.
+	Variants []string `json:"variants,omitempty"`
+	// Packets is the packetized variant's packet count n (0 = the variant
+	// default).
+	Packets int `json:"packets,omitempty"`
+	// Rounds is the repeated variant's engagement length (0 = the variant
+	// default).
+	Rounds int `json:"rounds,omitempty"`
 }
 
 // Validate checks the scenario for use by the solvers and the simulator.
@@ -92,6 +108,22 @@ func (s Scenario) Validate() error {
 	}
 	if s.MCRuns < 0 {
 		return fmt.Errorf("%w: %q: mcRuns=%d must be >= 0", ErrBadScenario, s.Name, s.MCRuns)
+	}
+	seen := make(map[string]bool, len(s.Variants))
+	for _, v := range s.Variants {
+		if v == "" || strings.ContainsAny(v, ", \t\n") || !utf8.ValidString(v) {
+			return fmt.Errorf("%w: %q: variant key %q must be non-empty without commas or whitespace", ErrBadScenario, s.Name, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("%w: %q: duplicate variant key %q", ErrBadScenario, s.Name, v)
+		}
+		seen[v] = true
+	}
+	if s.Packets < 0 {
+		return fmt.Errorf("%w: %q: packets=%d must be >= 0", ErrBadScenario, s.Name, s.Packets)
+	}
+	if s.Rounds < 0 {
+		return fmt.Errorf("%w: %q: rounds=%d must be >= 0", ErrBadScenario, s.Name, s.Rounds)
 	}
 	return nil
 }
@@ -260,5 +292,10 @@ func DiffParams(a, b Scenario) []string {
 	add("pstar", a.PStar, b.PStar)
 	add("collateral", a.Collateral, b.Collateral)
 	add("bobBudget", a.BobBudget, b.BobBudget)
+	add("packets", float64(a.Packets), float64(b.Packets))
+	add("rounds", float64(a.Rounds), float64(b.Rounds))
+	if va, vb := strings.Join(a.Variants, "+"), strings.Join(b.Variants, "+"); va != vb {
+		out = append(out, fmt.Sprintf("variants: %q -> %q", va, vb))
+	}
 	return out
 }

@@ -79,6 +79,12 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		"bad sigma":       func(s *Scenario) { s.Params.Price.Sigma = 0 },
 		"eps >= tauB":     func(s *Scenario) { s.Params.Chains.EpsB = s.Params.Chains.TauB },
 		"neg alice alpha": func(s *Scenario) { s.Params.Alice.Alpha = -0.1 },
+		"empty variant":   func(s *Scenario) { s.Variants = []string{""} },
+		"comma variant":   func(s *Scenario) { s.Variants = []string{"a,b"} },
+		"space variant":   func(s *Scenario) { s.Variants = []string{"a b"} },
+		"dup variant":     func(s *Scenario) { s.Variants = []string{"basic", "basic"} },
+		"neg packets":     func(s *Scenario) { s.Packets = -1 },
+		"neg rounds":      func(s *Scenario) { s.Rounds = -1 },
 	}
 	for name, mutate := range cases {
 		sc := good
@@ -112,6 +118,49 @@ func TestJSONRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, sc) {
 			t.Errorf("%s: round trip changed the scenario:\n got %+v\nwant %+v", sc.Name, got, sc)
+		}
+	}
+}
+
+func TestJSONRoundTripVariantFields(t *testing.T) {
+	sc, err := Lookup("tableIII")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Variants = []string{"basic", "packetized", "repeated"}
+	sc.Packets = 8
+	sc.Rounds = 64
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	for _, want := range []string{`"variants"`, `"packets": 8`, `"rounds": 64`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, sc) {
+		t.Errorf("round trip changed the scenario:\n got %+v\nwant %+v", got, sc)
+	}
+}
+
+// TestPresetJSONOmitsVariantFields pins the JSON compatibility contract:
+// none of the committed presets carries variant-selection fields, so their
+// exported JSON is byte-identical to the pre-variant format.
+func TestPresetJSONOmitsVariantFields(t *testing.T) {
+	for _, sc := range Registry() {
+		var buf bytes.Buffer
+		if err := sc.Save(&buf); err != nil {
+			t.Fatalf("%s: Save: %v", sc.Name, err)
+		}
+		for _, field := range []string{"variants", "packets", "rounds"} {
+			if strings.Contains(buf.String(), field) {
+				t.Errorf("%s: preset JSON leaks zero-valued %q:\n%s", sc.Name, field, buf.String())
+			}
 		}
 	}
 }
@@ -180,5 +229,15 @@ func TestDiffParams(t *testing.T) {
 	diffs = DiffParams(a, c)
 	if len(diffs) != 3 {
 		t.Errorf("diffs = %v, want sigma, pstar, collateral", diffs)
+	}
+	d := a
+	d.Packets, d.Rounds = 8, 64
+	d.Variants = []string{"packetized"}
+	diffs = DiffParams(a, d)
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"packets", "rounds", "variants"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs %v missing %q", diffs, want)
+		}
 	}
 }

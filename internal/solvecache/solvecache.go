@@ -41,6 +41,10 @@ type QuadOpts struct {
 	GLOrder int
 	// GHOrder is the Gauss–Hermite order (0 = core default, 48).
 	GHOrder int
+	// ScanPoints is the utility-crossing scan resolution (0 = core
+	// default, 600). The repeated-game quote solver runs a lighter scan;
+	// keying on it keeps light and full solves in separate cells.
+	ScanPoints int
 }
 
 // cacheEntry pairs a cached model with the exact key material it was
@@ -89,6 +93,7 @@ func Key(p utility.Params, q QuadOpts) uint64 {
 	f(p.P0)
 	f(float64(q.GLOrder))
 	f(float64(q.GHOrder))
+	f(float64(q.ScanPoints))
 	return h.Sum64()
 }
 
@@ -145,6 +150,9 @@ func newModel(p utility.Params, q QuadOpts) (*core.Model, error) {
 	}
 	if q.GHOrder > 0 {
 		opts = append(opts, core.WithHermiteOrder(q.GHOrder))
+	}
+	if q.ScanPoints > 0 {
+		opts = append(opts, core.WithScanPoints(q.ScanPoints))
 	}
 	return core.New(p, opts...)
 }

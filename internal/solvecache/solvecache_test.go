@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/utility"
 )
 
@@ -85,8 +86,45 @@ func TestKeyDistinguishesEveryParameter(t *testing.T) {
 	if Key(base, QuadOpts{GLOrder: 32}) == k0 {
 		t.Error("quad options did not change the key")
 	}
+	if Key(base, QuadOpts{ScanPoints: 200}) == k0 {
+		t.Error("scan resolution did not change the key")
+	}
 	if Key(base, QuadOpts{}) != k0 {
 		t.Error("key is not deterministic")
+	}
+}
+
+// TestScanPointsOptionsMatchDirectConstruction pins the light-solver path
+// the repeated game's quote cache runs on: explicit scan/quadrature
+// options must reproduce a directly constructed core.Model bit for bit,
+// and must occupy a cache cell distinct from the default solver's.
+func TestScanPointsOptionsMatchDirectConstruction(t *testing.T) {
+	p := utility.Default()
+	light, err := SharedModelQuad(p, QuadOpts{GLOrder: 32, ScanPoints: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.New(p, core.WithQuadOrder(32), core.WithScanPoints(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srLight, err := light.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srDirect, err := direct.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(srLight) != math.Float64bits(srDirect) {
+		t.Fatalf("light shared SR %v != direct SR %v", srLight, srDirect)
+	}
+	full, err := SharedModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == light {
+		t.Fatal("default and light options share one cache cell")
 	}
 }
 

@@ -1,0 +1,136 @@
+package variant
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/swapsim"
+)
+
+// basicGame is the paper's §III game: both agents strategic, one
+// all-or-nothing HTLC swap at the agreed rate.
+type basicGame struct{}
+
+func (basicGame) Key() string { return "basic" }
+
+func (basicGame) Describe() string {
+	return "the paper's §III basic game: thresholds, feasible range and SR(P*)"
+}
+
+func (basicGame) Solve(ctx *Context, sc scenario.Scenario) (Report, error) {
+	m, err := ctx.Model(sc.Params)
+	if err != nil {
+		return Report{}, err
+	}
+	cutoff, err := m.CutoffT3(sc.PStar)
+	if err != nil {
+		return Report{}, err
+	}
+	contT2, contOK, err := m.ContRangeT2(sc.PStar)
+	if err != nil {
+		return Report{}, err
+	}
+	feasible, feasibleOK, err := m.FeasibleRateRange()
+	if err != nil {
+		return Report{}, err
+	}
+	sr, err := m.SuccessRate(sc.PStar)
+	if err != nil {
+		return Report{}, err
+	}
+	strat, err := m.Strategy(sc.PStar)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		SR:      sr,
+		SRLabel: "basic SR(P*) (Eq. 31)",
+		Values: []Value{
+			{"sr", sr},
+			{"cutoffT3", cutoff},
+			{"aliceInitiates", boolVal(strat.AliceInitiates)},
+		},
+		Lines: []string{
+			fmt.Sprintf("Alice's t3 reveal cut-off P̄_t3 (Eq. 18):  %.4f", cutoff),
+			fmt.Sprintf("Bob's t2 continuation range (Eq. 24):     %s", fmtInterval(contT2, contOK)),
+			fmt.Sprintf("feasible exchange-rate range (Eq. 30):    %s", fmtInterval(feasible, feasibleOK)),
+			fmt.Sprintf("Alice initiates at P*=%g:                 %v", sc.PStar, strat.AliceInitiates),
+			fmt.Sprintf("basic SR(P*) (Eq. 31):                    %.4f", sr),
+		},
+	}
+	if contOK {
+		r.Values = append(r.Values, Value{"t2Lo", contT2.Lo}, Value{"t2Hi", contT2.Hi})
+	}
+	if feasibleOK {
+		r.Values = append(r.Values, Value{"feasibleLo", feasible.Lo}, Value{"feasibleHi", feasible.Hi})
+		optRate, optSR, err := m.OptimalRate()
+		if err != nil {
+			return Report{}, err
+		}
+		r.Values = append(r.Values, Value{"optimalRate", optRate}, Value{"optimalSR", optSR})
+		r.Lines = append(r.Lines,
+			fmt.Sprintf("SR-maximising rate:                       %.4f (SR = %.4f)", optRate, optSR))
+	}
+	return r, nil
+}
+
+// MCValidate runs the protocol simulation with the basic-game threshold
+// strategies. Eq. 31's SR conditions on the swap being initiated, so the
+// simulated strategy initiates unconditionally; the solved report records
+// whether A rationally would.
+func (basicGame) MCValidate(ctx *Context, sc scenario.Scenario, r Report) (*MCCheck, error) {
+	m, err := ctx.Model(sc.Params)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := m.Strategy(sc.PStar)
+	if err != nil {
+		return nil, err
+	}
+	return simulateCheck(ctx, sc, "basic", strat, 0, r.SR)
+}
+
+// simulateCheck runs the swapsim Monte Carlo engine under the batch knobs
+// and packages the agreement check — the shared protocol-level validation
+// of the basic and collateral variants.
+func simulateCheck(ctx *Context, sc scenario.Scenario, game string, strat core.Strategy, collateral, analytic float64) (*MCCheck, error) {
+	strat.AliceInitiates = true
+	res, err := swapsim.MonteCarlo(swapsim.MCConfig{
+		Config: swapsim.Config{
+			Params:     sc.Params,
+			Strategy:   strat,
+			Collateral: collateral,
+			Seed:       sc.Seed,
+		},
+		Runs:      ctx.Runs(sc),
+		Workers:   ctx.Opts.MCWorkers,
+		CIWidth:   ctx.Opts.CIWidth,
+		ChunkSize: ctx.Opts.ChunkSize,
+		MaxPaths:  ctx.Opts.MaxPaths,
+	})
+	if err != nil {
+		return nil, err
+	}
+	check := newMCCheck(game, analytic, res.SuccessRate, res.Paths, sc.Seed)
+	check.Stopped = res.Stopped
+	check.Stages = res.Stages
+	check.MeanDurationHours = res.MeanDurationHours
+	return check, nil
+}
+
+// fmtInterval renders an interval, or a fixed marker for an empty region.
+func fmtInterval(iv mathx.Interval, ok bool) string {
+	if !ok {
+		return "empty"
+	}
+	return fmt.Sprintf("(%.4f, %.4f)", iv.Lo, iv.Hi)
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,300 @@
+package variant
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/swapsim"
+	"repro/internal/sweep"
+)
+
+// RunOpts configures a batch run across the (scenario × variant) matrix.
+type RunOpts struct {
+	// Runs overrides every scenario's Monte Carlo run count (0 keeps each
+	// scenario's own setting — MCRuns, or scenario.DefaultMCRuns). It is
+	// the fixed sample size, and the default adaptive cap.
+	Runs int
+	// MCWorkers bounds the concurrency of the inner Monte Carlo of a
+	// single cell. RunAll parallelises across cells and pins this to 1;
+	// Run on its own uses all CPUs when 0.
+	MCWorkers int
+	// CIWidth, when > 0, switches the swapsim validations to adaptive
+	// precision: sampling stops once the Wilson 95% half-width of the
+	// success rate is <= CIWidth, capped at MaxPaths (or the run count).
+	CIWidth float64
+	// ChunkSize is the streaming engine's chunk size (0 = the engine
+	// default); results are bit-reproducible per (seed, chunk-size) pair.
+	ChunkSize int
+	// MaxPaths overrides the adaptive hard cap when > 0.
+	MaxPaths int
+	// Variants overrides every scenario's variant selection: "" defers to
+	// the scenario (or the default trio), "all" solves every registered
+	// variant, otherwise a comma-separated key list.
+	Variants string
+	// SkipMC skips the Monte Carlo validations (analytic solves only) —
+	// the mode cmd/swapsolve's -variant runs in.
+	SkipMC bool
+}
+
+// ScenarioReport is the solved (scenario × variant) row of one scenario:
+// one report per selected variant, in selection order.
+type ScenarioReport struct {
+	// Scenario echoes the definition the reports were produced from.
+	Scenario scenario.Scenario
+	// Reports holds one entry per selected variant.
+	Reports []Report
+}
+
+// MCAgrees reports whether every variant's Monte Carlo validation agrees
+// with its analytic solve (variants without a validation pass vacuously).
+func (sr ScenarioReport) MCAgrees() bool {
+	for _, r := range sr.Reports {
+		if !r.MCAgrees() {
+			return false
+		}
+	}
+	return true
+}
+
+// Disagreements lists the keys of variants whose validation failed.
+func (sr ScenarioReport) Disagreements() []string {
+	var out []string
+	for _, r := range sr.Reports {
+		if !r.MCAgrees() {
+			out = append(out, r.Key)
+		}
+	}
+	return out
+}
+
+// Report returns the report for the given variant key.
+func (sr ScenarioReport) Report(key string) (Report, bool) {
+	for _, r := range sr.Reports {
+		if r.Key == key {
+			return r, true
+		}
+	}
+	return Report{}, false
+}
+
+// runCell solves one (scenario × variant) cell: the analytic solve, then
+// the variant's Monte Carlo validation when it has one.
+func runCell(g Game, sc scenario.Scenario, opts RunOpts) (Report, error) {
+	ctx := &Context{Opts: opts}
+	r, err := g.Solve(ctx, sc)
+	if err != nil {
+		return Report{}, fmt.Errorf("scenario %q: variant %q: %w", sc.Name, g.Key(), err)
+	}
+	r.Key, r.Desc = g.Key(), g.Describe()
+	if v, ok := g.(MCValidator); ok && !opts.SkipMC {
+		check, err := v.MCValidate(ctx, sc, r)
+		if err != nil {
+			return Report{}, fmt.Errorf("scenario %q: variant %q: MC validation: %w", sc.Name, g.Key(), err)
+		}
+		r.MC = check
+	}
+	return r, nil
+}
+
+// Run solves one scenario across its selected variants sequentially.
+func Run(sc scenario.Scenario, opts RunOpts) (ScenarioReport, error) {
+	if err := sc.Validate(); err != nil {
+		return ScenarioReport{}, err
+	}
+	games, err := Resolve(opts.Variants, sc)
+	if err != nil {
+		return ScenarioReport{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	out := ScenarioReport{Scenario: sc, Reports: make([]Report, len(games))}
+	for i, g := range games {
+		if out.Reports[i], err = runCell(g, sc, opts); err != nil {
+			return ScenarioReport{}, err
+		}
+	}
+	return out, nil
+}
+
+// cell is one (scenario × variant) unit of the batch fan-out.
+type cell struct {
+	scenarioIdx int
+	reportIdx   int
+	game        Game
+}
+
+// RunAll fans the full (scenario × variant) matrix through the sweep
+// worker pool — cross-cell parallelism with reports returned in input
+// order, bit-identical for any worker count. Each cell's inner Monte
+// Carlo runs single-worker; the parallelism budget is spent across cells.
+func RunAll(ctx context.Context, scs []scenario.Scenario, workers int, opts RunOpts) ([]ScenarioReport, error) {
+	opts.MCWorkers = 1
+	out := make([]ScenarioReport, len(scs))
+	var cells []cell
+	for i, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		games, err := Resolve(opts.Variants, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		out[i] = ScenarioReport{Scenario: sc, Reports: make([]Report, len(games))}
+		for j, g := range games {
+			cells = append(cells, cell{scenarioIdx: i, reportIdx: j, game: g})
+		}
+	}
+	reports, err := sweep.Map(ctx, len(cells), workers, func(i int) (Report, error) {
+		c := cells[i]
+		return runCell(c.game, scs[c.scenarioIdx], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range reports {
+		c := cells[i]
+		out[c.scenarioIdx].Reports[c.reportIdx] = r
+	}
+	return out, nil
+}
+
+// renderMC writes the validation block of one report.
+func renderMC(b *strings.Builder, mc *MCCheck) {
+	stopNote := ""
+	if mc.Stopped {
+		stopNote = ", adaptive early stop"
+	}
+	fmt.Fprintf(b, "  Monte Carlo (%s, %d runs, seed %d%s):\n", mc.Game, mc.Runs, mc.Seed, stopNote)
+	fmt.Fprintf(b, "    simulated SR: %.4f, Wilson 95%% [%.4f, %.4f], analytic %.4f, agrees: %v\n",
+		mc.SR.P, mc.SR.Lo, mc.SR.Hi, mc.Analytic, mc.Agrees)
+	if mc.Stages != nil {
+		fmt.Fprintf(b, "    mean completion %.2fh; outcomes:", mc.MeanDurationHours)
+		stages := make([]string, 0, len(mc.Stages))
+		for s := range mc.Stages {
+			stages = append(stages, string(s))
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			fmt.Fprintf(b, " %s=%d", s, mc.Stages[swapsim.Stage(s)])
+		}
+		b.WriteString("\n")
+	}
+}
+
+// Render produces the human-readable per-scenario block used by
+// cmd/scenarios: the scenario header once, then one section per variant.
+func (sr ScenarioReport) Render() string {
+	var b strings.Builder
+	sc := sr.Scenario
+	fmt.Fprintf(&b, "scenario %s — %s\n", sc.Name, sc.Description)
+	fmt.Fprintf(&b, "  params: αA=%g rA=%g | αB=%g rB=%g | τa=%gh τb=%gh εb=%gh | µ=%g σ=%g P0=%g\n",
+		sc.Params.Alice.Alpha, sc.Params.Alice.R, sc.Params.Bob.Alpha, sc.Params.Bob.R,
+		sc.Params.Chains.TauA, sc.Params.Chains.TauB, sc.Params.Chains.EpsB,
+		sc.Params.Price.Mu, sc.Params.Price.Sigma, sc.Params.P0)
+	fmt.Fprintf(&b, "  knobs:  P*=%g Q=%g budget=%g", sc.PStar, sc.Collateral, sc.BobBudget)
+	if sc.Packets > 0 {
+		fmt.Fprintf(&b, " packets=%d", sc.Packets)
+	}
+	if sc.Rounds > 0 {
+		fmt.Fprintf(&b, " rounds=%d", sc.Rounds)
+	}
+	b.WriteString("\n")
+	for _, r := range sr.Reports {
+		fmt.Fprintf(&b, " variant %s — %s\n", r.Key, r.Desc)
+		for _, line := range r.Lines {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		if r.MC != nil {
+			renderMC(&b, r.MC)
+		}
+	}
+	return b.String()
+}
+
+// Matrix renders the per-variant summary columns of a batch: one row per
+// scenario, one column per variant that appears in any report, cells
+// holding the variant's headline success metric.
+func Matrix(reports []ScenarioReport) string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, sr := range reports {
+		for _, r := range sr.Reports {
+			if !seen[r.Key] {
+				seen[r.Key] = true
+				keys = append(keys, r.Key)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s", "scenario")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %12s", k)
+	}
+	b.WriteString("\n")
+	for _, sr := range reports {
+		fmt.Fprintf(&b, "%-20s", sr.Scenario.Name)
+		for _, k := range keys {
+			if r, ok := sr.Report(k); ok {
+				fmt.Fprintf(&b, " %12.4f", r.SR)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Diff compares two scenario rows: parameter differences first, then —
+// per variant present in both — every named value that moved by more than
+// eps, one per-variant column block at a time.
+func Diff(a, b ScenarioReport, eps float64) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "diff %s -> %s\n", a.Scenario.Name, b.Scenario.Name)
+	lines := 0
+	for _, d := range scenario.DiffParams(a.Scenario, b.Scenario) {
+		fmt.Fprintf(&out, "  param %s\n", d)
+		lines++
+	}
+	for _, ra := range a.Reports {
+		rb, ok := b.Report(ra.Key)
+		if !ok {
+			continue
+		}
+		for _, va := range ra.Values {
+			vb, ok := rb.Value(va.Name)
+			if !ok {
+				// Conditional values (feasible/continuation bounds, quoted
+				// rates) vanish when the region empties or the market
+				// freezes — the most decision-relevant difference between
+				// two regimes, so it must not drop out of the diff.
+				fmt.Fprintf(&out, "  %s %s: %.4f -> absent\n", ra.Key, va.Name, va.V)
+				lines++
+				continue
+			}
+			if math.Abs(va.V-vb) > eps {
+				fmt.Fprintf(&out, "  %s %s: %.4f -> %.4f (Δ %+.4f)\n", ra.Key, va.Name, va.V, vb, vb-va.V)
+				lines++
+			}
+		}
+		for _, vb := range rb.Values {
+			if _, ok := ra.Value(vb.Name); !ok {
+				fmt.Fprintf(&out, "  %s %s: absent -> %.4f\n", ra.Key, vb.Name, vb.V)
+				lines++
+			}
+		}
+		if ma, mb := ra.MC, rb.MC; ma != nil && mb != nil && math.Abs(ma.SR.P-mb.SR.P) > eps {
+			fmt.Fprintf(&out, "  %s MC SR: %.4f -> %.4f (Δ %+.4f)\n", ra.Key, ma.SR.P, mb.SR.P, mb.SR.P-ma.SR.P)
+			lines++
+		}
+	}
+	if lines == 0 {
+		out.WriteString("  no differences above eps\n")
+	}
+	return out.String()
+}
