@@ -8,10 +8,15 @@ GO ?= go
 COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
 	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng \
 	repro/internal/variant repro/internal/packetized repro/internal/repeated \
-	repro/internal/baseline
+	repro/internal/baseline repro/internal/rpc
 COVER_MIN  = 80
 
-.PHONY: all build test race bench bench-smoke bench-json bench-check pprof-smoke lint cover fuzz-smoke scenarios figures clean
+# Pinned static-analysis toolchain versions (CI installs exactly these;
+# `make lint` runs the tools only when they are already on PATH).
+STATICCHECK_VERSION = 2025.1.1
+GOVULNCHECK_VERSION = v1.1.4
+
+.PHONY: all build test race bench bench-smoke bench-json bench-rpc-json bench-check swapd-smoke pprof-smoke lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
@@ -55,6 +60,25 @@ bench-check:
 	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=0.2s -run='^$$' . > $$tmp; \
 	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . >> $$tmp; \
 	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 < $$tmp
+	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
+	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
+	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 5s -qps 1200 \
+		-min-qps 500 -max-p99-ms 100 -require-coalesce -against BENCH_rpc.json
+
+# Regenerate the RPC-layer baseline (commit the result; see tools/loadgen).
+bench-rpc-json:
+	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
+	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
+	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 10s -qps 1200 -o BENCH_rpc.json
+
+# The quote daemon's acceptance gate (CI's swapd-smoke job): spawn swapd,
+# drive it for 10s at 1200 QPS, and require >= 1000 sustained QPS, p99
+# under 50ms, zero-ish errors and a non-zero coalescing hit rate.
+swapd-smoke:
+	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
+	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
+	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 10s -qps 1200 \
+		-min-qps 1000 -max-p99-ms 50 -require-coalesce -against BENCH_rpc.json
 
 # Profiling smoke: run one solve benchmark under -cpuprofile and assert
 # the profile came out non-empty, so the profiling workflow every perf PR
@@ -65,10 +89,17 @@ pprof-smoke:
 	$(GO) tool pprof -top -nodecount=3 /tmp/solve.prof >/dev/null
 	@echo "pprof-smoke: profile ok"
 
+# gofmt + vet always run; staticcheck and govulncheck run when installed
+# (CI's lint-static job installs the pinned versions above and runs them
+# unconditionally, so a missing local install cannot hide a finding).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck -checks=SA ./...; \
+		else echo "lint: staticcheck not on PATH, skipped (CI runs $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not on PATH, skipped (CI runs $(GOVULNCHECK_VERSION))"; fi
 
 # Per-package coverage, failing when a gated package drops below COVER_MIN%.
 # go test's status is checked before the gate so a red suite cannot hide
@@ -89,6 +120,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLognormal -fuzztime=10s -run='^$$' ./internal/dist
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=10s -run='^$$' ./internal/scenario
+	$(GO) test -fuzz=FuzzRPCRequest -fuzztime=10s -run='^$$' ./internal/rpc
 
 # Batch-run every scenario preset across every registered variant (fails
 # when any variant's MC validation disagrees with its analytic solve).

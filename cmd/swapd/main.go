@@ -1,0 +1,116 @@
+// Command swapd is the long-running quote daemon over the solve/simulate
+// core: a JSON-RPC 2.0 server (internal/rpc) that serves any cell of the
+// (scenario × variant) matrix, streams Monte Carlo convergence snapshots
+// over WebSocket, and mirrors cmd/scenarios' list/diff queries — the
+// repository's batch CLIs, as a service.
+//
+// Usage:
+//
+//	swapd [-addr :8547] [-budget-ms 2000] [-max-budget-ms 60000]
+//	      [-mc-workers 1] [-max-runs 1000000] [-quiet]
+//
+// Endpoints:
+//
+//	POST /rpc      JSON-RPC 2.0: swap.solve, scenario.list, scenario.diff,
+//	               swapd.stats
+//	GET  /ws       the WebSocket channel: everything above, plus
+//	               swap.simulate streams (swap.progress notifications)
+//	               and swap.cancel
+//	GET  /healthz  liveness (503 while draining)
+//
+// Concurrent identical swap.solve requests coalesce through a
+// single-flight layer in front of the process-wide solve cache; every
+// request runs under a context budget (budgetMs per request, capped at
+// -max-budget-ms). SIGINT/SIGTERM trigger a graceful shutdown: new
+// requests are rejected with code -32000, in-flight solves drain, and
+// streams end with a terminal error response.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("swapd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8547", "listen address (host:port)")
+		budgetMs    = fs.Int("budget-ms", 2000, "default per-request time budget in milliseconds")
+		maxBudgetMs = fs.Int("max-budget-ms", 60000, "cap on the budget a request may ask for")
+		mcWorkers   = fs.Int("mc-workers", 1, "Monte Carlo workers per request (parallelism is spent across requests)")
+		maxRuns     = fs.Int("max-runs", 1_000_000, "cap on the Monte Carlo runs/paths one request may demand")
+		drainFor    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		quiet       = fs.Bool("quiet", false, "suppress the per-lifecycle-event log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(out, "swapd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv := rpc.NewServer(rpc.Config{
+		DefaultBudget: time.Duration(*budgetMs) * time.Millisecond,
+		MaxBudget:     time.Duration(*maxBudgetMs) * time.Millisecond,
+		MCWorkers:     *mcWorkers,
+		MaxRuns:       *maxRuns,
+		Logf:          logf,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("listening on %s (budget %dms, max budget %dms, mc workers %d)",
+		ln.Addr(), *budgetMs, *maxBudgetMs, *mcWorkers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logf("received %v, draining", s)
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	}
+
+	// Drain order: mark the RPC layer draining first (new requests get
+	// CodeShuttingDown, streams get their terminal responses), then close
+	// the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("http shutdown: %v", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if drainErr != nil {
+		return fmt.Errorf("draining: %w", drainErr)
+	}
+	logf("bye")
+	return nil
+}

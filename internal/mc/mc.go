@@ -85,7 +85,30 @@ type Config struct {
 	Workers int
 	// NewRunner constructs one reusable Runner per worker slot.
 	NewRunner func() (Runner, error)
+	// OnProgress, when non-nil, is called after each chunk is merged into
+	// the running aggregate, with a snapshot of the merged prefix. Calls
+	// happen on Run's own goroutine in strict chunk order, so the sequence
+	// of snapshots is deterministic per (Seed, ChunkSize) — the stream the
+	// RPC layer's swap.simulate subscription forwards. The callback must
+	// not block longer than the caller can afford: merging (and in adaptive
+	// mode, the stopping decision) waits for it.
+	OnProgress func(Progress)
 }
+
+// Progress is one streaming snapshot of the merged prefix of a run.
+type Progress struct {
+	// Paths, Successes and Chunks count the merged prefix.
+	Paths, Successes, Chunks int
+	// SuccessRate is the running success proportion with its Wilson 95%
+	// interval.
+	SuccessRate stats.Proportion
+	// Stopped reports that the adaptive criterion fired at this snapshot
+	// (always false in fixed-N mode).
+	Stopped bool
+}
+
+// HalfWidth returns the Wilson 95% half-width of the running interval.
+func (p Progress) HalfWidth() float64 { return (p.SuccessRate.Hi - p.SuccessRate.Lo) / 2 }
 
 // Result aggregates a streaming Monte Carlo estimate.
 type Result struct {
@@ -182,8 +205,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	// Fixed-N mode runs every chunk in one sweep; adaptive mode dispatches
 	// worker-sized waves so the merged prefix can stop the sampling early.
+	// A progress hook also forces waves: snapshots must flow while the
+	// sampling runs (and cancellation must bite between waves), not arrive
+	// in a burst after one monolithic sweep. The merge order — and thus
+	// the result — is the same either way.
 	wave := numChunks
-	if cfg.CIWidth > 0 {
+	if cfg.CIWidth > 0 || cfg.OnProgress != nil {
 		wave = workers
 	}
 	res := Result{Stages: make(map[string]int)}
@@ -210,17 +237,25 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			}
 			res.Duration.Merge(cr.dur)
 			res.Chunks++
-			if cfg.CIWidth > 0 {
-				prop, err := stats.NewProportion(res.Successes, res.Paths)
+			var prop stats.Proportion
+			if cfg.CIWidth > 0 || cfg.OnProgress != nil {
+				p, err := stats.NewProportion(res.Successes, res.Paths)
 				if err != nil {
 					return Result{}, fmt.Errorf("mc: %w", err)
 				}
-				if (prop.Hi-prop.Lo)/2 <= cfg.CIWidth {
-					res.Stopped = res.Paths < cfg.MaxPaths
-					if res.Stopped {
-						break
-					}
-				}
+				prop = p
+			}
+			if cfg.CIWidth > 0 && (prop.Hi-prop.Lo)/2 <= cfg.CIWidth {
+				res.Stopped = res.Paths < cfg.MaxPaths
+			}
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(Progress{
+					Paths: res.Paths, Successes: res.Successes, Chunks: res.Chunks,
+					SuccessRate: prop, Stopped: res.Stopped,
+				})
+			}
+			if res.Stopped {
+				break
 			}
 		}
 	}

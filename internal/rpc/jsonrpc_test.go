@@ -1,0 +1,155 @@
+package rpc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParseRequestTable drives the envelope parser across the
+// valid/invalid boundary.
+func TestParseRequestTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		wantCode int // 0 = success
+		method   string
+		notif    bool
+	}{
+		{name: "minimal", in: `{"jsonrpc":"2.0","id":1,"method":"scenario.list"}`, method: "scenario.list"},
+		{name: "string id", in: `{"jsonrpc":"2.0","id":"a-7","method":"swap.solve","params":{}}`, method: "swap.solve"},
+		{name: "null id is notification", in: `{"jsonrpc":"2.0","id":null,"method":"ping"}`, method: "ping", notif: true},
+		{name: "absent id is notification", in: `{"jsonrpc":"2.0","method":"ping"}`, method: "ping", notif: true},
+		{name: "array params", in: `{"jsonrpc":"2.0","id":2,"method":"m","params":[1,2]}`, method: "m"},
+		{name: "surrounding whitespace", in: "\n\t {\"jsonrpc\":\"2.0\",\"id\":3,\"method\":\"m\"} \n", method: "m"},
+		{name: "not json", in: `solve please`, wantCode: CodeParseError},
+		{name: "empty", in: ``, wantCode: CodeParseError},
+		{name: "trailing data", in: `{"jsonrpc":"2.0","id":1,"method":"m"}{"x":1}`, wantCode: CodeParseError},
+		{name: "unknown field", in: `{"jsonrpc":"2.0","id":1,"method":"m","extra":true}`, wantCode: CodeParseError},
+		{name: "batch rejected", in: `[{"jsonrpc":"2.0","id":1,"method":"m"}]`, wantCode: CodeInvalidRequest},
+		{name: "batch after whitespace", in: "  [1,2]", wantCode: CodeInvalidRequest},
+		{name: "wrong version", in: `{"jsonrpc":"1.0","id":1,"method":"m"}`, wantCode: CodeInvalidRequest},
+		{name: "missing version", in: `{"id":1,"method":"m"}`, wantCode: CodeInvalidRequest},
+		{name: "empty method", in: `{"jsonrpc":"2.0","id":1,"method":""}`, wantCode: CodeInvalidRequest},
+		{name: "object id", in: `{"jsonrpc":"2.0","id":{"k":1},"method":"m"}`, wantCode: CodeInvalidRequest},
+		{name: "array id", in: `{"jsonrpc":"2.0","id":[1],"method":"m"}`, wantCode: CodeInvalidRequest},
+		{name: "scalar params", in: `{"jsonrpc":"2.0","id":1,"method":"m","params":7}`, wantCode: CodeInvalidParams},
+		{name: "string params", in: `{"jsonrpc":"2.0","id":1,"method":"m","params":"x"}`, wantCode: CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, rerr := ParseRequest([]byte(tc.in))
+			if tc.wantCode != 0 {
+				if rerr == nil {
+					t.Fatalf("ParseRequest(%q): want error code %d, got success %+v", tc.in, tc.wantCode, req)
+				}
+				if rerr.Code != tc.wantCode {
+					t.Fatalf("ParseRequest(%q): code = %d, want %d (%s)", tc.in, rerr.Code, tc.wantCode, rerr.Message)
+				}
+				return
+			}
+			if rerr != nil {
+				t.Fatalf("ParseRequest(%q): unexpected error %v", tc.in, rerr)
+			}
+			if req.Method != tc.method {
+				t.Errorf("method = %q, want %q", req.Method, tc.method)
+			}
+			if req.IsNotification() != tc.notif {
+				t.Errorf("IsNotification() = %v, want %v", req.IsNotification(), tc.notif)
+			}
+		})
+	}
+}
+
+// TestRequestRoundTrip checks that a parsed request re-marshals to an
+// equivalent envelope (the ID and params survive byte-for-byte).
+func TestRequestRoundTrip(t *testing.T) {
+	in := `{"jsonrpc":"2.0","id":"q-42","method":"swap.solve","params":{"scenario":"\"table3\"","mc":true}}`
+	req, rerr := ParseRequest([]byte(in))
+	if rerr != nil {
+		t.Fatalf("ParseRequest: %v", rerr)
+	}
+	out, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	again, rerr := ParseRequest(out)
+	if rerr != nil {
+		t.Fatalf("re-parse: %v", rerr)
+	}
+	if string(again.ID) != string(req.ID) || again.Method != req.Method || string(again.Params) != string(req.Params) {
+		t.Fatalf("round trip drifted: %+v vs %+v", again, req)
+	}
+}
+
+// TestResponseEncoding pins the response wire shape: success carries
+// result and no error, failure carries error and no result, and an absent
+// ID normalises to JSON null.
+func TestResponseEncoding(t *testing.T) {
+	ok := NewResponse(json.RawMessage("7"), map[string]int{"n": 3})
+	data, err := json.Marshal(ok)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `{"jsonrpc":"2.0","id":7,"result":{"n":3}}`
+	if string(data) != want {
+		t.Errorf("success response = %s, want %s", data, want)
+	}
+
+	fail := NewErrorResponse(nil, Errorf(CodeMethodNotFound, "unknown method %q", "x"))
+	data, err = json.Marshal(fail)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"id":null`) {
+		t.Errorf("error response did not normalise absent id to null: %s", data)
+	}
+	if strings.Contains(string(data), `"result"`) {
+		t.Errorf("error response carries a result: %s", data)
+	}
+
+	// Unencodable results degrade to an internal error, not a panic.
+	bad := NewResponse(json.RawMessage("1"), map[string]any{"f": func() {}})
+	if bad.Error == nil || bad.Error.Code != CodeInternalError {
+		t.Errorf("unencodable result: got %+v, want internal error", bad)
+	}
+}
+
+// TestErrorImplementsError checks the error plumbing used by asRPCError.
+func TestErrorImplementsError(t *testing.T) {
+	var err error = Errorf(CodeBudgetExceeded, "too slow")
+	if got := err.Error(); !strings.Contains(got, "-32001") || !strings.Contains(got, "too slow") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// FuzzRPCRequest fuzzes the envelope parser: it must never panic, and any
+// accepted request must satisfy its own invariants and re-parse after a
+// marshal round trip.
+func FuzzRPCRequest(f *testing.F) {
+	f.Add([]byte(`{"jsonrpc":"2.0","id":1,"method":"swap.solve","params":{"scenario":"\"table3\""}}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","method":"ping"}`))
+	f.Add([]byte(`[{"jsonrpc":"2.0","id":1,"method":"m"}]`))
+	f.Add([]byte(`{"jsonrpc":"1.0"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(` {"jsonrpc":"2.0","id":"x","method":"scenario.diff","params":[1]} `))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, rerr := ParseRequest(data)
+		if rerr != nil {
+			return
+		}
+		if req.JSONRPC != Version {
+			t.Fatalf("accepted request with version %q", req.JSONRPC)
+		}
+		if req.Method == "" {
+			t.Fatal("accepted request with empty method")
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		if _, rerr := ParseRequest(out); rerr != nil {
+			t.Fatalf("accepted request does not re-parse: %v\nin:  %q\nout: %q", rerr, data, out)
+		}
+	})
+}

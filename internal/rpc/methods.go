@@ -1,0 +1,453 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/solvecache"
+	"repro/internal/variant"
+)
+
+// SolveParams are the parameters of swap.solve.
+type SolveParams struct {
+	// Scenario is a preset name (JSON string) or an inline Scenario
+	// object (the cmd/scenarios -file schema).
+	Scenario json.RawMessage `json:"scenario"`
+	// Variant selects the cells: "" solves the scenario's own selection
+	// (or the default trio), "all" every registered variant, otherwise a
+	// comma-separated key list — the CLIs' -variant grammar.
+	Variant string `json:"variant,omitempty"`
+	// MC enables the per-variant Monte Carlo validation (off by default:
+	// a quote needs the analytic solve; the simulation surface is
+	// swap.simulate).
+	MC bool `json:"mc,omitempty"`
+	// Runs, CIWidth, Chunk and MaxPaths are the batch runner's Monte
+	// Carlo knobs, meaningful with MC.
+	Runs     int     `json:"runs,omitempty"`
+	CIWidth  float64 `json:"ciWidth,omitempty"`
+	Chunk    int     `json:"chunk,omitempty"`
+	MaxPaths int     `json:"maxPaths,omitempty"`
+	// BudgetMs overrides the server's default request budget.
+	BudgetMs int `json:"budgetMs,omitempty"`
+}
+
+// ReportJSON is one solved (scenario × variant) cell on the wire.
+type ReportJSON struct {
+	Key     string             `json:"key"`
+	Desc    string             `json:"desc"`
+	SR      float64            `json:"sr"`
+	SRLabel string             `json:"srLabel"`
+	Values  map[string]float64 `json:"values"`
+	Lines   []string           `json:"lines"`
+	MC      *MCCheckJSON       `json:"mc,omitempty"`
+}
+
+// MCCheckJSON is a variant's Monte Carlo validation on the wire.
+type MCCheckJSON struct {
+	Game              string         `json:"game"`
+	Runs              int            `json:"runs"`
+	Stopped           bool           `json:"stopped,omitempty"`
+	Seed              int64          `json:"seed"`
+	SR                float64        `json:"sr"`
+	Lo                float64        `json:"lo"`
+	Hi                float64        `json:"hi"`
+	Analytic          float64        `json:"analytic"`
+	Agrees            bool           `json:"agrees"`
+	Stages            map[string]int `json:"stages,omitempty"`
+	MeanDurationHours float64        `json:"meanDurationHours,omitempty"`
+}
+
+// SolveResult is swap.solve's result.
+type SolveResult struct {
+	// Scenario echoes the solved scenario's name.
+	Scenario string `json:"scenario"`
+	// Variants holds one report per solved cell, in selection order.
+	Variants []ReportJSON `json:"variants"`
+	// Coalesced reports that this response was served from another
+	// request's in-flight computation (single-flight dedup).
+	Coalesced bool `json:"coalesced"`
+	// ElapsedUs is the request's server-side latency in microseconds.
+	ElapsedUs int64 `json:"elapsedUs"`
+}
+
+// resolvedSolve is a fully resolved solve request: the scenario, the
+// variant keys, and the run options — everything the cell key hashes.
+type resolvedSolve struct {
+	sc   scenario.Scenario
+	keys []string
+	opts variant.RunOpts
+}
+
+// solveValue is the shared (coalesceable) part of a solve response.
+type solveValue struct {
+	Scenario string
+	Variants []ReportJSON
+}
+
+// decodeParams decodes a params object strictly (unknown fields are
+// CodeInvalidParams, so typos fail loudly instead of being ignored).
+func decodeParams(raw json.RawMessage, into any) *Error {
+	if len(raw) == 0 {
+		return Errorf(CodeInvalidParams, "missing params")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return Errorf(CodeInvalidParams, "decoding params: %v", err)
+	}
+	return nil
+}
+
+// resolveScenario turns the scenario parameter — a preset name or an
+// inline definition — into a validated Scenario.
+func resolveScenario(raw json.RawMessage) (scenario.Scenario, *Error) {
+	if len(raw) == 0 {
+		return scenario.Scenario{}, Errorf(CodeInvalidParams, "missing scenario")
+	}
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		sc, err := scenario.Lookup(name)
+		if err != nil {
+			return scenario.Scenario{}, Errorf(CodeInvalidParams, "%v", err)
+		}
+		return sc, nil
+	}
+	sc, err := scenario.Load(bytes.NewReader(raw))
+	if err != nil {
+		return scenario.Scenario{}, Errorf(CodeInvalidParams, "inline scenario: %v", err)
+	}
+	return sc, nil
+}
+
+// resolveSolve validates and resolves swap.solve parameters.
+func (s *Server) resolveSolve(p SolveParams) (resolvedSolve, *Error) {
+	sc, rerr := resolveScenario(p.Scenario)
+	if rerr != nil {
+		return resolvedSolve{}, rerr
+	}
+	games, err := variant.Resolve(p.Variant, sc)
+	if err != nil {
+		return resolvedSolve{}, Errorf(CodeInvalidParams, "%v", err)
+	}
+	keys := make([]string, len(games))
+	for i, g := range games {
+		keys[i] = g.Key()
+	}
+	if p.Runs < 0 || p.Runs > s.cfg.MaxRuns || p.MaxPaths < 0 || p.MaxPaths > s.cfg.MaxRuns {
+		return resolvedSolve{}, Errorf(CodeInvalidParams,
+			"runs/maxPaths must be in [0, %d]", s.cfg.MaxRuns)
+	}
+	if p.CIWidth < 0 || math.IsNaN(p.CIWidth) {
+		return resolvedSolve{}, Errorf(CodeInvalidParams, "ciWidth must be >= 0")
+	}
+	if p.Chunk < 0 {
+		return resolvedSolve{}, Errorf(CodeInvalidParams, "chunk must be >= 0")
+	}
+	opts := variant.RunOpts{
+		Runs: p.Runs, CIWidth: p.CIWidth, ChunkSize: p.Chunk, MaxPaths: p.MaxPaths,
+		MCWorkers: s.cfg.MCWorkers,
+		SkipMC:    !p.MC,
+	}
+	return resolvedSolve{sc: sc, keys: keys, opts: opts}, nil
+}
+
+// solveKey is the single-flight key of a resolved solve: a canonical JSON
+// encoding of everything that determines the answer. Two requests
+// coalesce exactly when the underlying computation would be identical.
+func solveKey(r resolvedSolve) string {
+	key, err := json.Marshal(struct {
+		Sc   scenario.Scenario
+		Keys []string
+		Opts variant.RunOpts
+	}{r.sc, r.keys, r.opts})
+	if err != nil {
+		// Scenario and RunOpts are plain data; encoding cannot fail. Fall
+		// back to an uncoalesceable key rather than wrongly sharing.
+		return fmt.Sprintf("unkeyed-%p", &r)
+	}
+	return string(key)
+}
+
+// solveCell computes one coalesced solve: the (scenario × variant) row
+// through the variant registry, models shared via solvecache.
+func (s *Server) solveCell(req resolvedSolve) (solveValue, error) {
+	opts := req.opts
+	opts.Variants = "" // the scenario below carries the resolved keys
+	sc := req.sc
+	sc.Variants = req.keys
+	row, err := variant.Run(sc, opts)
+	if err != nil {
+		return solveValue{}, err
+	}
+	out := solveValue{Scenario: sc.Name, Variants: make([]ReportJSON, len(row.Reports))}
+	for i, r := range row.Reports {
+		out.Variants[i] = reportJSON(r)
+	}
+	return out, nil
+}
+
+// reportJSON converts a variant report to its wire form.
+func reportJSON(r variant.Report) ReportJSON {
+	out := ReportJSON{
+		Key: r.Key, Desc: r.Desc, SR: r.SR, SRLabel: r.SRLabel,
+		Values: make(map[string]float64, len(r.Values)),
+		Lines:  r.Lines,
+	}
+	for _, v := range r.Values {
+		out.Values[v.Name] = v.V
+	}
+	if mc := r.MC; mc != nil {
+		check := &MCCheckJSON{
+			Game: mc.Game, Runs: mc.Runs, Stopped: mc.Stopped, Seed: mc.Seed,
+			SR: mc.SR.P, Lo: mc.SR.Lo, Hi: mc.SR.Hi,
+			Analytic: mc.Analytic, Agrees: mc.Agrees,
+			MeanDurationHours: mc.MeanDurationHours,
+		}
+		if mc.Stages != nil {
+			check.Stages = make(map[string]int, len(mc.Stages))
+			for stage, n := range mc.Stages {
+				check.Stages[string(stage)] = n
+			}
+		}
+		out.MC = check
+	}
+	return out
+}
+
+// handleSolve serves swap.solve: resolve, coalesce, solve, respond. The
+// requester waits under its budget; the leader's computation runs to
+// completion regardless, because its result serves every waiter.
+func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Error) {
+	start := time.Now()
+	var p SolveParams
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	req, rerr := s.resolveSolve(p)
+	if rerr != nil {
+		return nil, rerr
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.budget(p.BudgetMs))
+	defer cancel()
+
+	type outcome struct {
+		val    solveValue
+		shared bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		// Waiters select on baseCtx (so shutdown unblocks them); the
+		// requester's own deadline is enforced by the select below.
+		val, shared, err := s.flight.Do(s.baseCtx, solveKey(req), func() (solveValue, error) {
+			return s.solve(req)
+		})
+		ch <- outcome{val, shared, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return nil, s.asRPCError(o.err)
+		}
+		return SolveResult{
+			Scenario:  o.val.Scenario,
+			Variants:  o.val.Variants,
+			Coalesced: o.shared,
+			ElapsedUs: time.Since(start).Microseconds(),
+		}, nil
+	case <-ctx.Done():
+		return nil, s.asRPCError(ctx.Err())
+	}
+}
+
+// ListResult is scenario.list's result.
+type ListResult struct {
+	// Presets are the registered scenarios in registry order.
+	Presets []PresetJSON `json:"presets"`
+	// Variants are the registered variant games in registration order.
+	Variants []VariantJSON `json:"variants"`
+	// Default is the variant selection of scenarios that name none.
+	Default []string `json:"default"`
+}
+
+// PresetJSON is one scenario preset on the wire.
+type PresetJSON struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	PStar       float64  `json:"pstar"`
+	Collateral  float64  `json:"collateral"`
+	BobBudget   float64  `json:"bobBudget"`
+	Variants    []string `json:"variants,omitempty"`
+}
+
+// VariantJSON is one registered variant game on the wire.
+type VariantJSON struct {
+	Key  string `json:"key"`
+	Desc string `json:"desc"`
+}
+
+// handleList serves scenario.list.
+func (s *Server) handleList() (any, *Error) {
+	reg := scenario.Registry()
+	out := ListResult{
+		Presets:  make([]PresetJSON, len(reg)),
+		Default:  variant.DefaultKeys(),
+		Variants: make([]VariantJSON, 0, len(variant.Keys())),
+	}
+	for i, sc := range reg {
+		out.Presets[i] = PresetJSON{
+			Name: sc.Name, Description: sc.Description,
+			PStar: sc.PStar, Collateral: sc.Collateral, BobBudget: sc.BobBudget,
+			Variants: sc.Variants,
+		}
+	}
+	for _, key := range variant.Keys() {
+		g, err := variant.Lookup(key)
+		if err != nil {
+			return nil, Errorf(CodeInternalError, "%v", err)
+		}
+		out.Variants = append(out.Variants, VariantJSON{Key: key, Desc: g.Describe()})
+	}
+	return out, nil
+}
+
+// DiffParams are the parameters of scenario.diff.
+type DiffParams struct {
+	// A and B are the two scenarios (preset names or inline objects).
+	A json.RawMessage `json:"a"`
+	B json.RawMessage `json:"b"`
+	// Variant is the CLI -variant grammar; "" uses each scenario's own
+	// selection.
+	Variant string `json:"variant,omitempty"`
+	// Eps is the report-value threshold (default 1e-4).
+	Eps float64 `json:"eps,omitempty"`
+	// MC enables Monte Carlo validation on both solves.
+	MC bool `json:"mc,omitempty"`
+	// Runs sizes the validation; BudgetMs bounds the request.
+	Runs     int `json:"runs,omitempty"`
+	BudgetMs int `json:"budgetMs,omitempty"`
+}
+
+// DiffResult is scenario.diff's result.
+type DiffResult struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Params lists the parameter-level differences ("sigma: 0.1 -> 0.2").
+	Params []string `json:"params"`
+	// Text is the rendered per-variant diff (cmd/scenarios -diff).
+	Text string `json:"text"`
+}
+
+// handleDiff serves scenario.diff: solve both rows, diff them. Diffs are
+// rare operator queries; they run outside the single-flight layer.
+func (s *Server) handleDiff(ctx context.Context, raw json.RawMessage) (any, *Error) {
+	var p DiffParams
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	if p.Runs < 0 || p.Runs > s.cfg.MaxRuns {
+		return nil, Errorf(CodeInvalidParams, "runs must be in [0, %d]", s.cfg.MaxRuns)
+	}
+	eps := p.Eps
+	if eps == 0 {
+		eps = 1e-4
+	}
+	if eps < 0 {
+		return nil, Errorf(CodeInvalidParams, "eps must be >= 0")
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.budget(p.BudgetMs))
+	defer cancel()
+	opts := variant.RunOpts{
+		Runs: p.Runs, MCWorkers: s.cfg.MCWorkers, SkipMC: !p.MC,
+		Variants: p.Variant,
+	}
+	var rows [2]variant.ScenarioReport
+	for i, raw := range []json.RawMessage{p.A, p.B} {
+		sc, rerr := resolveScenario(raw)
+		if rerr != nil {
+			return nil, rerr
+		}
+		row, err := variant.Run(sc, opts)
+		if err != nil {
+			return nil, s.asRPCError(err)
+		}
+		rows[i] = row
+		if err := ctx.Err(); err != nil {
+			return nil, s.asRPCError(err)
+		}
+	}
+	return DiffResult{
+		A:      rows[0].Scenario.Name,
+		B:      rows[1].Scenario.Name,
+		Params: scenario.DiffParams(rows[0].Scenario, rows[1].Scenario),
+		Text:   variant.Diff(rows[0], rows[1], eps),
+	}, nil
+}
+
+// StatsResult is swapd.stats' result: the daemon's observable counters.
+type StatsResult struct {
+	UptimeMs int64 `json:"uptimeMs"`
+	Draining bool  `json:"draining"`
+	Requests struct {
+		Total    uint64            `json:"total"`
+		Errors   uint64            `json:"errors"`
+		ByMethod map[string]uint64 `json:"byMethod"`
+	} `json:"requests"`
+	Coalescing struct {
+		Leaders  uint64  `json:"leaders"`
+		Waiters  uint64  `json:"waiters"`
+		HitRate  float64 `json:"hitRate"`
+		InFlight int     `json:"inFlight"`
+	} `json:"coalescing"`
+	Streams struct {
+		Started   uint64 `json:"started"`
+		Active    int64  `json:"active"`
+		Snapshots uint64 `json:"snapshots"`
+	} `json:"streams"`
+	SolveCache struct {
+		Models      int    `json:"models"`
+		ModelHits   uint64 `json:"modelHits"`
+		ModelMisses uint64 `json:"modelMisses"`
+		Bypassed    uint64 `json:"bypassed"`
+		SolveHits   uint64 `json:"solveHits"`
+		SolveMisses uint64 `json:"solveMisses"`
+	} `json:"solveCache"`
+}
+
+// handleStats serves swapd.stats.
+func (s *Server) handleStats() (any, *Error) {
+	var out StatsResult
+	out.UptimeMs = time.Since(s.stats.start).Milliseconds()
+	out.Draining = s.draining.Load()
+	out.Requests.Total = s.stats.requests.Load()
+	out.Requests.Errors = s.stats.errors.Load()
+	out.Requests.ByMethod = make(map[string]uint64)
+	s.stats.methodMu.Lock()
+	for m, n := range s.stats.byMethod {
+		out.Requests.ByMethod[m] = n
+	}
+	s.stats.methodMu.Unlock()
+	fs := s.flight.Stats()
+	out.Coalescing.Leaders = fs.Leaders
+	out.Coalescing.Waiters = fs.Waiters
+	out.Coalescing.HitRate = fs.HitRate()
+	out.Coalescing.InFlight = s.flight.InFlight()
+	out.Streams.Started = s.stats.streamsStarted.Load()
+	out.Streams.Active = s.stats.streamsActive.Load()
+	out.Streams.Snapshots = s.stats.snapshots.Load()
+	cs := solvecache.ReadStats()
+	out.SolveCache.Models = cs.Models
+	out.SolveCache.ModelHits = cs.ModelHits
+	out.SolveCache.ModelMisses = cs.ModelMisses
+	out.SolveCache.Bypassed = cs.Bypassed
+	out.SolveCache.SolveHits = cs.SolveHits
+	out.SolveCache.SolveMisses = cs.SolveMisses
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/solvecache"
+)
+
+// Config parameterises a Server. The zero value selects the defaults.
+type Config struct {
+	// DefaultBudget is the per-request time budget applied when a request
+	// names none (default 2s). Every request runs under a context
+	// deadline: solves return CodeBudgetExceeded when it passes, streams
+	// end with a terminal error response.
+	DefaultBudget time.Duration
+	// MaxBudget caps the budget a request may ask for (default 60s).
+	MaxBudget time.Duration
+	// MCWorkers bounds the concurrency of one request's Monte Carlo
+	// (default 1: the daemon spends its parallelism across requests, the
+	// same choice the batch runner makes across cells).
+	MCWorkers int
+	// MaxRuns caps the Monte Carlo run/path count a single request may
+	// demand (default 1e6), so one client cannot monopolise the process.
+	MaxRuns int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 60 * time.Second
+	}
+	if c.MCWorkers <= 0 {
+		c.MCWorkers = 1
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 1_000_000
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the JSON-RPC quote service over the solve/simulate core: HTTP
+// POST /rpc for request/response methods, GET /ws for the WebSocket
+// channel (everything HTTP serves, plus swap.simulate streams), GET
+// /healthz for liveness.
+type Server struct {
+	cfg Config
+
+	// baseCtx parents every stream; Shutdown cancels it to drain them.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+	// inflight counts requests and streams that must drain on shutdown.
+	inflight sync.WaitGroup
+
+	// flight coalesces concurrent identical solve requests in front of
+	// the process-wide solvecache (see solveKey).
+	flight solvecache.Flight[string, solveValue]
+
+	// solve computes one coalesced solve cell; a test seam, defaulting to
+	// the real variant-registry solve.
+	solve func(req resolvedSolve) (solveValue, error)
+
+	// conns tracks live WebSocket connections for shutdown.
+	connMu sync.Mutex
+	conns  map[*WSConn]struct{}
+
+	stats serverStats
+}
+
+// serverStats aggregates the daemon's observable counters.
+type serverStats struct {
+	start          time.Time
+	requests       atomic.Uint64
+	errors         atomic.Uint64
+	streamsStarted atomic.Uint64
+	streamsActive  atomic.Int64
+	snapshots      atomic.Uint64
+
+	methodMu sync.Mutex
+	byMethod map[string]uint64
+}
+
+func (s *serverStats) record(method string) {
+	s.requests.Add(1)
+	s.methodMu.Lock()
+	s.byMethod[method]++
+	s.methodMu.Unlock()
+}
+
+// NewServer builds a Server; Handler exposes it, Shutdown drains it.
+func NewServer(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg.withDefaults(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		conns:      make(map[*WSConn]struct{}),
+		stats:      serverStats{start: time.Now(), byMethod: make(map[string]uint64)},
+	}
+	s.solve = s.solveCell
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rpc", s.handleHTTP)
+	mux.HandleFunc("/ws", s.handleWS)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Shutdown drains the server: new requests are rejected with
+// CodeShuttingDown, streams are cancelled (each sends a terminal error
+// response before its goroutine exits), in-flight solves run to
+// completion, and WebSocket connections are closed. It returns ctx's
+// error if draining outlives it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancelBase()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("rpc: shutdown: %w", ctx.Err())
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[*WSConn]struct{})
+	s.connMu.Unlock()
+	s.cfg.Logf("rpc: shutdown complete (drained=%v)", err == nil)
+	return err
+}
+
+// budget resolves a request's time budget from its budgetMs parameter.
+func (s *Server) budget(budgetMs int) time.Duration {
+	b := s.cfg.DefaultBudget
+	if budgetMs > 0 {
+		b = time.Duration(budgetMs) * time.Millisecond
+	}
+	if b > s.cfg.MaxBudget {
+		b = s.cfg.MaxBudget
+	}
+	return b
+}
+
+// handleHTTP serves one JSON-RPC request over plain HTTP.
+func (s *Server) handleHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, wsMaxMessage+1))
+	if err != nil || len(body) > wsMaxMessage {
+		writeHTTPResponse(w, http.StatusBadRequest,
+			NewErrorResponse(nil, Errorf(CodeParseError, "unreadable or oversized body")))
+		return
+	}
+	req, rerr := ParseRequest(body)
+	if rerr != nil {
+		s.stats.errors.Add(1)
+		writeHTTPResponse(w, http.StatusBadRequest, NewErrorResponse(req.ID, rerr))
+		return
+	}
+	if s.draining.Load() {
+		writeHTTPResponse(w, http.StatusServiceUnavailable,
+			NewErrorResponse(req.ID, Errorf(CodeShuttingDown, "server is shutting down")))
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	resp, ok := s.dispatch(r.Context(), req, false)
+	if !ok { // notification: no response body
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeHTTPResponse(w, http.StatusOK, resp)
+}
+
+// writeHTTPResponse encodes one JSON-RPC response over HTTP.
+func writeHTTPResponse(w http.ResponseWriter, status int, resp Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	w.Write(data)
+}
+
+// dispatch routes one parsed request to its method handler. ok is false
+// for notifications (no response is due). ws reports whether the request
+// arrived over the WebSocket channel (where swap.simulate is legal).
+func (s *Server) dispatch(ctx context.Context, req Request, ws bool) (Response, bool) {
+	s.stats.record(req.Method)
+	var (
+		result any
+		rerr   *Error
+	)
+	switch req.Method {
+	case "swap.solve":
+		result, rerr = s.handleSolve(ctx, req.Params)
+	case "scenario.list":
+		result, rerr = s.handleList()
+	case "scenario.diff":
+		result, rerr = s.handleDiff(ctx, req.Params)
+	case "swapd.stats":
+		result, rerr = s.handleStats()
+	case "swap.simulate":
+		rerr = Errorf(CodeInvalidRequest, "swap.simulate streams over the WebSocket channel: connect to /ws")
+	case "swap.cancel":
+		rerr = Errorf(CodeInvalidRequest, "swap.cancel applies to WebSocket streams: connect to /ws")
+	default:
+		rerr = Errorf(CodeMethodNotFound, "unknown method %q", req.Method)
+	}
+	if req.IsNotification() {
+		return Response{}, false
+	}
+	if rerr != nil {
+		s.stats.errors.Add(1)
+		return NewErrorResponse(req.ID, rerr), true
+	}
+	return NewResponse(req.ID, result), true
+}
+
+// asRPCError maps a handler error onto a JSON-RPC error object,
+// classifying context errors as budget/cancellation outcomes.
+func (s *Server) asRPCError(err error) *Error {
+	var rerr *Error
+	switch {
+	case errors.As(err, &rerr):
+		return rerr
+	case errors.Is(err, context.DeadlineExceeded):
+		return Errorf(CodeBudgetExceeded, "request budget exceeded")
+	case errors.Is(err, context.Canceled):
+		if s.draining.Load() {
+			return Errorf(CodeShuttingDown, "server is shutting down")
+		}
+		return Errorf(CodeCanceled, "request cancelled")
+	default:
+		return Errorf(CodeInternalError, "%v", err)
+	}
+}

@@ -1,0 +1,351 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/solvecache"
+	"repro/internal/swapsim"
+)
+
+// SimulateParams are the parameters of swap.simulate (WebSocket only).
+type SimulateParams struct {
+	// Scenario is a preset name or inline Scenario object.
+	Scenario json.RawMessage `json:"scenario"`
+	// Variant selects the simulated protocol: "basic" (default) or
+	// "collateral" (which stakes the scenario's deposit Q).
+	Variant string `json:"variant,omitempty"`
+	// Runs is the fixed sample size — and the adaptive cap (default: the
+	// scenario's own Monte Carlo run count).
+	Runs int `json:"runs,omitempty"`
+	// CIWidth, when > 0, streams until the Wilson 95% half-width of the
+	// success rate reaches it (the adaptive stopper), capped at
+	// MaxPaths/Runs.
+	CIWidth float64 `json:"ciWidth,omitempty"`
+	// Chunk is the engine chunk size (0 = default); MaxPaths overrides
+	// the adaptive cap.
+	Chunk    int `json:"chunk,omitempty"`
+	MaxPaths int `json:"maxPaths,omitempty"`
+	// EveryPaths throttles the stream: one progress notification per at
+	// least this many merged paths (default 512; 1 streams every chunk).
+	EveryPaths int `json:"everyPaths,omitempty"`
+	// BudgetMs overrides the server's default request budget.
+	BudgetMs int `json:"budgetMs,omitempty"`
+}
+
+// ProgressEvent is one swap.progress notification: a merged-prefix
+// convergence snapshot of the running simulation.
+type ProgressEvent struct {
+	// ID echoes the originating swap.simulate request's ID.
+	ID json.RawMessage `json:"id"`
+	// Paths and Successes count the merged prefix; Chunks the merged
+	// chunks.
+	Paths     int `json:"paths"`
+	Successes int `json:"successes"`
+	Chunks    int `json:"chunks"`
+	// SR is the running success rate with its Wilson 95% interval.
+	SR float64 `json:"sr"`
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// HalfWidth is the interval half-width the adaptive stopper watches.
+	HalfWidth float64 `json:"halfWidth"`
+	// Stopped reports the adaptive stopper fired at this snapshot.
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// SimulateResult is the terminal response of a completed stream.
+type SimulateResult struct {
+	Scenario string  `json:"scenario"`
+	Variant  string  `json:"variant"`
+	Paths    int     `json:"paths"`
+	SR       float64 `json:"sr"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	// Stopped reports an adaptive early stop; Violations counts
+	// non-atomic outcomes (zero without failure injection).
+	Stopped    bool           `json:"stopped"`
+	Violations int            `json:"violations"`
+	Stages     map[string]int `json:"stages"`
+	// MeanDurationHours averages simulated completion time; Snapshots is
+	// the number of progress notifications the stream sent.
+	MeanDurationHours float64 `json:"meanDurationHours"`
+	Snapshots         int     `json:"snapshots"`
+	ElapsedUs         int64   `json:"elapsedUs"`
+}
+
+// CancelParams are the parameters of swap.cancel.
+type CancelParams struct {
+	// ID is the request ID of the stream to cancel.
+	ID json.RawMessage `json:"id"`
+}
+
+// wsSession is the per-connection state of the WebSocket channel: the
+// connection plus the cancel functions of its live streams, keyed by the
+// originating request ID's raw JSON.
+type wsSession struct {
+	conn *WSConn
+
+	mu      sync.Mutex
+	streams map[string]context.CancelFunc
+}
+
+// cancelStream cancels one stream by ID, reporting whether it was live.
+func (ws *wsSession) cancelStream(id string) bool {
+	ws.mu.Lock()
+	cancel, ok := ws.streams[id]
+	ws.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+// cancelAll cancels every live stream (connection teardown).
+func (ws *wsSession) cancelAll() {
+	ws.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(ws.streams))
+	for _, c := range ws.streams {
+		cancels = append(cancels, c)
+	}
+	ws.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// handleWS serves the WebSocket channel: every request/response method
+// plus swap.simulate streams and swap.cancel.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	conn, err := Upgrade(w, r)
+	if err != nil {
+		return // Upgrade already wrote the HTTP error
+	}
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	sess := &wsSession{conn: conn, streams: make(map[string]context.CancelFunc)}
+	defer func() {
+		sess.cancelAll()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return // closed or broken connection; deferred cleanup cancels streams
+		}
+		req, rerr := ParseRequest(msg)
+		if rerr != nil {
+			s.stats.errors.Add(1)
+			conn.WriteJSON(NewErrorResponse(req.ID, rerr))
+			continue
+		}
+		if s.draining.Load() {
+			conn.WriteJSON(NewErrorResponse(req.ID, Errorf(CodeShuttingDown, "server is shutting down")))
+			continue
+		}
+		switch req.Method {
+		case "swap.simulate":
+			s.startStream(sess, req)
+		case "swap.cancel":
+			s.stats.record(req.Method)
+			var p CancelParams
+			if rerr := decodeParams(req.Params, &p); rerr != nil {
+				conn.WriteJSON(NewErrorResponse(req.ID, rerr))
+				continue
+			}
+			found := sess.cancelStream(string(p.ID))
+			if !req.IsNotification() {
+				conn.WriteJSON(NewResponse(req.ID, map[string]bool{"canceled": found}))
+			}
+		default:
+			// Request/response methods share the HTTP dispatch path. Run
+			// them off the read loop so a slow solve cannot delay cancels.
+			s.inflight.Add(1)
+			go func(req Request) {
+				defer s.inflight.Done()
+				if resp, ok := s.dispatch(s.baseCtx, req, true); ok {
+					conn.WriteJSON(resp)
+				}
+			}(req)
+		}
+	}
+}
+
+// startStream validates a swap.simulate request and launches its stream
+// goroutine.
+func (s *Server) startStream(sess *wsSession, req Request) {
+	conn := sess.conn
+	s.stats.record(req.Method)
+	if req.IsNotification() {
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(nil, Errorf(CodeInvalidRequest, "swap.simulate requires an id (the stream handle)")))
+		return
+	}
+	var p SimulateParams
+	if rerr := decodeParams(req.Params, &p); rerr != nil {
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(req.ID, rerr))
+		return
+	}
+	cfg, rerr := s.resolveSimulate(p)
+	if rerr != nil {
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(req.ID, rerr))
+		return
+	}
+	id := string(req.ID)
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.budget(p.BudgetMs))
+	sess.mu.Lock()
+	if _, dup := sess.streams[id]; dup {
+		sess.mu.Unlock()
+		cancel()
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(req.ID, Errorf(CodeInvalidRequest, "a stream with id %s is already running", id)))
+		return
+	}
+	sess.streams[id] = cancel
+	sess.mu.Unlock()
+
+	s.stats.streamsStarted.Add(1)
+	s.stats.streamsActive.Add(1)
+	s.inflight.Add(1)
+	go func() {
+		defer func() {
+			sess.mu.Lock()
+			delete(sess.streams, id)
+			sess.mu.Unlock()
+			cancel()
+			s.stats.streamsActive.Add(-1)
+			s.inflight.Done()
+		}()
+		s.runStream(ctx, sess, req.ID, cfg)
+	}()
+}
+
+// simulateConfig is a resolved swap.simulate request.
+type simulateConfig struct {
+	scenarioName string
+	variantKey   string
+	everyPaths   int
+	mcc          swapsim.MCConfig
+}
+
+// resolveSimulate validates simulate parameters and builds the Monte
+// Carlo configuration: the scenario's solved threshold strategy (via the
+// shared model cache) driving the protocol simulator.
+func (s *Server) resolveSimulate(p SimulateParams) (simulateConfig, *Error) {
+	sc, rerr := resolveScenario(p.Scenario)
+	if rerr != nil {
+		return simulateConfig{}, rerr
+	}
+	key := p.Variant
+	if key == "" {
+		key = "basic"
+	}
+	collateral := 0.0
+	switch key {
+	case "basic":
+	case "collateral":
+		collateral = sc.Collateral
+	default:
+		return simulateConfig{}, Errorf(CodeInvalidParams,
+			"simulate variant %q: the protocol simulator plays \"basic\" or \"collateral\"", key)
+	}
+	runs := p.Runs
+	if runs == 0 {
+		runs = sc.Runs()
+	}
+	if runs < 0 || runs > s.cfg.MaxRuns || p.MaxPaths < 0 || p.MaxPaths > s.cfg.MaxRuns {
+		return simulateConfig{}, Errorf(CodeInvalidParams, "runs/maxPaths must be in [0, %d]", s.cfg.MaxRuns)
+	}
+	if p.CIWidth < 0 || math.IsNaN(p.CIWidth) {
+		return simulateConfig{}, Errorf(CodeInvalidParams, "ciWidth must be >= 0")
+	}
+	if p.Chunk < 0 || p.EveryPaths < 0 {
+		return simulateConfig{}, Errorf(CodeInvalidParams, "chunk and everyPaths must be >= 0")
+	}
+	m, err := solvecache.SharedModel(sc.Params)
+	if err != nil {
+		return simulateConfig{}, Errorf(CodeInvalidParams, "scenario %q: %v", sc.Name, err)
+	}
+	strat, err := m.Strategy(sc.PStar)
+	if err != nil {
+		return simulateConfig{}, Errorf(CodeInternalError, "solving strategy: %v", err)
+	}
+	// The stream estimates SR conditional on initiation, like every MC
+	// validation in the repository (Eq. 31 conditions on the swap
+	// starting).
+	strat.AliceInitiates = true
+	every := p.EveryPaths
+	if every == 0 {
+		every = 512
+	}
+	return simulateConfig{
+		scenarioName: sc.Name,
+		variantKey:   key,
+		everyPaths:   every,
+		mcc: swapsim.MCConfig{
+			Config: swapsim.Config{
+				Params: sc.Params, Strategy: strat, Collateral: collateral, Seed: sc.Seed,
+			},
+			Runs: runs, Workers: s.cfg.MCWorkers,
+			CIWidth: p.CIWidth, ChunkSize: p.Chunk, MaxPaths: p.MaxPaths,
+		},
+	}, nil
+}
+
+// runStream executes one simulate stream: progress notifications while
+// the engine runs, then the terminal response (result, budget error, or
+// cancellation).
+func (s *Server) runStream(ctx context.Context, sess *wsSession, id json.RawMessage, cfg simulateConfig) {
+	start := time.Now()
+	conn := sess.conn
+	snapshots := 0
+	lastSent := 0
+	cfg.mcc.OnProgress = func(p mc.Progress) {
+		if p.Paths-lastSent < cfg.everyPaths && !p.Stopped {
+			return
+		}
+		lastSent = p.Paths
+		snapshots++
+		s.stats.snapshots.Add(1)
+		conn.WriteJSON(Notification{
+			JSONRPC: Version,
+			Method:  "swap.progress",
+			Params: ProgressEvent{
+				ID: id, Paths: p.Paths, Successes: p.Successes, Chunks: p.Chunks,
+				SR: p.SuccessRate.P, Lo: p.SuccessRate.Lo, Hi: p.SuccessRate.Hi,
+				HalfWidth: p.HalfWidth(), Stopped: p.Stopped,
+			},
+		})
+	}
+	res, err := swapsim.MonteCarloCtx(ctx, cfg.mcc)
+	if err != nil {
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(id, s.asRPCError(err)))
+		return
+	}
+	stages := make(map[string]int, len(res.Stages))
+	for stage, n := range res.Stages {
+		stages[string(stage)] = n
+	}
+	conn.WriteJSON(NewResponse(id, SimulateResult{
+		Scenario: cfg.scenarioName, Variant: cfg.variantKey,
+		Paths: res.Paths, SR: res.SuccessRate.P, Lo: res.SuccessRate.Lo, Hi: res.SuccessRate.Hi,
+		Stopped: res.Stopped, Violations: res.Violations, Stages: stages,
+		MeanDurationHours: res.MeanDurationHours,
+		Snapshots:         snapshots, ElapsedUs: time.Since(start).Microseconds(),
+	}))
+}

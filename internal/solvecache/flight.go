@@ -1,0 +1,121 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrFlightPanicked is the error waiters of a coalesced computation receive
+// when the leader's fn panicked; the panic itself propagates on the leader.
+var ErrFlightPanicked = errors.New("solvecache: in-flight computation panicked")
+
+// Flight is the single-flight layer the quote service puts in front of the
+// solve caches: concurrent calls with the same key coalesce onto one
+// in-flight computation, so a burst of identical requests costs one solve
+// and N−1 waits. Unlike memo.Map it remembers nothing — the entry is
+// removed the moment the computation finishes — because the durable tiers
+// below it (the shared-model cache here, the per-Model solve memos in
+// internal/core) already amortise repeated work across time; Flight only
+// collapses repetition in flight, which is exactly the dedup a request
+// burst needs without any growth in resident memory.
+//
+// The zero value is ready to use. K must be a comparable request key that
+// fully determines the computation (the RPC layer uses a canonical JSON
+// encoding of the request).
+type Flight[K comparable, V any] struct {
+	mu      sync.Mutex
+	calls   map[K]*flightCall[V]
+	leaders atomic.Uint64
+	waiters atomic.Uint64
+}
+
+// flightCall is one in-flight computation: done is closed after val/err are
+// set (channel close is the happens-before edge that publishes them).
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the result of fn for key, coalescing concurrent calls: the
+// first caller (the leader) runs fn to completion — deliberately ignoring
+// ctx, since its result serves every waiter — while later callers with the
+// same key block until the leader finishes or their own ctx is done.
+// shared reports whether this call consumed another caller's computation
+// rather than running fn itself. A waiter whose ctx expires returns
+// ctx.Err(); the leader's computation keeps running for the others. Once
+// the leader finishes the key is forgotten, so a later call computes anew.
+func (f *Flight[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val V, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		f.waiters.Add(1)
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+	f.leaders.Add(1)
+
+	// Settle before returning — and before propagating a panic — so waiters
+	// can never block forever on an abandoned entry. The key is deleted
+	// before done is closed: a request arriving after completion must start
+	// a fresh flight, not adopt a finished one.
+	settle := func() {
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = ErrFlightPanicked
+			settle()
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	settle()
+	return c.val, false, c.err
+}
+
+// FlightStats reports the cumulative coalescing behaviour of a Flight.
+type FlightStats struct {
+	// Leaders counts calls that ran the underlying computation.
+	Leaders uint64
+	// Waiters counts calls that coalesced onto another caller's
+	// computation (including waiters that gave up on their own ctx).
+	Waiters uint64
+}
+
+// HitRate is the fraction of calls served without running the computation.
+func (s FlightStats) HitRate() float64 {
+	total := s.Leaders + s.Waiters
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Waiters) / float64(total)
+}
+
+// Stats snapshots the leader/waiter counters.
+func (f *Flight[K, V]) Stats() FlightStats {
+	return FlightStats{Leaders: f.leaders.Load(), Waiters: f.waiters.Load()}
+}
+
+// InFlight reports the number of keys currently being computed.
+func (f *Flight[K, V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -1,0 +1,213 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCoalesces is the single-flight contract: N concurrent calls
+// with one key run the computation exactly once, every caller sees the
+// leader's value, and exactly one caller reports shared == false.
+func TestFlightCoalesces(t *testing.T) {
+	const n = 64
+	var (
+		f        Flight[string, int]
+		computes atomic.Int64
+		leaders  atomic.Int64
+		gate     = make(chan struct{})
+		done     sync.WaitGroup
+	)
+	call := func() {
+		defer done.Done()
+		v, shared, err := f.Do(context.Background(), "cell", func() (int, error) {
+			computes.Add(1)
+			<-gate // hold the flight open until every waiter has joined
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("Do: %v", err)
+		}
+		if v != 42 {
+			t.Errorf("Do = %d, want 42", v)
+		}
+		if !shared {
+			leaders.Add(1)
+		}
+	}
+	// Establish the leader first, then pile the waiters on and release the
+	// gate only once the waiter counter proves all of them joined the
+	// flight — deterministic under any scheduling.
+	done.Add(1)
+	go call()
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < n-1; i++ {
+		done.Add(1)
+		go call()
+	}
+	for f.Stats().Waiters < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	done.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computed %d times, want 1", got)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Errorf("%d callers report shared=false, want 1", got)
+	}
+	st := f.Stats()
+	if st.Leaders != 1 || st.Waiters != n-1 {
+		t.Errorf("stats = %+v, want 1 leader, %d waiters", st, n-1)
+	}
+	if hr := st.HitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("hit rate = %g, want in (0, 1)", hr)
+	}
+	if f.InFlight() != 0 {
+		t.Errorf("InFlight = %d after completion, want 0", f.InFlight())
+	}
+}
+
+// TestFlightDistinctKeysDoNotCoalesce checks distinct keys compute
+// independently and do not block each other.
+func TestFlightDistinctKeysDoNotCoalesce(t *testing.T) {
+	var f Flight[int, int]
+	var wg sync.WaitGroup
+	const n = 16
+	var computes atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := f.Do(context.Background(), i, func() (int, error) {
+				computes.Add(1)
+				return i * i, nil
+			})
+			if err != nil || shared || v != i*i {
+				t.Errorf("Do(%d) = (%d, %v, %v), want (%d, false, nil)", i, v, shared, err, i*i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if computes.Load() != n {
+		t.Errorf("computed %d times, want %d", computes.Load(), n)
+	}
+}
+
+// TestFlightRecomputesAfterCompletion checks the flight forgets finished
+// keys: sequential calls each run the computation.
+func TestFlightRecomputesAfterCompletion(t *testing.T) {
+	var f Flight[string, int]
+	var computes int
+	for i := 1; i <= 3; i++ {
+		v, shared, err := f.Do(context.Background(), "k", func() (int, error) {
+			computes++
+			return computes, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: (%v, shared=%v)", i, err, shared)
+		}
+		if v != i {
+			t.Fatalf("call %d = %d, want %d (no caching across completed flights)", i, v, i)
+		}
+	}
+}
+
+// TestFlightErrorShared checks the leader's error reaches every waiter.
+func TestFlightErrorShared(t *testing.T) {
+	var f Flight[string, int]
+	sentinel := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	var sharedErrs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do(context.Background(), "k", func() (int, error) {
+			<-gate
+			return 0, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("leader err = %v, want %v", err, sentinel)
+		}
+	}()
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, shared, err := f.Do(context.Background(), "k", func() (int, error) {
+			t.Error("waiter ran the computation")
+			return 0, nil
+		})
+		if shared && errors.Is(err, sentinel) {
+			sharedErrs.Add(1)
+		}
+	}()
+	for f.Stats().Waiters == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if sharedErrs.Load() != 1 {
+		t.Errorf("waiter did not observe the shared error")
+	}
+}
+
+// TestFlightWaiterContextCancel checks a waiter abandons the flight when
+// its ctx is done while the leader keeps computing for itself.
+func TestFlightWaiterContextCancel(t *testing.T) {
+	var f Flight[string, int]
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := f.Do(context.Background(), "k", func() (int, error) {
+			<-gate
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("leader = (%d, %v), want (7, nil)", v, err)
+		}
+	}()
+	for f.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := f.Do(ctx, "k", func() (int, error) { return 0, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter = (shared=%v, %v), want (true, context.Canceled)", shared, err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestFlightPanicPropagates checks a panicking leader settles the entry
+// (waiters get ErrFlightPanicked, later calls recompute) and re-panics.
+func TestFlightPanicPropagates(t *testing.T) {
+	var f Flight[string, int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		f.Do(context.Background(), "k", func() (int, error) { panic("kaboom") })
+	}()
+	if f.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after panic, want 0", f.InFlight())
+	}
+	v, shared, err := f.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if v != 5 || shared || err != nil {
+		t.Errorf("post-panic Do = (%d, %v, %v), want (5, false, nil)", v, shared, err)
+	}
+}

@@ -209,6 +209,10 @@ type MCConfig struct {
 	ChunkSize int
 	// MaxPaths overrides Runs as the adaptive hard cap when > 0.
 	MaxPaths int
+	// OnProgress, when non-nil, receives the engine's merged-prefix
+	// snapshots in chunk order (see mc.Config.OnProgress) — the stream the
+	// RPC daemon's swap.simulate subscription forwards to clients.
+	OnProgress func(mc.Progress)
 }
 
 // MCResult aggregates a Monte Carlo estimate.
@@ -238,6 +242,13 @@ type MCResult struct {
 // With CIWidth == 0 it runs exactly cfg.Runs paths, reproducing the
 // legacy fixed-N driver's per-seed outcomes.
 func MonteCarlo(cfg MCConfig) (MCResult, error) {
+	return MonteCarloCtx(context.Background(), cfg)
+}
+
+// MonteCarloCtx is MonteCarlo under a caller context: cancelling ctx stops
+// the engine between chunks with ctx's error — the cancellation path of
+// the RPC daemon's streaming simulations and their per-request budgets.
+func MonteCarloCtx(ctx context.Context, cfg MCConfig) (MCResult, error) {
 	if cfg.Runs <= 0 {
 		return MCResult{}, fmt.Errorf("%w: runs=%d", ErrBadConfig, cfg.Runs)
 	}
@@ -247,13 +258,14 @@ func MonteCarlo(cfg MCConfig) (MCResult, error) {
 	if cfg.CIWidth > 0 && cfg.MaxPaths > 0 {
 		maxPaths = cfg.MaxPaths
 	}
-	res, err := mc.Run(context.Background(), mc.Config{
-		Seed:      cfg.Seed,
-		MaxPaths:  maxPaths,
-		ChunkSize: cfg.ChunkSize,
-		CIWidth:   cfg.CIWidth,
-		Workers:   cfg.Workers,
-		NewRunner: func() (mc.Runner, error) { return NewRunner(cfg.Config) },
+	res, err := mc.Run(ctx, mc.Config{
+		Seed:       cfg.Seed,
+		MaxPaths:   maxPaths,
+		ChunkSize:  cfg.ChunkSize,
+		CIWidth:    cfg.CIWidth,
+		Workers:    cfg.Workers,
+		NewRunner:  func() (mc.Runner, error) { return NewRunner(cfg.Config) },
+		OnProgress: cfg.OnProgress,
 	})
 	if err != nil {
 		return MCResult{}, fmt.Errorf("swapsim: %w", err)

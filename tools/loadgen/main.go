@@ -1,0 +1,506 @@
+// Command loadgen drives cmd/swapd with a paced, seeded request stream
+// and emits a BENCH_rpc.json-style artifact: sustained QPS, latency
+// percentiles, and the single-flight coalescing hit rate. It is the RPC
+// layer's regression gate (`make bench-rpc-json` writes the baseline,
+// `make bench-check` and CI's swapd-smoke job replay it with gates).
+//
+// Usage:
+//
+//	loadgen -spawn ./bin/swapd -duration 10s -qps 1200 -o BENCH_rpc.json
+//	loadgen -addr http://127.0.0.1:8547 -duration 5s -qps 800 \
+//	  -against BENCH_rpc.json -min-qps 600 -max-p99-ms 80 -require-coalesce
+//
+// The stream mixes cheap cached solves across a weighted preset mix with
+// periodic bursts of identical Monte Carlo solves (every -dup-every
+// dispatches, -dup-burst concurrent copies with a fresh per-burst seed),
+// so the single-flight layer always sees coalesceable load: within one
+// burst exactly one request computes and the rest ride along with
+// coalesced=true. Everything is seeded; two runs with the same flags
+// issue the same request sequence.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the BENCH_rpc.json schema.
+type Report struct {
+	// Note says how to regenerate the artifact.
+	Note string `json:"note"`
+	// Config echoes the generator settings the numbers were measured under.
+	Config struct {
+		QPS       int     `json:"qps"`
+		DurationS float64 `json:"duration_s"`
+		Seed      int64   `json:"seed"`
+		Mix       string  `json:"mix"`
+		DupEvery  int     `json:"dup_every"`
+		DupBurst  int     `json:"dup_burst"`
+		MCRuns    int     `json:"mc_runs"`
+	} `json:"config"`
+	// Results are the measured aggregates.
+	Results struct {
+		Requests     int     `json:"requests"`
+		Errors       int     `json:"errors"`
+		SustainedQPS float64 `json:"sustained_qps"`
+		P50Us        float64 `json:"p50_us"`
+		P90Us        float64 `json:"p90_us"`
+		P99Us        float64 `json:"p99_us"`
+		MaxUs        float64 `json:"max_us"`
+		// Coalesced counts responses served from another request's
+		// in-flight computation; HitRate is the server's waiters /
+		// (leaders + waiters) over the whole run.
+		Coalesced int     `json:"coalesced"`
+		HitRate   float64 `json:"coalesce_hit_rate"`
+	} `json:"results"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "swapd base URL (e.g. http://127.0.0.1:8547); empty requires -spawn")
+		spawn    = fs.String("spawn", "", "path to a swapd binary to spawn on a free port for the run")
+		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		qps      = fs.Int("qps", 1200, "target request rate")
+		seed     = fs.Int64("seed", 1, "RNG seed for the request sequence")
+		mix      = fs.String("mix", "tableIII:4,high-vol:2,low-vol:2,fee-stress:1,deep-collateral:1",
+			"weighted preset mix (name:weight,...)")
+		dupEvery = fs.Int("dup-every", 100, "dispatch a coalesceable burst every N requests (0 disables)")
+		dupBurst = fs.Int("dup-burst", 4, "identical concurrent requests per burst")
+		mcRuns   = fs.Int("mc-runs", 2000, "Monte Carlo runs of each burst request (the coalesceable work)")
+		workers  = fs.Int("workers", 32, "sender goroutines")
+		output   = fs.String("o", "", "write the JSON report here ('-' or empty = stdout only)")
+		note     = fs.String("note", "regenerate with `make bench-rpc-json`", "note field of the report")
+		against  = fs.String("against", "", "baseline BENCH_rpc.json to report deltas against")
+
+		minQPS          = fs.Float64("min-qps", 0, "fail unless sustained QPS >= this (0 = no gate)")
+		maxP99Ms        = fs.Float64("max-p99-ms", 0, "fail unless p99 latency <= this (0 = no gate)")
+		requireCoalesce = fs.Bool("require-coalesce", false, "fail unless the coalescing hit rate is > 0")
+		maxErrorRate    = fs.Float64("max-error-rate", 0.01, "fail when errors/requests exceeds this")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	if *qps <= 0 || *duration <= 0 || *workers <= 0 {
+		return fmt.Errorf("qps, duration and workers must be > 0")
+	}
+
+	base := *addr
+	if *spawn != "" {
+		stop, url, err := spawnSwapd(*spawn)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = url
+	}
+	if base == "" {
+		return fmt.Errorf("need -addr or -spawn")
+	}
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	rep := generate(base, genConfig{
+		qps: *qps, duration: *duration, seed: *seed, weights: weights,
+		dupEvery: *dupEvery, dupBurst: *dupBurst, mcRuns: *mcRuns, workers: *workers,
+	})
+	rep.Note = *note
+	rep.Config.QPS = *qps
+	rep.Config.DurationS = duration.Seconds()
+	rep.Config.Seed = *seed
+	rep.Config.Mix = *mix
+	rep.Config.DupEvery = *dupEvery
+	rep.Config.DupBurst = *dupBurst
+	rep.Config.MCRuns = *mcRuns
+
+	printReport(out, rep)
+	if *against != "" {
+		if err := printDeltas(out, rep, *against); err != nil {
+			return err
+		}
+	}
+	if *output != "" && *output != "-" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*output, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *output)
+	}
+
+	r := rep.Results
+	var failures []string
+	if frac := errorRate(r.Errors, r.Requests); frac > *maxErrorRate {
+		failures = append(failures, fmt.Sprintf("error rate %.2f%% > %.2f%%", frac*100, *maxErrorRate*100))
+	}
+	if r.Requests == 0 {
+		failures = append(failures, "no requests completed")
+	}
+	if *minQPS > 0 && r.SustainedQPS < *minQPS {
+		failures = append(failures, fmt.Sprintf("sustained %.0f QPS < required %.0f", r.SustainedQPS, *minQPS))
+	}
+	if *maxP99Ms > 0 && r.P99Us > *maxP99Ms*1000 {
+		failures = append(failures, fmt.Sprintf("p99 %.2fms > allowed %.2fms", r.P99Us/1000, *maxP99Ms))
+	}
+	if *requireCoalesce && r.HitRate <= 0 {
+		failures = append(failures, "coalescing hit rate is 0")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gates failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(out, "gates passed")
+	return nil
+}
+
+func errorRate(errors, requests int) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return float64(errors) / float64(requests)
+}
+
+// parseMix parses "name:weight,..." into an expanded weighted list.
+func parseMix(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, ":")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(wstr); err != nil || w <= 0 {
+				return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", part)
+			}
+		}
+		if _, err := scenario.Lookup(name); err != nil {
+			return nil, fmt.Errorf("mix entry %q: %v", part, err)
+		}
+		for i := 0; i < w; i++ {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return out, nil
+}
+
+// spawnSwapd starts a swapd child on a free loopback port and returns a
+// stop function plus the base URL.
+func spawnSwapd(bin string) (func(), string, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, "", err
+	}
+	hostport := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin, "-addr", hostport)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("spawning %s: %w", bin, err)
+	}
+	stop := func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	return stop, "http://" + hostport, nil
+}
+
+// freePort asks the kernel for an unused loopback port.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("swapd at %s not healthy after %v", base, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// genConfig parameterises one load run.
+type genConfig struct {
+	qps      int
+	duration time.Duration
+	seed     int64
+	weights  []string
+	dupEvery int
+	dupBurst int
+	mcRuns   int
+	workers  int
+}
+
+// job is one dispatched request (burst jobs share a body).
+type job struct {
+	body []byte
+}
+
+// generate runs the paced stream and aggregates the measurements.
+func generate(base string, cfg genConfig) Report {
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      int
+		coalesced int
+	)
+	record := func(us float64, coal bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs++
+			return
+		}
+		latencies = append(latencies, us)
+		if coal {
+			coalesced++
+		}
+	}
+
+	jobs := make(chan job, cfg.workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				coal, err := post(client, base, j.body)
+				record(float64(time.Since(start).Microseconds()), coal, err)
+			}
+		}()
+	}
+
+	// Paced dispatch: each request has a target send time; the dispatcher
+	// catches up after stalls instead of silently lagging the rate.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	interval := time.Second / time.Duration(cfg.qps)
+	start := time.Now()
+	end := start.Add(cfg.duration)
+	for i := 0; ; i++ {
+		target := start.Add(time.Duration(i) * interval)
+		if target.After(end) {
+			break
+		}
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		if cfg.dupEvery > 0 && i%cfg.dupEvery == 0 {
+			body := burstBody(rng, cfg, i)
+			for b := 0; b < cfg.dupBurst; b++ {
+				jobs <- job{body: body}
+			}
+			continue
+		}
+		jobs <- job{body: solveBody(cfg.weights[rng.Intn(len(cfg.weights))], i)}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep Report
+	sort.Float64s(latencies)
+	rep.Results.Requests = len(latencies) + errs
+	rep.Results.Errors = errs
+	rep.Results.SustainedQPS = float64(len(latencies)) / elapsed.Seconds()
+	rep.Results.P50Us = percentile(latencies, 0.50)
+	rep.Results.P90Us = percentile(latencies, 0.90)
+	rep.Results.P99Us = percentile(latencies, 0.99)
+	rep.Results.MaxUs = percentile(latencies, 1)
+	rep.Results.Coalesced = coalesced
+	if hr, ok := fetchHitRate(client, base); ok {
+		rep.Results.HitRate = hr
+	} else if len(latencies) > 0 {
+		rep.Results.HitRate = float64(coalesced) / float64(len(latencies))
+	}
+	return rep
+}
+
+// solveBody builds a cheap cached solve of a preset.
+func solveBody(preset string, id int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"jsonrpc":"2.0","id":%d,"method":"swap.solve","params":{"scenario":%q,"budgetMs":20000}}`,
+		id, preset))
+}
+
+// burstBody builds one burst's shared request: an inline scenario with a
+// fresh per-burst seed (so the flight key is new each burst) and a Monte
+// Carlo validation expensive enough that the copies overlap in flight.
+func burstBody(rng *rand.Rand, cfg genConfig, id int) []byte {
+	sc, err := scenario.Lookup(cfg.weights[rng.Intn(len(cfg.weights))])
+	if err != nil { // mix is pre-validated; defensive only
+		panic(err)
+	}
+	sc.Seed = rng.Int63()
+	sc.MCRuns = cfg.mcRuns
+	sc.Variants = []string{"basic"}
+	inline, err := json.Marshal(sc)
+	if err != nil {
+		panic(err)
+	}
+	return []byte(fmt.Sprintf(
+		`{"jsonrpc":"2.0","id":%d,"method":"swap.solve","params":{"scenario":%s,"mc":true,"budgetMs":20000}}`,
+		id, inline))
+}
+
+// post sends one request and reports whether the response was coalesced.
+func post(client *http.Client, base string, body []byte) (coalesced bool, err error) {
+	resp, err := client.Post(base+"/rpc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Result struct {
+			Coalesced bool `json:"coalesced"`
+		} `json:"result"`
+		Error *struct {
+			Code    int    `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return false, err
+	}
+	if envelope.Error != nil {
+		return false, fmt.Errorf("rpc %d: %s", envelope.Error.Code, envelope.Error.Message)
+	}
+	return envelope.Result.Coalesced, nil
+}
+
+// fetchHitRate reads the server's own coalescing counters.
+func fetchHitRate(client *http.Client, base string) (float64, bool) {
+	body := []byte(`{"jsonrpc":"2.0","id":"stats","method":"swapd.stats"}`)
+	resp, err := client.Post(base+"/rpc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Result struct {
+			Coalescing struct {
+				HitRate float64 `json:"hitRate"`
+			} `json:"coalescing"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return 0, false
+	}
+	return envelope.Result.Coalescing.HitRate, true
+}
+
+// percentile reads the q-quantile from sorted data (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// printReport renders the human-readable summary.
+func printReport(out io.Writer, rep Report) {
+	r := rep.Results
+	fmt.Fprintf(out, "loadgen: %d requests (%d errors), sustained %.0f QPS\n",
+		r.Requests, r.Errors, r.SustainedQPS)
+	fmt.Fprintf(out, "latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.P50Us/1000, r.P90Us/1000, r.P99Us/1000, r.MaxUs/1000)
+	fmt.Fprintf(out, "coalescing: %d coalesced responses, server hit rate %.1f%%\n",
+		r.Coalesced, r.HitRate*100)
+}
+
+// printDeltas reports the run against a committed baseline (informational:
+// wall-clock metrics are hardware-dependent, so the hard gates are the
+// absolute -min-qps/-max-p99-ms flags).
+func printDeltas(out io.Writer, rep Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "vs %s: qps %+.1f%%  p99 %+.1f%%  hit rate %.1f%% -> %.1f%%\n",
+		path,
+		ratioDelta(rep.Results.SustainedQPS, base.Results.SustainedQPS),
+		ratioDelta(rep.Results.P99Us, base.Results.P99Us),
+		base.Results.HitRate*100, rep.Results.HitRate*100)
+	return nil
+}
+
+// ratioDelta is the percentage change of cur against base.
+func ratioDelta(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}

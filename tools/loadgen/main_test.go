@@ -1,0 +1,38 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	got, err := parseMix("tableIII:2,high-vol")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	want := []string{"tableIII", "tableIII", "high-vol"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseMix = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "no-such-preset", "tableIII:0", "tableIII:x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 9}, {1, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}
