@@ -8,7 +8,7 @@ GO ?= go
 COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
 	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng \
 	repro/internal/variant repro/internal/packetized repro/internal/repeated \
-	repro/internal/baseline repro/internal/rpc
+	repro/internal/baseline repro/internal/rpc repro/internal/qmc
 COVER_MIN  = 80
 
 # Pinned static-analysis toolchain versions (CI installs exactly these;
@@ -54,12 +54,14 @@ bench-json:
 # MC suite runs 0.2s per benchmark — enough iterations that one-time pool
 # warm-up amortizes to zero against the 1-alloc/path baseline — while the
 # solve suite runs once so the process-wide caches are as cold as the
-# baseline's.
+# baseline's. The convergence benchmarks' pathsratio is gated at 1.5x
+# pseudo — antithetic's structural bound on this workload (see DESIGN.md,
+# "Sampling modes"); sobol sits far below it.
 bench-check:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
 	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=0.2s -run='^$$' . > $$tmp; \
 	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . >> $$tmp; \
-	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 < $$tmp
+	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 -max-paths-ratio 1.5 < $$tmp
 	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
 	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
 	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 5s -qps 1200 \
@@ -121,6 +123,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLognormal -fuzztime=10s -run='^$$' ./internal/dist
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=10s -run='^$$' ./internal/scenario
 	$(GO) test -fuzz=FuzzRPCRequest -fuzztime=10s -run='^$$' ./internal/rpc
+	$(GO) test -fuzz=FuzzSobol -fuzztime=10s -run='^$$' ./internal/qmc
 
 # Batch-run every scenario preset across every registered variant (fails
 # when any variant's MC validation disagrees with its analytic solve).

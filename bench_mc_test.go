@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/qmc"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
 	"repro/internal/utility"
@@ -109,4 +110,89 @@ func BenchmarkMC_EngineFixedNAllWorkers(b *testing.B) {
 // a 0.02 Wilson half-width under a 20k cap.
 func BenchmarkMC_EngineAdaptive(b *testing.B) {
 	benchEngine(b, swapsim.MCConfig{Runs: 20000, Workers: 0, CIWidth: 0.02})
+}
+
+// convergenceConfig is the shared precision every convergence benchmark
+// runs to: a 0.01 estimator half-width under a 200k cap, chunked so the
+// adaptive stopper re-evaluates often enough to expose per-mode gains.
+func convergenceConfig() swapsim.MCConfig {
+	return swapsim.MCConfig{Runs: 200000, Workers: 0, CIWidth: 0.01, ChunkSize: 256}
+}
+
+// convergencePseudoPaths runs the pseudo sampler once to the shared
+// precision target and caches the path count the variance-reduced modes
+// are normalized against. The adaptive stop is deterministic per (seed,
+// chunk) pair, so this is a constant of the preset, not a measurement.
+var convergencePseudoPaths = sync.OnceValues(func() (int, error) {
+	cfg, err := mcBenchConfig()
+	if err != nil {
+		return 0, err
+	}
+	mcCfg := convergenceConfig()
+	mcCfg.Config = cfg
+	res, err := swapsim.MonteCarlo(mcCfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Paths, nil
+})
+
+// benchConvergence measures precision-normalized throughput for one
+// sampling mode: each iteration runs to the shared half-width target.
+// Three metrics land in BENCH_mc.json:
+//
+//   - paths/s: raw sampling rate, as in the engine benchmarks.
+//   - pathsratio: paths this mode needs / paths pseudo needs for the
+//     same precision — the convergence figure of merit (< 1 means the
+//     mode reaches the target with less work; deterministic per seed, so
+//     `make bench-check` gates it with -max-paths-ratio).
+//   - effpaths/s: pseudo-equivalent paths per second — the raw rate
+//     divided by pathsratio, i.e. how fast a pseudo sampler would have
+//     to run to match this mode's time-to-precision.
+func benchConvergence(b *testing.B, mode qmc.Mode) {
+	basePaths, err := convergencePseudoPaths()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcCfg := convergenceConfig()
+	mcCfg.Config = mcConfig(b)
+	mcCfg.Config.Sampler = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	paths := 0
+	modePaths := 0
+	for i := 0; i < b.N; i++ {
+		res, err := swapsim.MonteCarlo(mcCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths += res.Paths
+		modePaths = res.Paths
+	}
+	elapsed := b.Elapsed().Seconds()
+	b.ReportMetric(float64(paths)/elapsed, "paths/s")
+	b.ReportMetric(float64(basePaths)*float64(b.N)/elapsed, "effpaths/s")
+	b.ReportMetric(float64(modePaths)/float64(basePaths), "pathsratio")
+}
+
+// BenchmarkMC_ConvergencePseudo is the convergence reference: pathsratio
+// is 1 by construction and effpaths/s equals paths/s.
+func BenchmarkMC_ConvergencePseudo(b *testing.B) {
+	benchConvergence(b, qmc.ModePseudo)
+}
+
+// BenchmarkMC_ConvergenceAntithetic measures the antithetic pairs. On
+// this workload the success region is band-shaped, the pair correlation
+// is positive (~+0.29 at Table III) and the mode needs ~1.29x the pseudo
+// paths — see DESIGN.md, "Sampling modes". The bench-check gate holds it
+// under 1.5x so a regression to worse-than-structural cannot hide.
+func BenchmarkMC_ConvergenceAntithetic(b *testing.B) {
+	benchConvergence(b, qmc.ModeAntithetic)
+}
+
+// BenchmarkMC_ConvergenceSobol measures the scrambled-Sobol sequence,
+// the mode that delivers the headline precision win (~0.17x the pseudo
+// paths at Table III).
+func BenchmarkMC_ConvergenceSobol(b *testing.B) {
+	benchConvergence(b, qmc.ModeSobol)
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/plot"
+	"repro/internal/qmc"
 	"repro/internal/solvecache"
 	"repro/internal/utility"
 )
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		ciWidth  = fs.Float64("ci-width", 0, "montecarlo artifact: adaptive stop once the Wilson 95% half-width is <= this (0 = fixed runs)")
 		chunk    = fs.Int("chunk", 0, "montecarlo artifact: engine chunk size (0 = default)")
 		maxPaths = fs.Int("max-paths", 0, "montecarlo artifact: hard cap on adaptive sampling (0 = default runs)")
+		sampler  = fs.String("sampler", "", `montecarlo artifact: sampling mode "pseudo" (default), "antithetic", or "sobol"`)
 		stats    = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table hit/miss counters after generation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,12 +54,17 @@ func run(args []string, out io.Writer) error {
 		defer solvecache.WriteStats(out)
 	}
 
+	mode, err := qmc.ParseMode(*sampler)
+	if err != nil {
+		return err
+	}
 	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{
 		Workers:    *workers,
 		Scenario:   *scen,
 		MCCIWidth:  *ciWidth,
 		MCChunk:    *chunk,
 		MCMaxPaths: *maxPaths,
+		Sampler:    mode,
 	})
 	if err != nil {
 		return err

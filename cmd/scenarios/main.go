@@ -32,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/solvecache"
 	"repro/internal/variant"
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		ciWidth  = fs.Float64("ci-width", 0, "adaptive Monte Carlo: stop once the Wilson 95% half-width is <= this (0 = fixed run count)")
 		chunk    = fs.Int("chunk", 0, "Monte Carlo engine chunk size (0 = default)")
 		maxPaths = fs.Int("max-paths", 0, "hard cap on adaptive sampling per scenario (0 = the run count)")
+		sampler  = fs.String("sampler", "", `Monte Carlo sampling mode: "pseudo" (default), "antithetic", or "sobol"`)
 		stats    = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table hit/miss counters after the run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,9 +69,14 @@ func run(args []string, out io.Writer) error {
 	if *stats {
 		defer solvecache.WriteStats(out)
 	}
+	mode, err := qmc.ParseMode(*sampler)
+	if err != nil {
+		return err
+	}
 	opts := variant.RunOpts{
 		Runs: *runs, CIWidth: *ciWidth, ChunkSize: *chunk, MaxPaths: *maxPaths,
 		Variants: *variants,
+		Sampler:  mode,
 	}
 
 	switch {

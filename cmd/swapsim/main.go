@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/packetized"
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/swapsim"
 	"repro/internal/utility"
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		packets    = fs.Int("packets", 0, "split the swap into n packets (companion protocol [20]; 0 = single shot)")
 		requote    = fs.Bool("requote", false, "with -packets: re-quote the rate per packet")
 		keepGoing  = fs.Bool("continue", false, "with -packets: continue after a failed packet instead of aborting")
+		sampler    = fs.String("sampler", "", `sampling mode: "pseudo" (default), "antithetic", or "sobol"`)
 		scen       = fs.String("scenario", "", "simulate under a named scenario's parameters, rate, deposit and seed (explicit flags override)")
 		variants   = fs.String("variant", "", `simulate through the variant registry: "all" or a comma-separated key list`)
 		rounds     = fs.Int("rounds", 0, "round count for the repeated variant (0 = variant default)")
@@ -103,6 +105,10 @@ func run(args []string, out io.Writer) error {
 	if *packets < 0 {
 		return fmt.Errorf("swapsim: -packets must be >= 0, got %d", *packets)
 	}
+	mode, err := qmc.ParseMode(*sampler)
+	if err != nil {
+		return err
+	}
 
 	if *variants != "" {
 		sc := scenario.Scenario{
@@ -121,6 +127,7 @@ func run(args []string, out io.Writer) error {
 			CIWidth:   *ciWidth,
 			ChunkSize: *chunk,
 			MaxPaths:  *maxPaths,
+			Sampler:   mode,
 		})
 		if err != nil {
 			return err
@@ -190,6 +197,7 @@ func run(args []string, out io.Writer) error {
 		Seed:       *seed,
 		HaltA:      swapsim.HaltWindow{From: *haltAFrom, Until: *haltAUntil},
 		HaltB:      swapsim.HaltWindow{From: *haltBFrom, Until: *haltBUntil},
+		Sampler:    mode,
 	}
 
 	if *trace {
@@ -226,6 +234,10 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if res.Sampler.VarianceReduced() {
+		fmt.Fprintf(out, "sampler:                  %s (estimator 95%% half-width %.4f)\n",
+			res.Sampler, res.EstHalfWidth)
 	}
 	if *ciWidth > 0 {
 		status := "cap reached"

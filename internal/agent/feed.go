@@ -10,7 +10,6 @@ package agent
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/gbm"
 )
@@ -24,13 +23,15 @@ var ErrFeed = errors.New("agent: invalid price feed query")
 // so all agents see one consistent market.
 type PriceFeed struct {
 	proc  gbm.Process
-	rng   *rand.Rand
+	rng   gbm.NormalSource
 	lastT float64
 	lastP float64
 }
 
-// NewPriceFeed starts a feed at price p0 (time 0).
-func NewPriceFeed(proc gbm.Process, p0 float64, rng *rand.Rand) (*PriceFeed, error) {
+// NewPriceFeed starts a feed at price p0 (time 0). The rng may be any
+// standard-normal source: *rand.Rand for pseudo sampling, or a sampler
+// wrapper feeding antithetic or low-discrepancy increments.
+func NewPriceFeed(proc gbm.Process, p0 float64, rng gbm.NormalSource) (*PriceFeed, error) {
 	if p0 <= 0 {
 		return nil, fmt.Errorf("%w: p0=%g must be > 0", ErrFeed, p0)
 	}

@@ -3,6 +3,7 @@ package baseline
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -189,6 +190,40 @@ func TestSimulateSRDeterministicPerSeed(t *testing.T) {
 	}
 	if a == c {
 		t.Error("different seeds produced identical proportions")
+	}
+}
+
+// TestSimulateSRMatchesScalarLoop pins the slab-batched sampler to the
+// historical scalar loop: same rng stream, same success count, so the
+// batching refactor is byte-invisible to every committed artifact.
+func TestSimulateSRMatchesScalarLoop(t *testing.T) {
+	m := newModel(t)
+	const (
+		pstar = 2.0
+		seed  = 17
+	)
+	cut, err := m.CutoffT3(pstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs straddling the internal chunk size exercise the partial tail.
+	for _, runs := range []int{1, 511, 512, 513, 2000} {
+		rng := rand.New(rand.NewSource(seed))
+		p := m.Params()
+		want := 0
+		for i := 0; i < runs; i++ {
+			pT2 := p.Price.Step(rng, p.P0, p.Chains.TauA)
+			if pT3 := p.Price.Step(rng, pT2, p.Chains.TauB); pT3 > cut {
+				want++
+			}
+		}
+		prop, err := m.SimulateSR(pstar, runs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(math.Round(prop.P * float64(runs))); got != want {
+			t.Errorf("runs=%d: batched successes %d, scalar reference %d", runs, got, want)
+		}
 	}
 }
 

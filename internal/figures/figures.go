@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/plot"
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/utility"
 )
@@ -86,6 +87,10 @@ type Opts struct {
 	MCCIWidth  float64
 	MCChunk    int
 	MCMaxPaths int
+	// Sampler selects the Monte Carlo validation artifact's sampling
+	// mode (internal/qmc); the zero value keeps the pseudo default every
+	// committed artifact pins.
+	Sampler qmc.Mode
 }
 
 // Generator produces one or more figures from a parameter set.

@@ -70,6 +70,7 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 				Strategy:   strat,
 				Collateral: cfg.q,
 				Seed:       9000 + int64(i)*100000,
+				Sampler:    o.Sampler,
 			},
 			Runs:      runs,
 			Workers:   o.Workers,

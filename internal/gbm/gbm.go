@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/dist"
 )
@@ -72,8 +71,19 @@ func (g Process) mustTransition(p, tau float64) dist.LogNormal {
 	return l
 }
 
+// mustArgs panics unless p and tau are finite and strictly positive — the
+// same convention mustTransition enforces for PDF/CDF, applied to the cheap
+// hot-path methods so a tau <= 0 (or NaN) can never leak a silently
+// NaN-tainted price into a simulation.
+func mustArgs(p, tau float64) {
+	if !(p > 0) || !(tau > 0) || math.IsInf(p, 0) || math.IsInf(tau, 0) {
+		panic(fmt.Errorf("%w: price p=%g and horizon tau=%g must be finite and > 0", ErrBadParam, p, tau))
+	}
+}
+
 // E returns E[P_{t+tau} | P_t = p] = p·e^{µτ}, the paper's E(P_t, τ).
 func (g Process) E(p, tau float64) float64 {
+	mustArgs(p, tau)
 	return p * math.Exp(g.Mu*tau)
 }
 
@@ -114,16 +124,67 @@ func (g Process) Quantile(q, p, tau float64) (float64, error) {
 	return l.Quantile(q)
 }
 
+// NormalSource yields independent standard-normal variates. *rand.Rand and
+// the simulator's lazily seeded replica satisfy it, as do the sampler
+// wrappers that feed antithetic or low-discrepancy increments to the same
+// price process.
+type NormalSource interface {
+	NormFloat64() float64
+}
+
+// FillNormals fills z with independent standard normals drawn from src in
+// one pass — the slab a batched path consumes. The draw order is exactly
+// the per-event order, so slab-then-step reproduces step-by-step sampling
+// byte for byte.
+func FillNormals(src NormalSource, z []float64) {
+	for i := range z {
+		z[i] = src.NormFloat64()
+	}
+}
+
 // Step samples P_{t+tau} given P_t = p with the exact lognormal increment.
-func (g Process) Step(rng *rand.Rand, p, tau float64) float64 {
-	return p * math.Exp((g.Mu-g.Sigma*g.Sigma/2)*tau+g.Sigma*math.Sqrt(tau)*rng.NormFloat64())
+// Like PDF and CDF it panics on non-positive or non-finite (p, tau).
+func (g Process) Step(src NormalSource, p, tau float64) float64 {
+	return g.StepZ(p, tau, src.NormFloat64())
+}
+
+// StepZ is Step with the standard normal increment z supplied by the
+// caller — the deterministic core shared by every sampler mode. The float
+// expression matches Step exactly, so pre-drawn slabs are bit-identical to
+// per-event draws.
+func (g Process) StepZ(p, tau, z float64) float64 {
+	mustArgs(p, tau)
+	return p * math.Exp((g.Mu-g.Sigma*g.Sigma/2)*tau+g.Sigma*math.Sqrt(tau)*z)
+}
+
+// StepBatch advances a vector of prices one increment of horizon tau each,
+// using pre-drawn standard normals: out[i] = StepZ(p[i], tau, z[i]),
+// bit-identical to the scalar calls. out may alias p; the three slices
+// must share a length. The drift and volatility terms are hoisted so the
+// loop is one multiply-exp per element.
+func (g Process) StepBatch(out, p, z []float64, tau float64) error {
+	if len(out) != len(p) || len(p) != len(z) {
+		return fmt.Errorf("%w: StepBatch lengths out=%d p=%d z=%d must match", ErrBadParam, len(out), len(p), len(z))
+	}
+	if !(tau > 0) || math.IsInf(tau, 0) {
+		return fmt.Errorf("%w: horizon tau=%g must be finite and > 0", ErrBadParam, tau)
+	}
+	drift := (g.Mu - g.Sigma*g.Sigma/2) * tau
+	vol := g.Sigma * math.Sqrt(tau)
+	for i, pi := range p {
+		if !(pi > 0) || math.IsInf(pi, 0) {
+			return fmt.Errorf("%w: price p[%d]=%g must be finite and > 0", ErrBadParam, i, pi)
+		}
+		out[i] = pi * math.Exp(drift+vol*z[i])
+	}
+	return nil
 }
 
 // SampleAt samples the process at the supplied increasing times, starting
 // from price p0 at time times[0] (the first entry is the start time, whose
 // price is p0 and is included in the output). Times must be strictly
 // increasing.
-func (g Process) SampleAt(rng *rand.Rand, p0 float64, times []float64) ([]float64, error) {
+func (g Process) SampleAt(src NormalSource, p0 float64, times []float64) ([]float64, error) {
 	if p0 <= 0 {
 		return nil, fmt.Errorf("%w: p0=%g must be > 0", ErrBadParam, p0)
 	}
@@ -138,21 +199,53 @@ func (g Process) SampleAt(rng *rand.Rand, p0 float64, times []float64) ([]float6
 			return nil, fmt.Errorf("%w: times must be strictly increasing (times[%d]=%g, times[%d]=%g)",
 				ErrBadParam, i-1, times[i-1], i, times[i])
 		}
-		out[i] = g.Step(rng, out[i-1], dt)
+		out[i] = g.Step(src, out[i-1], dt)
+	}
+	return out, nil
+}
+
+// SampleAtBatch is SampleAt with caller-owned storage and slab-filled
+// draws: out must have len(times) capacity; the len(times)-1 increments are
+// drawn into out[1:] in one FillNormals pass and then consumed in place as
+// the chain is walked, so no scratch beyond out is needed and the result is
+// bit-identical to SampleAt. It returns out resliced to len(times). Times
+// are validated before any normal is drawn, so an invalid grid consumes
+// nothing from src.
+func (g Process) SampleAtBatch(src NormalSource, p0 float64, times, out []float64) ([]float64, error) {
+	if p0 <= 0 {
+		return nil, fmt.Errorf("%w: p0=%g must be > 0", ErrBadParam, p0)
+	}
+	if len(times) == 0 {
+		return nil, nil
+	}
+	if cap(out) < len(times) {
+		return nil, fmt.Errorf("%w: out capacity %d < %d times", ErrBadParam, cap(out), len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("%w: times must be strictly increasing (times[%d]=%g, times[%d]=%g)",
+				ErrBadParam, i-1, times[i-1], i, times[i])
+		}
+	}
+	out = out[:len(times)]
+	FillNormals(src, out[1:])
+	out[0] = p0
+	for i := 1; i < len(times); i++ {
+		out[i] = g.StepZ(out[i-1], times[i]-times[i-1], out[i])
 	}
 	return out, nil
 }
 
 // Path samples n equally spaced steps of size dt starting from p0,
 // returning n+1 prices including the start.
-func (g Process) Path(rng *rand.Rand, p0, dt float64, n int) ([]float64, error) {
+func (g Process) Path(src NormalSource, p0, dt float64, n int) ([]float64, error) {
 	if n < 0 || dt <= 0 || p0 <= 0 {
 		return nil, fmt.Errorf("%w: path(p0=%g, dt=%g, n=%d)", ErrBadParam, p0, dt, n)
 	}
 	out := make([]float64, n+1)
 	out[0] = p0
 	for i := 1; i <= n; i++ {
-		out[i] = g.Step(rng, out[i-1], dt)
+		out[i] = g.Step(src, out[i-1], dt)
 	}
 	return out, nil
 }

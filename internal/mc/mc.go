@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/qmc"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -65,6 +66,28 @@ type RunnerFunc func(seed int64) (Path, error)
 // RunPath implements Runner.
 func (f RunnerFunc) RunPath(seed int64) (Path, error) { return f(seed) }
 
+// IndexedRunner is a Runner that also accepts the path's global index.
+// The variance-reduced sampler modes require it: the index determines the
+// antithetic pair member (qmc.PairNegated) or the Sobol replicate and
+// point (qmc.SobolReplicate, qmc.SobolPoint). RunPathIndexed must remain
+// a pure function of (index, seed) under the same contract as RunPath.
+type IndexedRunner interface {
+	Runner
+	RunPathIndexed(index int, seed int64) (Path, error)
+}
+
+// IndexedRunnerFunc adapts a function to IndexedRunner (tests); RunPath
+// delegates with index 0.
+type IndexedRunnerFunc func(index int, seed int64) (Path, error)
+
+// RunPath implements Runner.
+func (f IndexedRunnerFunc) RunPath(seed int64) (Path, error) { return f(0, seed) }
+
+// RunPathIndexed implements IndexedRunner.
+func (f IndexedRunnerFunc) RunPathIndexed(index int, seed int64) (Path, error) {
+	return f(index, seed)
+}
+
 // Config parameterises a streaming Monte Carlo estimate.
 type Config struct {
 	// Seed is the base seed; path i draws from the decorrelated stream
@@ -85,6 +108,17 @@ type Config struct {
 	Workers int
 	// NewRunner constructs one reusable Runner per worker slot.
 	NewRunner func() (Runner, error)
+	// Sampler selects the sampling mode (zero value: pseudo, the golden
+	// default — byte-identical to every committed artifact). The
+	// variance-reduced modes require runners implementing IndexedRunner:
+	// in antithetic mode path i is seeded with sweep.Seed(Seed,
+	// qmc.PairBase(i)) so a pair shares its price-path seed, and the
+	// adaptive stopper switches from the raw-count Wilson interval to a
+	// sampler-aware estimator CI (pair-mean CLT, or a t interval over
+	// Sobol replicate means) — the Wilson interval cannot see variance
+	// reduction. Antithetic mode additionally requires an even ChunkSize
+	// so pairs never straddle a chunk boundary.
+	Sampler qmc.Mode
 	// OnProgress, when non-nil, is called after each chunk is merged into
 	// the running aggregate, with a snapshot of the merged prefix. Calls
 	// happen on Run's own goroutine in strict chunk order, so the sequence
@@ -100,15 +134,30 @@ type Progress struct {
 	// Paths, Successes and Chunks count the merged prefix.
 	Paths, Successes, Chunks int
 	// SuccessRate is the running success proportion with its Wilson 95%
-	// interval.
+	// interval — always the honest raw-count interval, whatever the
+	// sampler.
 	SuccessRate stats.Proportion
+	// Sampler is the run's sampling mode.
+	Sampler qmc.Mode
+	// EstHalfWidth is the sampler-aware 95% half-width the adaptive
+	// stopper compares against CIWidth: the Wilson half-width in pseudo
+	// mode, the pair-mean CLT width in antithetic mode, the replicate-t
+	// width in sobol mode (+Inf while the estimator is undefined).
+	EstHalfWidth float64
 	// Stopped reports that the adaptive criterion fired at this snapshot
 	// (always false in fixed-N mode).
 	Stopped bool
 }
 
-// HalfWidth returns the Wilson 95% half-width of the running interval.
-func (p Progress) HalfWidth() float64 { return (p.SuccessRate.Hi - p.SuccessRate.Lo) / 2 }
+// HalfWidth returns the 95% half-width the adaptive stopper uses: the
+// Wilson interval in pseudo mode, the sampler-aware estimator interval in
+// the variance-reduced modes.
+func (p Progress) HalfWidth() float64 {
+	if p.Sampler.VarianceReduced() {
+		return p.EstHalfWidth
+	}
+	return (p.SuccessRate.Hi - p.SuccessRate.Lo) / 2
+}
 
 // Result aggregates a streaming Monte Carlo estimate.
 type Result struct {
@@ -121,11 +170,17 @@ type Result struct {
 	Violations int
 	// Stages is the terminal-stage histogram.
 	Stages map[string]int
-	// SuccessRate is the success proportion with its Wilson 95% interval.
+	// SuccessRate is the success proportion with its Wilson 95% interval
+	// — always the honest raw-count interval, whatever the sampler.
 	SuccessRate stats.Proportion
 	// Duration accumulates path durations (mean/variance), merged in
 	// chunk order so the float result is reproducible.
 	Duration stats.Welford
+	// Sampler is the run's sampling mode.
+	Sampler qmc.Mode
+	// EstHalfWidth is the sampler-aware 95% half-width at the end of the
+	// run (see Progress.EstHalfWidth).
+	EstHalfWidth float64
 	// Stopped reports an adaptive early stop (CIWidth reached before
 	// MaxPaths).
 	Stopped bool
@@ -133,8 +188,15 @@ type Result struct {
 	Chunks int
 }
 
-// HalfWidth returns the Wilson 95% half-width of the success-rate interval.
-func (r Result) HalfWidth() float64 { return (r.SuccessRate.Hi - r.SuccessRate.Lo) / 2 }
+// HalfWidth returns the 95% half-width the adaptive stopper uses: the
+// Wilson interval in pseudo mode, the sampler-aware estimator interval in
+// the variance-reduced modes.
+func (r Result) HalfWidth() float64 {
+	if r.Sampler.VarianceReduced() {
+		return r.EstHalfWidth
+	}
+	return (r.SuccessRate.Hi - r.SuccessRate.Lo) / 2
+}
 
 // chunkResult is one chunk's aggregate, merged into the stream in chunk
 // order.
@@ -142,7 +204,24 @@ type chunkResult struct {
 	n, successes, violations int
 	stages                   map[string]int
 	dur                      stats.Welford
+	// pairs accumulates antithetic pair means (one observation per
+	// completed (2k, 2k+1) pair; a MaxPaths-truncated final pair counts
+	// as a singleton). Chunks are pair-aligned, so pairs never straddle.
+	pairs stats.Welford
+	// repSucc/repN count successes and paths per Sobol replicate.
+	repSucc, repN [qmc.SobolReplicates]int
 }
+
+// Critical values of the sampler-aware estimator intervals.
+const (
+	// zNormal975 is the two-sided 95% standard normal critical value,
+	// used by the antithetic pair-mean CLT interval.
+	zNormal975 = 1.9599639845400545
+	// tReplicates975 is the two-sided 95% Student-t critical value at
+	// qmc.SobolReplicates−1 = 7 degrees of freedom, used by the interval
+	// over Sobol replicate means.
+	tReplicates975 = 2.3646242510102993
+)
 
 // Run executes the workload and streams the aggregation. See the package
 // comment for the determinism contract.
@@ -157,9 +236,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	case cfg.NewRunner == nil:
 		return Result{}, fmt.Errorf("%w: nil NewRunner", ErrBadConfig)
 	}
+	mode, err := cfg.Sampler.Canon()
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	chunk := cfg.ChunkSize
 	if chunk == 0 {
 		chunk = DefaultChunkSize
+	}
+	if mode == qmc.ModeAntithetic && chunk%2 != 0 {
+		return Result{}, fmt.Errorf("%w: antithetic mode needs an even chunk size, got %d", ErrBadConfig, chunk)
 	}
 	numChunks := (cfg.MaxPaths + chunk - 1) / chunk
 	workers := sweep.Workers(cfg.Workers)
@@ -168,12 +254,15 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	// One reusable Runner per worker slot, shared across waves through a
-	// free list.
+	// free list. The variance-reduced modes need index-aware runners.
 	runners := make(chan Runner, workers)
 	for i := 0; i < workers; i++ {
 		r, err := cfg.NewRunner()
 		if err != nil {
 			return Result{}, fmt.Errorf("mc: runner %d: %w", i, err)
+		}
+		if _, ok := r.(IndexedRunner); !ok && mode.VarianceReduced() {
+			return Result{}, fmt.Errorf("%w: sampler %s requires a runner implementing IndexedRunner", ErrBadConfig, mode)
 		}
 		runners <- r
 	}
@@ -185,8 +274,21 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			hi = cfg.MaxPaths
 		}
 		cr := chunkResult{stages: make(map[string]int)}
+		var pairSum float64
+		var pairN int
 		for i := lo; i < hi; i++ {
-			p, err := r.RunPath(sweep.Seed(cfg.Seed, i))
+			var p Path
+			var err error
+			switch mode {
+			case qmc.ModePseudo:
+				p, err = r.RunPath(sweep.Seed(cfg.Seed, i))
+			case qmc.ModeAntithetic:
+				// Pair members share the price-path seed; the runner
+				// flips the odd member's increments by index.
+				p, err = r.(IndexedRunner).RunPathIndexed(i, sweep.Seed(cfg.Seed, qmc.PairBase(i)))
+			default: // qmc.ModeSobol
+				p, err = r.(IndexedRunner).RunPathIndexed(i, sweep.Seed(cfg.Seed, i))
+			}
 			if err != nil {
 				return chunkResult{}, fmt.Errorf("path %d: %w", i, err)
 			}
@@ -199,8 +301,50 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			}
 			cr.stages[p.Stage]++
 			cr.dur.Add(p.Duration)
+			switch mode {
+			case qmc.ModeAntithetic:
+				if p.Success {
+					pairSum++
+				}
+				pairN++
+				if i&1 == 1 || i == hi-1 {
+					cr.pairs.Add(pairSum / float64(pairN))
+					pairSum, pairN = 0, 0
+				}
+			case qmc.ModeSobol:
+				rep := qmc.SobolReplicate(i)
+				cr.repN[rep]++
+				if p.Success {
+					cr.repSucc[rep]++
+				}
+			}
 		}
 		return cr, nil
+	}
+
+	// Sampler-aware estimator state, merged strictly in chunk order like
+	// every other accumulator, so the adaptive stop stays a pure function
+	// of (Seed, ChunkSize).
+	var pairs stats.Welford
+	var repSucc, repN [qmc.SobolReplicates]int
+	estHalf := func() float64 {
+		switch mode {
+		case qmc.ModeAntithetic:
+			if pairs.N < 2 {
+				return math.Inf(1)
+			}
+			return zNormal975 * math.Sqrt(pairs.Var()/float64(pairs.N))
+		case qmc.ModeSobol:
+			var w stats.Welford
+			for rep := 0; rep < qmc.SobolReplicates; rep++ {
+				if repN[rep] == 0 {
+					return math.Inf(1)
+				}
+				w.Add(float64(repSucc[rep]) / float64(repN[rep]))
+			}
+			return tReplicates975 * math.Sqrt(w.Var()/float64(w.N))
+		}
+		return math.Inf(1)
 	}
 
 	// Fixed-N mode runs every chunk in one sweep; adaptive mode dispatches
@@ -225,9 +369,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("mc: %w", err)
 		}
-		// Merge strictly in chunk order; in adaptive mode check the Wilson
-		// criterion at every chunk boundary and discard any speculative
-		// chunks computed past the stopping point.
+		// Merge strictly in chunk order; in adaptive mode check the
+		// stopping criterion — Wilson in pseudo mode, the sampler-aware
+		// estimator interval otherwise — at every chunk boundary and
+		// discard any speculative chunks computed past the stopping point.
 		for _, cr := range crs {
 			res.Paths += cr.n
 			res.Successes += cr.successes
@@ -237,21 +382,31 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			}
 			res.Duration.Merge(cr.dur)
 			res.Chunks++
+			pairs.Merge(cr.pairs)
+			for rep := 0; rep < qmc.SobolReplicates; rep++ {
+				repSucc[rep] += cr.repSucc[rep]
+				repN[rep] += cr.repN[rep]
+			}
 			var prop stats.Proportion
+			var hw float64
 			if cfg.CIWidth > 0 || cfg.OnProgress != nil {
 				p, err := stats.NewProportion(res.Successes, res.Paths)
 				if err != nil {
 					return Result{}, fmt.Errorf("mc: %w", err)
 				}
 				prop = p
+				hw = (prop.Hi - prop.Lo) / 2
+				if mode.VarianceReduced() {
+					hw = estHalf()
+				}
 			}
-			if cfg.CIWidth > 0 && (prop.Hi-prop.Lo)/2 <= cfg.CIWidth {
+			if cfg.CIWidth > 0 && hw <= cfg.CIWidth {
 				res.Stopped = res.Paths < cfg.MaxPaths
 			}
 			if cfg.OnProgress != nil {
 				cfg.OnProgress(Progress{
 					Paths: res.Paths, Successes: res.Successes, Chunks: res.Chunks,
-					SuccessRate: prop, Stopped: res.Stopped,
+					SuccessRate: prop, Sampler: mode, EstHalfWidth: hw, Stopped: res.Stopped,
 				})
 			}
 			if res.Stopped {
@@ -264,5 +419,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("mc: %w", err)
 	}
 	res.SuccessRate = prop
+	res.Sampler = mode
+	res.EstHalfWidth = (prop.Hi - prop.Lo) / 2
+	if mode.VarianceReduced() {
+		res.EstHalfWidth = estHalf()
+	}
 	return res, nil
 }

@@ -1,0 +1,47 @@
+package qmc
+
+import "testing"
+
+// FuzzSobol drives Point with arbitrary (seed, dimension, index) inputs
+// and checks the structural invariants the engine depends on: every
+// coordinate stays strictly inside (0, 1), repeated evaluation is
+// deterministic, and distinct nearby indices never collide in the first
+// dimension (the generator matrix is invertible and the digital shift a
+// bijection).
+func FuzzSobol(f *testing.F) {
+	f.Add(int64(1), uint(4), uint32(0))
+	f.Add(int64(0), uint(1), uint32(1)<<31)
+	f.Add(int64(-9), uint(8), uint32(1<<32-1))
+	f.Add(int64(42), uint(3), uint32(12345))
+	f.Fuzz(func(t *testing.T, seed int64, dim uint, index uint32) {
+		d := int(dim%MaxDim) + 1
+		s, err := NewSobol(d, seed)
+		if err != nil {
+			t.Fatalf("NewSobol(%d, %d): %v", d, seed, err)
+		}
+		u := make([]float64, d)
+		s.Point(index, u)
+		for c, x := range u {
+			if !(x > 0 && x < 1) {
+				t.Fatalf("seed %d dim %d index %d: coordinate %d = %v out of (0,1)", seed, d, index, c+1, x)
+			}
+		}
+		again := make([]float64, d)
+		s.Point(index, again)
+		for c := range u {
+			if u[c] != again[c] {
+				t.Fatalf("seed %d dim %d index %d: non-deterministic coordinate %d", seed, d, index, c+1)
+			}
+		}
+		// First-dimension injectivity over a window of neighbours.
+		first := map[float64]uint32{u[0]: index}
+		for off := uint32(1); off <= 8; off++ {
+			j := index + off // wraps mod 2^32; still distinct from index
+			s.Point(j, again)
+			if prev, dup := first[again[0]]; dup && prev != j {
+				t.Fatalf("seed %d: indices %d and %d collide in dim 1 at %v", seed, prev, j, again[0])
+			}
+			first[again[0]] = j
+		}
+	})
+}

@@ -220,8 +220,15 @@ func Play(cfg Config) (Result, error) {
 		}
 
 		res.Rounds = append(res.Rounds, round)
-		// Market moves on between opportunities.
-		price = cfg.Params.Price.Step(rng, price, cfg.GapHours)
+		// Market moves on between opportunities. A long engagement under
+		// negative drift can underflow the float price to exactly 0 — the
+		// GBM's absorbing boundary — after which the market stays at 0; the
+		// draw is still consumed so the stream stays aligned with
+		// trajectories that never absorb.
+		z := rng.NormFloat64()
+		if price > 0 {
+			price = cfg.Params.Price.StepZ(price, cfg.GapHours, z)
+		}
 	}
 	res.FinalAlphaA = alphaA
 	res.FinalAlphaB = alphaB
@@ -298,12 +305,21 @@ func roundKey(a float64) float64 {
 // over the price transitions (the same sampling the analytic SR of Eq. 31
 // integrates in closed form).
 func playRound(rng *rand.Rand, params utility.Params, strat core.Strategy, round *Round) {
-	pT2 := params.Price.Step(rng, round.Price, params.Chains.TauA)
+	// An absorbed (underflowed-to-0) market price stays at 0 through both
+	// legs; the draws are still consumed to keep the stream aligned.
+	step := func(p, tau float64) float64 {
+		z := rng.NormFloat64()
+		if p > 0 {
+			return params.Price.StepZ(p, tau, z)
+		}
+		return 0
+	}
+	pT2 := step(round.Price, params.Chains.TauA)
 	if !strat.BobContT2.Contains(pT2) {
 		round.WithdrewB = true
 		return
 	}
-	pT3 := params.Price.Step(rng, pT2, params.Chains.TauB)
+	pT3 := step(pT2, params.Chains.TauB)
 	if pT3 <= strat.AliceCutoffT3 {
 		round.WithdrewA = true
 		return

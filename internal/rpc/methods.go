@@ -8,6 +8,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/solvecache"
 	"repro/internal/variant"
@@ -32,6 +33,10 @@ type SolveParams struct {
 	CIWidth  float64 `json:"ciWidth,omitempty"`
 	Chunk    int     `json:"chunk,omitempty"`
 	MaxPaths int     `json:"maxPaths,omitempty"`
+	// Sampler selects the validation's sampling mode: "" or "pseudo"
+	// (default), "antithetic", or "sobol" (see internal/qmc). Requests
+	// with different samplers never coalesce.
+	Sampler string `json:"sampler,omitempty"`
 	// BudgetMs overrides the server's default request budget.
 	BudgetMs int `json:"budgetMs,omitempty"`
 }
@@ -60,6 +65,9 @@ type MCCheckJSON struct {
 	Agrees            bool           `json:"agrees"`
 	Stages            map[string]int `json:"stages,omitempty"`
 	MeanDurationHours float64        `json:"meanDurationHours,omitempty"`
+	// Sampler names the validation's sampling mode; omitted for the
+	// pseudo default, so historical responses are unchanged.
+	Sampler string `json:"sampler,omitempty"`
 }
 
 // SolveResult is swap.solve's result.
@@ -148,10 +156,15 @@ func (s *Server) resolveSolve(p SolveParams) (resolvedSolve, *Error) {
 	if p.Chunk < 0 {
 		return resolvedSolve{}, Errorf(CodeInvalidParams, "chunk must be >= 0")
 	}
+	sampler, err := qmc.ParseMode(p.Sampler)
+	if err != nil {
+		return resolvedSolve{}, Errorf(CodeInvalidParams, "%v", err)
+	}
 	opts := variant.RunOpts{
 		Runs: p.Runs, CIWidth: p.CIWidth, ChunkSize: p.Chunk, MaxPaths: p.MaxPaths,
 		MCWorkers: s.cfg.MCWorkers,
 		SkipMC:    !p.MC,
+		Sampler:   sampler,
 	}
 	return resolvedSolve{sc: sc, keys: keys, opts: opts}, nil
 }
@@ -207,6 +220,9 @@ func reportJSON(r variant.Report) ReportJSON {
 			SR: mc.SR.P, Lo: mc.SR.Lo, Hi: mc.SR.Hi,
 			Analytic: mc.Analytic, Agrees: mc.Agrees,
 			MeanDurationHours: mc.MeanDurationHours,
+		}
+		if mc.Sampler.VarianceReduced() {
+			check.Sampler = string(mc.Sampler)
 		}
 		if mc.Stages != nil {
 			check.Stages = make(map[string]int, len(mc.Stages))

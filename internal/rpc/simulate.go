@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/qmc"
 	"repro/internal/solvecache"
 	"repro/internal/swapsim"
 )
@@ -34,6 +35,11 @@ type SimulateParams struct {
 	// EveryPaths throttles the stream: one progress notification per at
 	// least this many merged paths (default 512; 1 streams every chunk).
 	EveryPaths int `json:"everyPaths,omitempty"`
+	// Sampler selects the sampling mode: "" or "pseudo" (default),
+	// "antithetic", or "sobol" (see internal/qmc). In the variance-reduced
+	// modes the streamed halfWidth is the sampler-aware estimator
+	// interval the adaptive stopper watches, not the Wilson width.
+	Sampler string `json:"sampler,omitempty"`
 	// BudgetMs overrides the server's default request budget.
 	BudgetMs int `json:"budgetMs,omitempty"`
 }
@@ -66,6 +72,11 @@ type SimulateResult struct {
 	SR       float64 `json:"sr"`
 	Lo       float64 `json:"lo"`
 	Hi       float64 `json:"hi"`
+	// Sampler names the run's sampling mode; omitted for the pseudo
+	// default. EstHalfWidth accompanies it: the sampler-aware estimator
+	// half-width the adaptive stopper compared against ciWidth.
+	Sampler      string  `json:"sampler,omitempty"`
+	EstHalfWidth float64 `json:"estHalfWidth,omitempty"`
 	// Stopped reports an adaptive early stop; Violations counts
 	// non-atomic outcomes (zero without failure injection).
 	Stopped    bool           `json:"stopped"`
@@ -276,6 +287,10 @@ func (s *Server) resolveSimulate(p SimulateParams) (simulateConfig, *Error) {
 	if p.Chunk < 0 || p.EveryPaths < 0 {
 		return simulateConfig{}, Errorf(CodeInvalidParams, "chunk and everyPaths must be >= 0")
 	}
+	sampler, err := qmc.ParseMode(p.Sampler)
+	if err != nil {
+		return simulateConfig{}, Errorf(CodeInvalidParams, "%v", err)
+	}
 	m, err := solvecache.SharedModel(sc.Params)
 	if err != nil {
 		return simulateConfig{}, Errorf(CodeInvalidParams, "scenario %q: %v", sc.Name, err)
@@ -299,6 +314,7 @@ func (s *Server) resolveSimulate(p SimulateParams) (simulateConfig, *Error) {
 		mcc: swapsim.MCConfig{
 			Config: swapsim.Config{
 				Params: sc.Params, Strategy: strat, Collateral: collateral, Seed: sc.Seed,
+				Sampler: sampler,
 			},
 			Runs: runs, Workers: s.cfg.MCWorkers,
 			CIWidth: p.CIWidth, ChunkSize: p.Chunk, MaxPaths: p.MaxPaths,
@@ -341,11 +357,16 @@ func (s *Server) runStream(ctx context.Context, sess *wsSession, id json.RawMess
 	for stage, n := range res.Stages {
 		stages[string(stage)] = n
 	}
-	conn.WriteJSON(NewResponse(id, SimulateResult{
+	out := SimulateResult{
 		Scenario: cfg.scenarioName, Variant: cfg.variantKey,
 		Paths: res.Paths, SR: res.SuccessRate.P, Lo: res.SuccessRate.Lo, Hi: res.SuccessRate.Hi,
 		Stopped: res.Stopped, Violations: res.Violations, Stages: stages,
 		MeanDurationHours: res.MeanDurationHours,
 		Snapshots:         snapshots, ElapsedUs: time.Since(start).Microseconds(),
-	}))
+	}
+	if res.Sampler.VarianceReduced() {
+		out.Sampler = string(res.Sampler)
+		out.EstHalfWidth = res.EstHalfWidth
+	}
+	conn.WriteJSON(NewResponse(id, out))
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mc"
 	"repro/internal/oracle"
+	"repro/internal/qmc"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/utility"
@@ -76,6 +77,12 @@ type Config struct {
 	// InitialBalanceScale sizes the agents' funding relative to what the
 	// swap needs (default 2 when zero).
 	InitialBalanceScale float64
+	// Sampler selects how the price increments are drawn (see
+	// internal/qmc). The zero value is pseudo — the historical stream every
+	// committed golden pins byte-for-byte. The variance-reduced modes
+	// (antithetic, sobol) change only the increments' joint distribution
+	// across paths; each path's marginal law is unchanged.
+	Sampler qmc.Mode
 }
 
 // Outcome reports a finished run.
@@ -232,6 +239,13 @@ type MCResult struct {
 	Paths int
 	// Stopped reports an adaptive early stop (CIWidth hit before the cap).
 	Stopped bool
+	// Sampler is the sampling mode the estimate ran under (canonicalised).
+	Sampler qmc.Mode
+	// EstHalfWidth is the sampler-aware 95% half-width the adaptive
+	// stopper compared against CIWidth: the Wilson half-width in pseudo
+	// mode, the estimator interval in the variance-reduced modes (see
+	// mc.Progress.EstHalfWidth).
+	EstHalfWidth float64
 }
 
 // MonteCarlo estimates the success rate through the streaming engine of
@@ -265,6 +279,7 @@ func MonteCarloCtx(ctx context.Context, cfg MCConfig) (MCResult, error) {
 		CIWidth:    cfg.CIWidth,
 		Workers:    cfg.Workers,
 		NewRunner:  func() (mc.Runner, error) { return NewRunner(cfg.Config) },
+		Sampler:    cfg.Sampler,
 		OnProgress: cfg.OnProgress,
 	})
 	if err != nil {
@@ -277,6 +292,8 @@ func MonteCarloCtx(ctx context.Context, cfg MCConfig) (MCResult, error) {
 		MeanDurationHours: res.Duration.Mean,
 		Paths:             res.Paths,
 		Stopped:           res.Stopped,
+		Sampler:           res.Sampler,
+		EstHalfWidth:      res.EstHalfWidth,
 	}
 	for s, n := range res.Stages {
 		agg.Stages[Stage(s)] += n

@@ -103,6 +103,7 @@ func simulateCheck(ctx *Context, sc scenario.Scenario, game string, strat core.S
 			Strategy:   strat,
 			Collateral: collateral,
 			Seed:       sc.Seed,
+			Sampler:    ctx.Opts.Sampler,
 		},
 		Runs:      ctx.Runs(sc),
 		Workers:   ctx.Opts.MCWorkers,
@@ -117,6 +118,7 @@ func simulateCheck(ctx *Context, sc scenario.Scenario, game string, strat core.S
 	check.Stopped = res.Stopped
 	check.Stages = res.Stages
 	check.MeanDurationHours = res.MeanDurationHours
+	check.Sampler = res.Sampler
 	return check, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
@@ -31,6 +32,12 @@ type RunOpts struct {
 	ChunkSize int
 	// MaxPaths overrides the adaptive hard cap when > 0.
 	MaxPaths int
+	// Sampler selects how the protocol simulations draw price increments
+	// (see internal/qmc): "" or "pseudo" keeps the golden default stream;
+	// "antithetic" and "sobol" are the variance-reduced modes. It applies
+	// to the swapsim-backed validations (basic, collateral); the variant
+	// games with bespoke closed-form samplers ignore it.
+	Sampler qmc.Mode
 	// Variants overrides every scenario's variant selection: "" defers to
 	// the scenario (or the default trio), "all" solves every registered
 	// variant, otherwise a comma-separated key list.
@@ -166,7 +173,13 @@ func renderMC(b *strings.Builder, mc *MCCheck) {
 	if mc.Stopped {
 		stopNote = ", adaptive early stop"
 	}
-	fmt.Fprintf(b, "  Monte Carlo (%s, %d runs, seed %d%s):\n", mc.Game, mc.Runs, mc.Seed, stopNote)
+	// The sampler note appears only for the variance-reduced modes, so
+	// default-mode renders stay byte-identical to the committed goldens.
+	samplerNote := ""
+	if mc.Sampler.VarianceReduced() {
+		samplerNote = ", sampler " + string(mc.Sampler)
+	}
+	fmt.Fprintf(b, "  Monte Carlo (%s, %d runs, seed %d%s%s):\n", mc.Game, mc.Runs, mc.Seed, samplerNote, stopNote)
 	fmt.Fprintf(b, "    simulated SR: %.4f, Wilson 95%% [%.4f, %.4f], analytic %.4f, agrees: %v\n",
 		mc.SR.P, mc.SR.Lo, mc.SR.Hi, mc.Analytic, mc.Agrees)
 	if mc.Stages != nil {

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/solvecache"
 	"repro/internal/stats"
@@ -153,6 +154,10 @@ type MCCheck struct {
 	// time (0 when not tracked).
 	Stages            map[swapsim.Stage]int
 	MeanDurationHours float64
+	// Sampler is the sampling mode the validation ran under; the zero
+	// value is the pseudo default (bespoke closed-form validations always
+	// report it).
+	Sampler qmc.Mode
 }
 
 // newMCCheck assembles a check, computing the agreement flag.

@@ -20,7 +20,11 @@
 // The check fails (exit 1) when any benchmark present in both the run and
 // a baseline reports more than max-alloc-ratio times the baseline's
 // allocs/op — the guardrail that keeps the reused-state paths from
-// silently regressing to per-path/per-cell allocation. The table also
+// silently regressing to per-path/per-cell allocation. With
+// -max-paths-ratio it also fails when a convergence benchmark's
+// pathsratio metric (paths-to-precision relative to the pseudo sampler,
+// deterministic per seed) exceeds the given absolute ceiling — the
+// guardrail on the variance-reduced sampling modes. The table also
 // reports the ns/op and paths/s deltas against the baseline for the
 // operator's eyes; wall-clock is hardware-dependent, so those columns are
 // deliberately not gated.
@@ -52,6 +56,13 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// PathsPerSec is the engine benchmarks' custom throughput metric.
 	PathsPerSec float64 `json:"paths_per_sec,omitempty"`
+	// EffPathsPerSec is the convergence benchmarks' precision-normalized
+	// throughput: pseudo-equivalent paths per second at the shared
+	// half-width target.
+	EffPathsPerSec float64 `json:"effpaths_per_sec,omitempty"`
+	// PathsRatio is a convergence benchmark's paths-to-target divided by
+	// the pseudo sampler's — deterministic per seed, so gateable.
+	PathsRatio float64 `json:"paths_ratio,omitempty"`
 }
 
 // File is the BENCH_mc.json schema.
@@ -93,6 +104,10 @@ func parse(r io.Reader) ([]Benchmark, error) {
 				b.AllocsPerOp = v
 			case "paths/s":
 				b.PathsPerSec = v
+			case "effpaths/s":
+				b.EffPathsPerSec = v
+			case "pathsratio":
+				b.PathsRatio = v
 			}
 		}
 		out = append(out, b)
@@ -130,12 +145,17 @@ func delta(cur, ref float64) string {
 }
 
 // check compares a run against the merged baselines: allocs/op is gated at
-// maxRatio, ns/op and paths/s are reported as informational deltas.
-func check(current []Benchmark, base map[string]Benchmark, maxRatio float64, out io.Writer) error {
+// maxRatio, pathsratio (when reported and maxPathsRatio > 0) at its
+// absolute ceiling, ns/op and paths/s are reported as informational
+// deltas. The pathsratio gate is absolute, not relative to the baseline:
+// the adaptive stop is deterministic per seed, so a variance-reduced mode
+// drifting past its documented convergence bound is a correctness
+// regression, not measurement noise.
+func check(current []Benchmark, base map[string]Benchmark, maxRatio, maxPathsRatio float64, out io.Writer) error {
 	matched := 0
-	var failures []string
-	fmt.Fprintf(out, "%-40s %21s %8s %9s %9s %s\n",
-		"benchmark", "allocs/op (vs base)", "ratio", "ns/op Δ", "paths/s Δ", "gate")
+	var allocFailures, pathsFailures []string
+	fmt.Fprintf(out, "%-40s %21s %8s %9s %9s %7s %s\n",
+		"benchmark", "allocs/op (vs base)", "ratio", "ns/op Δ", "paths/s Δ", "paths×", "gate")
 	for _, cur := range current {
 		ref, ok := base[cur.Name]
 		if !ok || ref.AllocsPerOp <= 0 {
@@ -146,17 +166,32 @@ func check(current []Benchmark, base map[string]Benchmark, maxRatio float64, out
 		status := "ok"
 		if ratio > maxRatio {
 			status = "FAIL"
-			failures = append(failures, cur.Name)
+			allocFailures = append(allocFailures, cur.Name)
 		}
-		fmt.Fprintf(out, "%-40s %10.0f %10.0f %7.2fx %9s %9s %s\n",
+		pathsCol := "-"
+		if cur.PathsRatio > 0 {
+			pathsCol = fmt.Sprintf("%.3f", cur.PathsRatio)
+			if maxPathsRatio > 0 && cur.PathsRatio > maxPathsRatio {
+				status = "FAIL"
+				pathsFailures = append(pathsFailures, cur.Name)
+			}
+		}
+		fmt.Fprintf(out, "%-40s %10.0f %10.0f %7.2fx %9s %9s %7s %s\n",
 			cur.Name, cur.AllocsPerOp, ref.AllocsPerOp, ratio,
-			delta(cur.NsPerOp, ref.NsPerOp), delta(cur.PathsPerSec, ref.PathsPerSec), status)
+			delta(cur.NsPerOp, ref.NsPerOp), delta(cur.PathsPerSec, ref.PathsPerSec), pathsCol, status)
 	}
 	if matched == 0 {
 		return fmt.Errorf("benchmc: no benchmark matched the baselines — regenerate with `make bench-json`")
 	}
-	if len(failures) > 0 {
-		return fmt.Errorf("benchmc: allocs/op regressed >%.1fx on: %s", maxRatio, strings.Join(failures, ", "))
+	var errs []string
+	if len(allocFailures) > 0 {
+		errs = append(errs, fmt.Sprintf("allocs/op regressed >%.1fx on: %s", maxRatio, strings.Join(allocFailures, ", ")))
+	}
+	if len(pathsFailures) > 0 {
+		errs = append(errs, fmt.Sprintf("paths-to-precision ratio exceeded %.2fx pseudo on: %s", maxPathsRatio, strings.Join(pathsFailures, ", ")))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("benchmc: %s", strings.Join(errs, "; "))
 	}
 	return nil
 }
@@ -167,6 +202,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		outPath  = fs.String("o", "", "write parsed results as JSON to this path (default: stdout)")
 		against  = fs.String("against", "", "comma-separated baseline files to check allocs/op against instead of writing JSON")
 		maxRatio = fs.Float64("max-alloc-ratio", 2, "with -against: fail when allocs/op exceeds baseline by this factor")
+		maxPaths = fs.Float64("max-paths-ratio", 0, "with -against: fail when a convergence benchmark's pathsratio exceeds this absolute ceiling (0 = no gate)")
 		note     = fs.String("note", "Monte Carlo engine benchmark baseline; regenerate with `make bench-json`, CI gates allocs/op at 2x via `make bench-check`.",
 			"with -o: the note field written into the JSON artifact")
 	)
@@ -191,7 +227,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			files = append(files, baseline)
 		}
-		return check(benches, mergeBaselines(files), *maxRatio, stdout)
+		return check(benches, mergeBaselines(files), *maxRatio, *maxPaths, stdout)
 	}
 	f := File{
 		Note:       *note,

@@ -15,6 +15,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkMC_PathLegacyAlloc-8        	   38552	     31493 ns/op	   11359 B/op	      85 allocs/op
 BenchmarkMC_PathReused               	   74062	     16233 ns/op	    2157 B/op	      49 allocs/op
 BenchmarkMC_EngineFixedN1Worker      	      36	  33094187 ns/op	     61884 paths/s	 4422994 B/op	  100913 allocs/op
+BenchmarkMC_ConvergenceSobol         	     175	   1204768 ns/op	   6587229 effpaths/s	    424982 paths/s	         0.06452 pathsratio	   31489 B/op	    1090 allocs/op
 PASS
 ok  	repro	7.840s
 `
@@ -24,8 +25,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(benches) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
 	}
 	first := benches[0]
 	if first.Name != "BenchmarkMC_PathLegacyAlloc" {
@@ -36,6 +37,13 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if benches[2].PathsPerSec != 61884 {
 		t.Errorf("custom paths/s metric = %v, want 61884", benches[2].PathsPerSec)
+	}
+	conv := benches[3]
+	if conv.EffPathsPerSec != 6587229 {
+		t.Errorf("effpaths/s = %v, want 6587229", conv.EffPathsPerSec)
+	}
+	if conv.PathsRatio != 0.06452 {
+		t.Errorf("pathsratio = %v, want 0.06452", conv.PathsRatio)
 	}
 }
 
@@ -67,7 +75,7 @@ func TestWriteAndCheckRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if len(f.Benchmarks) != 3 || f.Note == "" {
+	if len(f.Benchmarks) != 4 || f.Note == "" {
 		t.Fatalf("artifact = %+v", f)
 	}
 	// The identical run passes the 2x gate.
@@ -92,6 +100,29 @@ func TestCheckFailsOnAllocRegression(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "BenchmarkMC_PathReused") {
 		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+// TestPathsRatioGate exercises the -max-paths-ratio ceiling: the sample's
+// sobol convergence (0.065x pseudo) passes a 0.5 gate, a regressed run at
+// 1.29x fails it by name, and without the flag the ratio is reported but
+// never gated.
+func TestPathsRatioGate(t *testing.T) {
+	path := writeBaseline(t)
+	var out strings.Builder
+	if err := run([]string{"-against", path, "-max-paths-ratio", "0.5"}, strings.NewReader(sample), &out); err != nil {
+		t.Errorf("0.065x pathsratio failed the 0.5 gate: %v\n%s", err, out.String())
+	}
+	regressed := strings.ReplaceAll(sample, "0.06452 pathsratio", "1.290 pathsratio")
+	err := run([]string{"-against", path, "-max-paths-ratio", "0.5"}, strings.NewReader(regressed), &strings.Builder{})
+	if err == nil {
+		t.Fatal("1.29x pathsratio passed the 0.5 gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMC_ConvergenceSobol") {
+		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+	if err := run([]string{"-against", path}, strings.NewReader(regressed), &strings.Builder{}); err != nil {
+		t.Errorf("without -max-paths-ratio the ratio must not gate: %v", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -451,12 +452,16 @@ func fetchHitRate(client *http.Client, base string) (float64, bool) {
 	return envelope.Result.Coalescing.HitRate, true
 }
 
-// percentile reads the q-quantile from sorted data (nearest-rank).
+// percentile reads the q-quantile from sorted data by the nearest-rank
+// method: rank ceil(q*n), 1-based. Truncating q*n instead of taking the
+// ceiling reads one rank low whenever q*n is fractional — a bias that
+// understates tail latency (p99 of 150 samples must be the 149th value,
+// not the 148th).
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))) - 1
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -26,7 +26,7 @@ func TestPercentile(t *testing.T) {
 	cases := []struct {
 		q    float64
 		want float64
-	}{{0.5, 5}, {0.9, 9}, {0.99, 9}, {1, 10}}
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}} // p99 of 10: rank ceil(9.9) = 10
 	for _, tc := range cases {
 		if got := percentile(sorted, tc.q); got != tc.want {
 			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
