@@ -44,8 +44,8 @@ bench-smoke:
 # BENCH_solve.json for the amortized solve engine.
 bench-json:
 	$(GO) test -bench='^BenchmarkMC_' -benchmem -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_mc.json
-	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_solve.json \
-		-note "Amortized solve engine baseline (cold process: first Generate populates the process-wide caches); regenerate with make bench-json, CI gates allocs/op at 2x via make bench-check."
+	$(GO) test -bench='^Benchmark(Solve_|FiguresFull)' -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./tools/benchmc -o BENCH_solve.json \
+		-note "Amortized solve engine baseline (cold process: BenchmarkFiguresFull runs first and populates the process-wide caches); regenerate with make bench-json, CI gates allocs/op at 2x and BenchmarkFiguresFull wall time at 1.0s via make bench-check."
 
 # CI's bench-regression smoke (bench-mc-regression and
 # bench-solve-regression jobs): a short run of both suites must stay
@@ -56,12 +56,16 @@ bench-json:
 # solve suite runs once so the process-wide caches are as cold as the
 # baseline's. The convergence benchmarks' pathsratio is gated at 1.5x
 # pseudo — antithetic's structural bound on this workload (see DESIGN.md,
-# "Sampling modes"); sobol sits far below it.
+# "Sampling modes"); sobol sits far below it. BenchmarkFiguresFull — the
+# full 18-group artifact generation, first in the cold solve pass — is the
+# one wall-clock gate: 1.0s absolute, the sub-second reproduction promise
+# with wide headroom over the ~0.6s measured baseline.
 bench-check:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
 	$(GO) test -bench='^BenchmarkMC_' -benchmem -benchtime=0.2s -run='^$$' . > $$tmp; \
-	$(GO) test -bench='^BenchmarkSolve_' -benchmem -benchtime=1x -run='^$$' . >> $$tmp; \
-	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 -max-paths-ratio 1.5 < $$tmp
+	$(GO) test -bench='^Benchmark(Solve_|FiguresFull)' -benchmem -benchtime=1x -run='^$$' . >> $$tmp; \
+	$(GO) run ./tools/benchmc -against BENCH_mc.json,BENCH_solve.json -max-alloc-ratio 2 -max-paths-ratio 1.5 \
+		-max-wall BenchmarkFiguresFull=1.0 < $$tmp
 	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
 	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
 	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 5s -qps 1200 \

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/figures"
 	"repro/internal/plot"
@@ -44,7 +45,8 @@ func run(args []string, out io.Writer) error {
 		ciWidth  = fs.Float64("ci-width", 0, "montecarlo artifact: adaptive stop once the Wilson 95% half-width is <= this (0 = fixed runs)")
 		chunk    = fs.Int("chunk", 0, "montecarlo artifact: engine chunk size (0 = default)")
 		maxPaths = fs.Int("max-paths", 0, "montecarlo artifact: hard cap on adaptive sampling (0 = default runs)")
-		sampler  = fs.String("sampler", "", `montecarlo artifact: sampling mode "pseudo" (default), "antithetic", or "sobol"`)
+		sampler  = fs.String("sampler", "", `MC artifacts: sampling mode "pseudo", "antithetic", or "sobol" (default: per-artifact, see figures.Opts.Sampler)`)
+		timing   = fs.Bool("timing", false, "print a per-artifact-group wall-time breakdown after generation")
 		stats    = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table hit/miss counters after generation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,21 +56,25 @@ func run(args []string, out io.Writer) error {
 		defer solvecache.WriteStats(out)
 	}
 
-	mode, err := qmc.ParseMode(*sampler)
-	if err != nil {
+	// Validate the mode but pass the raw string through: the unset flag must
+	// stay the zero Mode so each MC artifact keeps its own registry default
+	// (an explicit "pseudo" overrides a sobol-defaulted artifact).
+	if _, err := qmc.ParseMode(*sampler); err != nil {
 		return err
 	}
-	figs, err := figures.Generate(utility.Default(), *only, figures.Opts{
+	start := time.Now()
+	figs, timings, err := figures.GenerateTimed(utility.Default(), *only, figures.Opts{
 		Workers:    *workers,
 		Scenario:   *scen,
 		MCCIWidth:  *ciWidth,
 		MCChunk:    *chunk,
 		MCMaxPaths: *maxPaths,
-		Sampler:    mode,
+		Sampler:    qmc.Mode(*sampler),
 	})
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("creating csv dir: %w", err)
@@ -85,6 +91,13 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+	}
+	if *timing {
+		fmt.Fprintln(out, "timing (per artifact group):")
+		for _, t := range timings {
+			fmt.Fprintf(out, "  %-12s %8.1fms\n", t.ID, float64(t.Elapsed.Microseconds())/1000)
+		}
+		fmt.Fprintf(out, "  %-12s %8.1fms\n", "total", float64(elapsed.Microseconds())/1000)
 	}
 	fmt.Fprintf(out, "generated %d artifacts\n", len(figs))
 	return nil

@@ -247,6 +247,36 @@ func (m *Model) contSetT2(pstar, q float64) mathx.IntervalSet {
 	})
 }
 
+// unitContSetT2 is the memoized unit-rate scan behind contSetT2Probe. It
+// shares the contSet memo's {1, 0} cell, so an exact solve at P* = 1 and
+// the probe path agree bit for bit.
+func (m *Model) unitContSetT2() mathx.IntervalSet {
+	return m.solve.contSet.Do(solveKey{1, 0}, func() mathx.IntervalSet {
+		return m.contSetT2Scan(1, 0)
+	})
+}
+
+// contSetT2Probe returns the basic game's continuation region via the
+// price-scale invariance of the t2 subgame: with q = 0 every term of
+// U^B_t2(cont) − U^B_t2(stop) is 1-homogeneous in (P*, y) — P̄_t3 ∝ P*,
+// bobContT3 ∝ P*, and the truncated lognormal moment ∝ y — so the region
+// at any rate is the unit-rate region scaled by P*. One 600-point root
+// scan per Model serves every probe, where the exact path pays one scan
+// per rate.
+//
+// The scaled endpoints agree with contSetT2's direct scan only to root
+// tolerance (~1e-11 relative), so this path is reserved for interior
+// probe evaluations — feasibility root-finding and optimum bracketing —
+// whose results are reported at far coarser precision. Anything memoized
+// or printed keeps the exact per-rate scan.
+func (m *Model) contSetT2Probe(pstar float64) mathx.IntervalSet {
+	unit := m.unitContSetT2()
+	if pstar == 1 {
+		return unit
+	}
+	return unit.Scale(pstar)
+}
+
 // contSetT2Scan is the uncached scan behind contSetT2.
 func (m *Model) contSetT2Scan(pstar, q float64) mathx.IntervalSet {
 	e := m.newT2Eval(pstar, q)
@@ -299,8 +329,22 @@ func (m *Model) aliceContT1(pstar float64) float64 {
 }
 
 func (m *Model) aliceContT1Integrate(pstar float64) float64 {
+	return m.aliceContT1Over(pstar, m.contSetT2(pstar, 0))
+}
+
+// aliceContT1Probe is aliceContT1 evaluated over the scale-invariant probe
+// region instead of a fresh per-rate scan — the cheap evaluation behind the
+// feasibility scan's several hundred rate probes. It writes no memo cell:
+// probe values differ from the exact path at root tolerance and must never
+// be served to an exact query.
+func (m *Model) aliceContT1Probe(pstar float64) float64 {
+	return m.aliceContT1Over(pstar, m.contSetT2Probe(pstar))
+}
+
+// aliceContT1Over integrates Eq. 25 over a given t2 continuation region;
+// the exact and probe paths share it so they differ only in the region.
+func (m *Model) aliceContT1Over(pstar float64, set mathx.IntervalSet) float64 {
 	e := m.newT2Eval(pstar, 0)
-	set := m.contSetT2(pstar, 0)
 	tr := m.transitionTauA(m.params.P0)
 	// Stack-backed scratch for the default 64-point rule; larger orders
 	// spill to the heap.
@@ -404,10 +448,13 @@ func (m *Model) rateScanBound() float64 {
 // within which A initiates the swap at t1; with Table III parameters this is
 // the paper's Eq. 29, approximately (1.5, 2.5). ok is false when no rate is
 // viable (for instance under an exceedingly high discount rate, §III.F.2).
-// The scan — several hundred full t1 solves — is memoized on the Model.
+// The scan — several hundred full t1 solves — is memoized on the Model. Each
+// probe uses the scale-invariant t2 region (contSetT2Probe), so the whole
+// scan costs one unit-rate root scan plus cheap quadratures; the boundary
+// rates it reports are accurate to root tolerance either way.
 func (m *Model) FeasibleRateRange() (mathx.Interval, bool, error) {
 	res := m.solve.ranges.Do(rangeKind{kind: 'F'}, func() rangeResult {
-		diff := func(pstar float64) float64 { return m.aliceContT1(pstar) - pstar }
+		diff := func(pstar float64) float64 { return m.aliceContT1Probe(pstar) - pstar }
 		lo, hi := 1e-3, m.rateScanBound()
 		roots := mathx.FindAllRoots(diff, lo, hi, m.scanN/2, m.tol)
 		set := mathx.FromSignChanges(diff, lo, hi, roots)
@@ -438,7 +485,19 @@ func (m *Model) successRate(pstar, q float64) float64 {
 }
 
 func (m *Model) successRateIntegrate(pstar, q float64) float64 {
-	set := m.contSetT2(pstar, q)
+	return m.successRateOver(pstar, q, m.contSetT2(pstar, q))
+}
+
+// successRateProbe is SR(P*) over the scale-invariant probe region — the
+// cheap evaluation behind OptimalRate's grid search. Unmemoized: probe
+// values agree with the exact path only to root tolerance.
+func (m *Model) successRateProbe(pstar float64) float64 {
+	return m.successRateOver(pstar, 0, m.contSetT2Probe(pstar))
+}
+
+// successRateOver integrates Eq. 31 over a given t2 continuation region;
+// the exact and probe paths share it so they differ only in the region.
+func (m *Model) successRateOver(pstar, q float64, set mathx.IntervalSet) float64 {
 	if set.Empty() {
 		return 0
 	}
@@ -473,9 +532,11 @@ func (m *Model) OptimalRate() (pstar, sr float64, err error) {
 		if err != nil || !ok {
 			return optResult{ok: false}
 		}
-		arg, val := mathx.GridMax(func(p float64) float64 { return m.successRate(p, 0) },
-			rng.Lo, rng.Hi, 64, 1e-9)
-		return optResult{arg: arg, val: val, ok: true}
+		// Bracket the optimum with cheap probe evaluations, then report
+		// the achieved SR from the exact memoized path so callers printing
+		// the value see the same bits as a direct SuccessRate(arg) call.
+		arg, _ := mathx.GridMax(m.successRateProbe, rng.Lo, rng.Hi, 64, 1e-9)
+		return optResult{arg: arg, val: m.successRate(arg, 0), ok: true}
 	})
 	if !res.ok {
 		return 0, 0, fmt.Errorf("%w: no feasible exchange rate at t1", ErrNotViable)

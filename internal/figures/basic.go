@@ -25,12 +25,27 @@ type contStop struct {
 	cont, stop float64
 }
 
-// scanContStop evaluates a cont/stop utility pair across a grid through the
-// sweep engine and splits the results into the two plot series.
-func scanContStop(o Opts, grid []float64, eval func(x float64) (contStop, error)) (cont, stop []float64, err error) {
-	pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, x float64) (contStop, error) {
-		return eval(x)
+// scanTiled evaluates eval across a grid through the sweep engine's tiled
+// API: each worker streams a contiguous block of grid points through eval,
+// keeping the underlying model's solve memos hot for the whole block instead
+// of dispatching one task per point.
+func scanTiled[T any](o Opts, grid []float64, eval func(x float64) (T, error)) ([]T, error) {
+	return sweep.MapTiles(context.Background(), len(grid), o.Workers, 0, func(lo, hi int, out []T) error {
+		for j := lo; j < hi; j++ {
+			pt, err := eval(grid[j])
+			if err != nil {
+				return err
+			}
+			out[j-lo] = pt
+		}
+		return nil
 	})
+}
+
+// scanContStop evaluates a cont/stop utility pair across a grid and splits
+// the results into the two plot series.
+func scanContStop(o Opts, grid []float64, eval func(x float64) (contStop, error)) (cont, stop []float64, err error) {
+	pts, err := scanTiled(o, grid, eval)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -287,17 +302,14 @@ func fig6Panels() []fig6Panel {
 
 // Fig6 reproduces the eight success-rate sensitivity panels: SR(P*) curves
 // for four values of each parameter, with per-value t1-viability flags
-// (the paper marks non-viable values with □). The 8×4 curves are swept in
-// parallel; within a curve the 41-point grid scan is sequential.
+// (the paper marks non-viable values with □). The 8×4 curves are flattened
+// into one (curve × grid) index space and tiled, so each worker resolves
+// its curve's solvecache model once per block and streams grid points over
+// the model's warm solve memos.
 func Fig6(p utility.Params, o Opts) ([]Figure, error) {
 	grid := mathx.LinSpace(0.2, 3.2, 41)
 	panels := fig6Panels()
 
-	type curve struct {
-		ys     []float64
-		viable bool
-		rng    mathx.Interval
-	}
 	// Flatten the panel×value nesting into one task list so small panels
 	// cannot starve the pool. The flat index math requires a uniform value
 	// count per panel.
@@ -307,24 +319,53 @@ func Fig6(p utility.Params, o Opts) ([]Figure, error) {
 			return nil, fmt.Errorf("figures: fig6 panel %s has %d values, want %d", panel.id, len(panel.values), nVals)
 		}
 	}
-	curves, err := sweep.Map(context.Background(), len(panels)*nVals, o.Workers, func(k int) (curve, error) {
-		panel := panels[k/nVals]
-		v := panel.values[k%nVals]
-		m, err := solvecache.SharedModel(panel.with(p, v))
-		if err != nil {
-			return curve{}, err
-		}
-		ys := make([]float64, len(grid))
-		for i, pstar := range grid {
-			if ys[i], err = m.SuccessRate(pstar); err != nil {
-				return curve{}, err
+	nCurves := len(panels) * nVals
+	modelFor := func(c int) (*core.Model, error) {
+		panel := panels[c/nVals]
+		return solvecache.SharedModel(panel.with(p, panel.values[c%nVals]))
+	}
+	// One tile per curve: a tile shares a single model lookup across the
+	// whole 41-point scan. The inner loop still re-resolves at curve
+	// boundaries so any tile size remains correct.
+	ys, err := sweep.MapTiles(context.Background(), nCurves*len(grid), o.Workers, len(grid),
+		func(lo, hi int, out []float64) error {
+			for j := lo; j < hi; {
+				c := j / len(grid)
+				end := (c + 1) * len(grid)
+				if end > hi {
+					end = hi
+				}
+				m, err := modelFor(c)
+				if err != nil {
+					return err
+				}
+				for ; j < end; j++ {
+					sr, err := m.SuccessRate(grid[j%len(grid)])
+					if err != nil {
+						return err
+					}
+					out[j-lo] = sr
+				}
 			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	type curveMeta struct {
+		viable bool
+		rng    mathx.Interval
+	}
+	metas, err := sweep.Map(context.Background(), nCurves, o.Workers, func(c int) (curveMeta, error) {
+		m, err := modelFor(c)
+		if err != nil {
+			return curveMeta{}, err
 		}
 		rng, viable, err := m.FeasibleRateRange()
 		if err != nil {
-			return curve{}, err
+			return curveMeta{}, err
 		}
-		return curve{ys: ys, viable: viable, rng: rng}, nil
+		return curveMeta{viable: viable, rng: rng}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -339,17 +380,18 @@ func Fig6(p utility.Params, o Opts) ([]Figure, error) {
 			YLabel: "SR",
 		}
 		for vi, v := range panel.values {
-			c := curves[pi*nVals+vi]
+			c := pi*nVals + vi
+			cys := ys[c*len(grid) : (c+1)*len(grid)]
 			name := fmt.Sprintf("%s=%g", panel.label, v)
-			fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: c.ys})
-			if c.viable {
+			fig.Series = append(fig.Series, plot.Series{Name: name, X: grid, Y: cys})
+			if metas[c].viable {
 				maxSR := 0.0
-				for _, y := range c.ys {
+				for _, y := range cys {
 					maxSR = math.Max(maxSR, y)
 				}
 				fig.Notes = append(fig.Notes, fmt.Sprintf(
 					"%s: viable, (P̲*, P̄*) = (%.3f, %.3f), max SR on grid = %.3f",
-					name, c.rng.Lo, c.rng.Hi, maxSR))
+					name, metas[c].rng.Lo, metas[c].rng.Hi, maxSR))
 			} else {
 				fig.Notes = append(fig.Notes, fmt.Sprintf("%s: NON-VIABLE (□ in the paper: swap never initiated)", name))
 			}

@@ -1,7 +1,6 @@
 package figures
 
 import (
-	"context"
 	"fmt"
 	"math"
 
@@ -9,7 +8,6 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/plot"
 	"repro/internal/solvecache"
-	"repro/internal/sweep"
 	"repro/internal/utility"
 )
 
@@ -98,7 +96,7 @@ func Fig8(p utility.Params, o Opts) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (point, error) {
+		pts, err := scanTiled(o, grid, func(pstar float64) (point, error) {
 			var pt point
 			var err error
 			if pt.contA, err = col.AliceUtilityT1(core.Cont, pstar); err != nil {
@@ -167,7 +165,7 @@ func Fig9(p utility.Params, o Opts) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, pstar float64) (float64, error) {
+		ys, err := scanTiled(o, grid, func(pstar float64) (float64, error) {
 			return col.SuccessRate(pstar)
 		})
 		if err != nil {
@@ -206,7 +204,7 @@ func Fig10a(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 		YLabel: "X*",
 	}
 	for _, a := range []float64{0.02, 4, 8.91} {
-		ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, y float64) (float64, error) {
+		ys, err := scanTiled(o, grid, func(y float64) (float64, error) {
 			x, _, err := u.OptimalLockB(y, a)
 			return x, err
 		})
@@ -239,7 +237,7 @@ func Fig10b(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 		return nil, err
 	}
 	grid := mathx.LinSpace(0.1, 12, 40)
-	ys, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, a float64) (float64, error) {
+	ys, err := scanTiled(o, grid, func(a float64) (float64, error) {
 		return u.AliceExcessUtilityT1(a)
 	})
 	if err != nil {
@@ -281,7 +279,7 @@ func Fig11(p utility.Params, budget float64, o Opts) ([]Figure, error) {
 	type point struct {
 		basic, capped, free float64
 	}
-	pts, err := sweep.Over(context.Background(), o.Workers, grid, func(_ int, a float64) (point, error) {
+	pts, err := scanTiled(o, grid, func(a float64) (point, error) {
 		var pt point
 		var err error
 		if pt.basic, err = m.SuccessRate(a); err != nil {

@@ -10,13 +10,17 @@
 package figures
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/plot"
 	"repro/internal/qmc"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/utility"
 )
 
@@ -87,26 +91,28 @@ type Opts struct {
 	MCCIWidth  float64
 	MCChunk    int
 	MCMaxPaths int
-	// Sampler selects the Monte Carlo validation artifact's sampling
-	// mode (internal/qmc); the zero value keeps the pseudo default every
-	// committed artifact pins.
+	// Sampler selects the sampling mode (internal/qmc) of the Monte Carlo
+	// artifacts (montecarlo, packetized). The zero value keeps each
+	// artifact's registry default — sobol for both, the mode their
+	// committed goldens pin; an explicit ModePseudo restores the full
+	// pseudo-stream run. Analytic artifacts ignore it.
 	Sampler qmc.Mode
 }
 
 // Generator produces one or more figures from a parameter set.
 type Generator func(p utility.Params, o Opts) ([]Figure, error)
 
+// RegistryEntry binds an artifact group ID to its generator.
+type RegistryEntry struct {
+	ID  string
+	Gen Generator
+}
+
 // Registry maps artifact group IDs to generators, in the paper's order.
 // MC validation scale and the §IV.B budget are fixed defaults here;
 // cmd/figures exposes flags for heavier runs.
-func Registry() []struct {
-	ID  string
-	Gen Generator
-} {
-	return []struct {
-		ID  string
-		Gen Generator
-	}{
+func Registry() []RegistryEntry {
+	return []RegistryEntry{
 		{"tableI", TableI},
 		{"tableIII", TableIII},
 		{"fig2", Fig2},
@@ -120,7 +126,20 @@ func Registry() []struct {
 		{"fig10a", func(p utility.Params, o Opts) ([]Figure, error) { return Fig10a(p, DefaultBobBudget, o) }},
 		{"fig10b", func(p utility.Params, o Opts) ([]Figure, error) { return Fig10b(p, DefaultBobBudget, o) }},
 		{"fig11", func(p utility.Params, o Opts) ([]Figure, error) { return Fig11(p, DefaultBobBudget, o) }},
-		{"montecarlo", func(p utility.Params, o Opts) ([]Figure, error) { return MCValidation(p, DefaultMCRuns, o) }},
+		{"montecarlo", func(p utility.Params, o Opts) ([]Figure, error) {
+			// The validation artifact defaults to the sobol sampler with
+			// adaptive stopping: the replicate-t estimator reaches a 0.01
+			// half-width in a small fraction of DefaultMCRuns pseudo paths
+			// (see DESIGN.md, "Sampling modes"). An explicit -sampler
+			// pseudo restores the historical fixed-runs table.
+			if o.Sampler == "" {
+				o.Sampler = qmc.ModeSobol
+				if o.MCCIWidth == 0 {
+					o.MCCIWidth = 0.01
+				}
+			}
+			return MCValidation(p, DefaultMCRuns, o)
+		}},
 		{"baseline", BaselineComparison},
 		{"uncertainty", Uncertainty},
 		{"reputation", Reputation},
@@ -135,39 +154,103 @@ const DefaultBobBudget = 5.0
 // DefaultMCRuns sizes the Monte Carlo validation in the registry.
 const DefaultMCRuns = 20000
 
+// parseOnly resolves a comma-separated ID filter against the registry.
+// Empty IDs (trailing or doubled commas) are skipped and duplicates are
+// deduplicated; IDs that match no registry entry fail with every offender
+// named. A filter selecting nothing returns nil, meaning "all".
+func parseOnly(only string, reg []RegistryEntry) (map[string]bool, error) {
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[id] = true
+		}
+	}
+	if len(wanted) == 0 {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, e := range reg {
+		known[e.ID] = true
+	}
+	var unknown []string
+	for id := range wanted {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownFigure, strings.Join(unknown, ", "))
+	}
+	return wanted, nil
+}
+
+// Timing is one artifact group's generation wall time, in registry order.
+type Timing struct {
+	ID      string
+	Elapsed time.Duration
+}
+
 // Generate runs the registered generator(s). only filters by a
 // comma-separated list of IDs; empty means all. o.Workers bounds the
 // concurrency of every grid scan without affecting the output; o.Scenario,
 // when set, swaps p for the named scenario's parameter set.
 func Generate(p utility.Params, only string, o Opts) ([]Figure, error) {
+	figs, _, err := GenerateTimed(p, only, o)
+	return figs, err
+}
+
+// GenerateTimed is Generate with a per-group wall-time breakdown (the
+// -timing flag on cmd/figures). Artifact groups fan out across the sweep
+// pool — each group's scans already run through the same pool, so nested
+// parallelism stays bounded — and results are collected in registry order,
+// so the output is byte-identical to a sequential registry walk at any
+// worker count. A failing group's error still names that group.
+func GenerateTimed(p utility.Params, only string, o Opts) ([]Figure, []Timing, error) {
 	if o.Scenario != "" {
 		sc, err := scenario.Lookup(o.Scenario)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p = sc.Params
 	}
-	wanted := map[string]bool{}
-	if only != "" {
-		for _, id := range strings.Split(only, ",") {
-			wanted[strings.TrimSpace(id)] = true
+	reg := Registry()
+	wanted, err := parseOnly(only, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries := reg[:0:0]
+	for _, entry := range reg {
+		if wanted == nil || wanted[entry.ID] {
+			entries = append(entries, entry)
 		}
+	}
+	type group struct {
+		figs    []Figure
+		elapsed time.Duration
+	}
+	groups, err := sweep.Map(context.Background(), len(entries), o.Workers, func(i int) (group, error) {
+		start := time.Now()
+		figs, err := entries[i].Gen(p, o)
+		if err != nil {
+			return group{}, fmt.Errorf("figures: generating %s: %w", entries[i].ID, err)
+		}
+		return group{figs: figs, elapsed: time.Since(start)}, nil
+	})
+	if err != nil {
+		// Strip sweep.Map's task-index wrapper: the group error already
+		// names the failing artifact. Context errors unwrap to nil and
+		// pass through unchanged.
+		if inner := errors.Unwrap(err); inner != nil {
+			err = inner
+		}
+		return nil, nil, err
 	}
 	var out []Figure
-	matched := 0
-	for _, entry := range Registry() {
-		if len(wanted) > 0 && !wanted[entry.ID] {
-			continue
-		}
-		matched++
-		figs, err := entry.Gen(p, o)
-		if err != nil {
-			return nil, fmt.Errorf("figures: generating %s: %w", entry.ID, err)
-		}
-		out = append(out, figs...)
+	timings := make([]Timing, len(entries))
+	for i, g := range groups {
+		out = append(out, g.figs...)
+		timings[i] = Timing{ID: entries[i].ID, Elapsed: g.elapsed}
 	}
-	if len(wanted) > 0 && matched != len(wanted) {
-		return nil, fmt.Errorf("%w: requested %q", ErrUnknownFigure, only)
-	}
-	return out, nil
+	return out, timings, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/scenario"
 	"repro/internal/utility"
 )
 
@@ -418,6 +419,119 @@ func TestGenerateFiltering(t *testing.T) {
 	}
 }
 
+// TestParseOnlyEdgeCases pins the -only filter's parsing: stray commas must
+// not manufacture an empty "wanted" ID (the former behaviour failed
+// "fig5," with ErrUnknownFigure), duplicates collapse, and an error must
+// name every unknown ID.
+func TestParseOnlyEdgeCases(t *testing.T) {
+	reg := Registry()
+	cases := []struct {
+		only string
+		want []string // nil means "all" (parseOnly returns a nil map)
+	}{
+		{"", nil},
+		{",", nil},
+		{" , ,, ", nil},
+		{"fig5,", []string{"fig5"}},
+		{",fig5", []string{"fig5"}},
+		{"fig5,,tableIII", []string{"fig5", "tableIII"}},
+		{" fig5 , tableIII ", []string{"fig5", "tableIII"}},
+		{"fig5,fig5,fig5", []string{"fig5"}},
+	}
+	for _, c := range cases {
+		wanted, err := parseOnly(c.only, reg)
+		if err != nil {
+			t.Errorf("parseOnly(%q) error: %v", c.only, err)
+			continue
+		}
+		if c.want == nil {
+			if wanted != nil {
+				t.Errorf("parseOnly(%q) = %v, want nil (all)", c.only, wanted)
+			}
+			continue
+		}
+		if len(wanted) != len(c.want) {
+			t.Errorf("parseOnly(%q) = %v, want %v", c.only, wanted, c.want)
+			continue
+		}
+		for _, id := range c.want {
+			if !wanted[id] {
+				t.Errorf("parseOnly(%q) missing %q", c.only, id)
+			}
+		}
+	}
+
+	// Unknown IDs: every offender named, sorted, known IDs not blamed.
+	_, err := parseOnly("figY,fig5,figX", reg)
+	if !errors.Is(err, ErrUnknownFigure) {
+		t.Fatalf("parseOnly with unknown IDs err = %v, want ErrUnknownFigure", err)
+	}
+	if msg := err.Error(); !strings.HasSuffix(msg, "figX, figY") {
+		t.Errorf("unknown-ID error = %q, want sorted offenders 'figX, figY' named", msg)
+	}
+
+	// End-to-end: a trailing comma on the CLI path selects exactly the named
+	// artifacts instead of failing.
+	figs, err := Generate(utility.Default(), "fig5,", Opts{})
+	if err != nil {
+		t.Fatalf("Generate(\"fig5,\"): %v", err)
+	}
+	if len(figs) != 1 || figs[0].ID != "fig5" {
+		t.Errorf("Generate(\"fig5,\") = %d figures, want just fig5", len(figs))
+	}
+}
+
+// sequentialGenerate is the pre-parallelism reference implementation: a
+// plain in-order walk of the registry, against which the fan-out path must
+// be byte-identical.
+func sequentialGenerate(t *testing.T, p utility.Params, ids map[string]bool, o Opts) []Figure {
+	t.Helper()
+	var out []Figure
+	for _, e := range Registry() {
+		if ids != nil && !ids[e.ID] {
+			continue
+		}
+		figs, err := e.Gen(p, o)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", e.ID, err)
+		}
+		out = append(out, figs...)
+	}
+	return out
+}
+
+// TestGenerateMatchesSequentialRegistryWalk pins the parallel-registry
+// contract: fanning the artifact groups across the sweep pool must yield
+// exactly the figures a sequential registry walk produces — on the default
+// parameters over the full registry, and on every scenario preset over a
+// representative subset.
+func TestGenerateMatchesSequentialRegistryWalk(t *testing.T) {
+	got, err := Generate(utility.Default(), "", Opts{})
+	if err != nil {
+		t.Fatalf("Generate(all): %v", err)
+	}
+	want := sequentialGenerate(t, utility.Default(), nil, Opts{})
+	if !reflect.DeepEqual(got, want) {
+		t.Error("parallel Generate differs from sequential registry walk on the full registry")
+	}
+
+	const subset = "tableIII,fig2,fig5,fig7,fig9"
+	ids, err := parseOnly(subset, Registry())
+	if err != nil {
+		t.Fatalf("parseOnly(%q): %v", subset, err)
+	}
+	for _, sc := range scenario.Registry() {
+		got, err := Generate(utility.Default(), subset, Opts{Scenario: sc.Name})
+		if err != nil {
+			t.Fatalf("Generate(scenario=%s): %v", sc.Name, err)
+		}
+		want := sequentialGenerate(t, sc.Params, ids, Opts{})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("scenario %s: parallel Generate differs from sequential walk", sc.Name)
+		}
+	}
+}
+
 // TestWorkerCountDoesNotChangeOutput pins the sweep engine's determinism
 // contract at the artifact level: every figure — series, notes, tables —
 // must be bit-identical whether its grid scans run on one worker or many.
@@ -427,7 +541,7 @@ func TestWorkerCountDoesNotChangeOutput(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate(workers=1): %v", err)
 	}
-	for _, workers := range []int{8, 0} {
+	for _, workers := range []int{4, 8, 16, 0} {
 		got, err := Generate(utility.Default(), ids, Opts{Workers: workers})
 		if err != nil {
 			t.Fatalf("Generate(workers=%d): %v", workers, err)

@@ -35,13 +35,18 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 		{"collateral Q=0.01 P*=2.0", 2.0, 0.01},
 		{"collateral Q=0.1 P*=2.0", 2.0, 0.1},
 	}
+	scale := fmt.Sprintf("%d runs each", runs)
+	if o.MCCIWidth > 0 {
+		scale = fmt.Sprintf("adaptive, ±%g target, cap %d runs", o.MCCIWidth, runs)
+	}
 	fig := Figure{
 		ID:    "montecarlo",
-		Title: fmt.Sprintf("Validation: analytic SR vs protocol Monte Carlo (%d runs each)", runs),
+		Title: fmt.Sprintf("Validation: analytic SR vs protocol Monte Carlo (%s)", scale),
 		TableHeader: []string{
 			"Configuration", "Analytic SR", "MC SR", "Wilson 95% CI", "Agrees",
 		},
 	}
+	sawViolation := false
 	for i, cfg := range configs {
 		var analytic float64
 		var strat core.Strategy
@@ -93,12 +98,14 @@ func MCValidation(p utility.Params, runs int, o Opts) ([]Figure, error) {
 			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: adaptive stop after %d paths (CI half-width target %g)", cfg.label, res.Paths, o.MCCIWidth))
 		}
 		if res.Violations > 0 {
+			sawViolation = true
 			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %d atomicity violations (unexpected!)", cfg.label, res.Violations))
 		}
 	}
-	if len(fig.Notes) == 0 {
+	if !sawViolation {
 		fig.Notes = append(fig.Notes, "no atomicity violations in any run (expected without failure injection)")
 	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf("sampler: %s", o.Sampler))
 	return []Figure{fig}, nil
 }
 

@@ -182,16 +182,22 @@ func (h *Histogram) Add(x float64) {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) approximated from bin
-// midpoints.
+// midpoints, using the same nearest-rank estimator as Quantiles: the value
+// is the midpoint of the bin holding the ceil(q·Total)-th observation
+// (clamped to the first). A fractional target with a float cumulative sum
+// would be vacuously satisfied by an empty leading bin at q=0.
 func (h *Histogram) Quantile(q float64) (float64, error) {
 	if q < 0 || q > 1 || h.Total == 0 {
 		return 0, fmt.Errorf("%w: quantile(%g) of %d samples", ErrBadInput, q, h.Total)
 	}
-	target := q * float64(h.Total)
-	var cum float64
+	target := int(math.Ceil(q * float64(h.Total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
 	width := (h.Hi - h.Lo) / float64(len(h.Counts))
 	for i, c := range h.Counts {
-		cum += float64(c)
+		cum += c
 		if cum >= target {
 			return h.Lo + (float64(i)+0.5)*width, nil
 		}

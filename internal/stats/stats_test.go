@@ -144,6 +144,62 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileNearestRank(t *testing.T) {
+	// A single sample in the last bin: every quantile, including q=0, must
+	// land on that bin's midpoint. The former float-cumulative implementation
+	// satisfied cum >= target vacuously at q=0 and returned the midpoint of
+	// the empty leading bin (0.5).
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	h.Add(9.2)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", q, err)
+		}
+		if got != 9.5 {
+			t.Errorf("Quantile(%g) = %v, want 9.5 (midpoint of the only occupied bin)", q, got)
+		}
+	}
+
+	// Occupied first and last bins with empty interior: q=0 picks the first
+	// sample's bin, q=1 the last's, matching the nearest-rank Quantiles
+	// estimator on raw samples.
+	h2, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, x := range []float64{0.3, 0.4, 9.8} {
+		h2.Add(x)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0.5},    // 1st of 3 samples → bin [0,1)
+		{0.5, 0.5},  // ceil(1.5)=2nd sample → still bin [0,1)
+		{0.67, 9.5}, // ceil(2.01)=3rd sample → bin [9,10)
+		{1, 9.5},    // last sample's bin, not h.Hi
+	}
+	for _, c := range cases {
+		got, err := h2.Quantile(c.q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", c.q, err)
+		}
+		if got != c.want {
+			t.Errorf("Quantile(%g) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Empty histogram still errors.
+	h3, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if _, err := h3.Quantile(0.5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty histogram err = %v", err)
+	}
+}
+
 func TestQuantiles(t *testing.T) {
 	xs := []float64{5, 1, 4, 2, 3}
 	qs, err := Quantiles(xs, 0, 0.5, 1)

@@ -120,6 +120,134 @@ func TestMapErrorCancelsRemainingTasks(t *testing.T) {
 	}
 }
 
+func TestMapTilesOrdersResults(t *testing.T) {
+	got, err := MapTiles(context.Background(), 100, 7, 9, func(lo, hi int, out []int) error {
+		for j := lo; j < hi; j++ {
+			out[j-lo] = j * j
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MapTiles: %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapTilesIdenticalAcrossWorkerAndTileCounts(t *testing.T) {
+	// A tiled task whose value depends on a per-index RNG stream, as the
+	// figure scans do: the output must be a pure function of the index,
+	// independent of how indices are blocked and scheduled.
+	run := func(workers, tile int) []float64 {
+		out, err := MapTiles(context.Background(), 257, workers, tile, func(lo, hi int, out []float64) error {
+			for j := lo; j < hi; j++ {
+				rng := rand.New(rand.NewSource(Seed(42, j)))
+				out[j-lo] = math.Exp(rng.NormFloat64()) * float64(j+1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("MapTiles(workers=%d, tile=%d): %v", workers, tile, err)
+		}
+		return out
+	}
+	ref := run(1, 257)
+	for _, w := range []int{1, 2, 4, 16, 0} {
+		for _, tile := range []int{0, 1, 7, 41, 257, 1000} {
+			if got := run(w, tile); !reflect.DeepEqual(got, ref) {
+				t.Errorf("workers=%d tile=%d: output differs from single-tile run", w, tile)
+			}
+		}
+	}
+}
+
+func TestMapTilesEmptyAndInvalid(t *testing.T) {
+	got, err := MapTiles(context.Background(), 0, 4, 8, func(int, int, []int) error { return nil })
+	if err != nil || got != nil {
+		t.Errorf("n=0: got %v, %v; want nil, nil", got, err)
+	}
+	if _, err := MapTiles(context.Background(), -1, 4, 8, func(int, int, []int) error { return nil }); !errors.Is(err, ErrBadInput) {
+		t.Errorf("n=-1 err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestMapTilesOutCannotGrowPastTile(t *testing.T) {
+	_, err := MapTiles(context.Background(), 20, 2, 5, func(lo, hi int, out []int) error {
+		if cap(out) != hi-lo {
+			return fmt.Errorf("tile [%d,%d): cap(out) = %d, want %d", lo, hi, cap(out), hi-lo)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapTilesReportsLowestTileError(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		_, err := MapTiles(context.Background(), 50, workers, 5, func(lo, hi int, out []int) error {
+			if lo == 15 {
+				return fmt.Errorf("%w at tile %d", wantErr, lo)
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "tile ") {
+			t.Errorf("workers=%d: err = %v, want a tile-ranged error", workers, err)
+		}
+	}
+	// A single worker claims tiles in order, pinning the reported range.
+	_, err := MapTiles(context.Background(), 50, 1, 5, func(lo, hi int, out []int) error {
+		if lo == 15 {
+			return fmt.Errorf("%w at tile %d", wantErr, lo)
+		}
+		return nil
+	})
+	if want := "tile [15,20)"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("workers=1: err = %v, want mention of %q", err, want)
+	}
+}
+
+func TestMapTilesErrorCancelsRemainingTiles(t *testing.T) {
+	var calls atomic.Int64
+	_, err := MapTiles(context.Background(), 100000, 4, 1, func(lo, hi int, out []int) error {
+		calls.Add(1)
+		if lo == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := calls.Load(); n >= 100000 {
+		t.Errorf("error did not short-circuit the sweep (%d calls)", n)
+	}
+}
+
+func TestMapTilesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := MapTiles(ctx, 10000, 2, 1, func(lo, hi int, out []int) error {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the sweep (%d calls)", n)
+	}
+}
+
 func TestOverMatchesSequentialScan(t *testing.T) {
 	xs := make([]float64, 83)
 	for i := range xs {

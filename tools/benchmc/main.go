@@ -24,7 +24,11 @@
 // -max-paths-ratio it also fails when a convergence benchmark's
 // pathsratio metric (paths-to-precision relative to the pseudo sampler,
 // deterministic per seed) exceeds the given absolute ceiling — the
-// guardrail on the variance-reduced sampling modes. The table also
+// guardrail on the variance-reduced sampling modes. With -max-wall
+// ("Name=seconds,...") it gates named benchmarks on absolute wall time per
+// op — the end-to-end full-figures ceiling (`make bench-check` pins
+// BenchmarkFiguresFull at 1.0s), the one deliberate exception to the
+// no-wall-gating rule because its headroom is wide. The table also
 // reports the ns/op and paths/s deltas against the baseline for the
 // operator's eyes; wall-clock is hardware-dependent, so those columns are
 // deliberately not gated.
@@ -38,6 +42,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -63,6 +68,9 @@ type Benchmark struct {
 	// PathsRatio is a convergence benchmark's paths-to-target divided by
 	// the pseudo sampler's — deterministic per seed, so gateable.
 	PathsRatio float64 `json:"paths_ratio,omitempty"`
+	// Groups is the artifact-group count of the full-figures benchmark:
+	// the work covered by its gated wall time.
+	Groups float64 `json:"groups,omitempty"`
 }
 
 // File is the BENCH_mc.json schema.
@@ -108,6 +116,8 @@ func parse(r io.Reader) ([]Benchmark, error) {
 				b.EffPathsPerSec = v
 			case "pathsratio":
 				b.PathsRatio = v
+			case "groups":
+				b.Groups = v
 			}
 		}
 		out = append(out, b)
@@ -144,14 +154,39 @@ func delta(cur, ref float64) string {
 	return fmt.Sprintf("%+.1f%%", (cur/ref-1)*100)
 }
 
+// parseMaxWall parses the -max-wall value: comma-separated Name=seconds
+// pairs, each an absolute wall-time ceiling on that benchmark's ns/op.
+func parseMaxWall(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	gates := make(map[string]float64)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		secs, err := strconv.ParseFloat(val, 64)
+		if !ok || name == "" || err != nil || secs <= 0 {
+			return nil, fmt.Errorf("benchmc: -max-wall %q: want Name=seconds with seconds > 0", pair)
+		}
+		gates[name] = secs
+	}
+	return gates, nil
+}
+
 // check compares a run against the merged baselines: allocs/op is gated at
 // maxRatio, pathsratio (when reported and maxPathsRatio > 0) at its
 // absolute ceiling, ns/op and paths/s are reported as informational
 // deltas. The pathsratio gate is absolute, not relative to the baseline:
 // the adaptive stop is deterministic per seed, so a variance-reduced mode
 // drifting past its documented convergence bound is a correctness
-// regression, not measurement noise.
-func check(current []Benchmark, base map[string]Benchmark, maxRatio, maxPathsRatio float64, out io.Writer) error {
+// regression, not measurement noise. maxWall gates named benchmarks on
+// absolute seconds per op — the only place wall-clock is gated, reserved
+// for end-to-end ceilings with wide headroom (a missing gated benchmark
+// fails, so a rename cannot silently drop the gate).
+func check(current []Benchmark, base map[string]Benchmark, maxRatio, maxPathsRatio float64, maxWall map[string]float64, out io.Writer) error {
 	matched := 0
 	var allocFailures, pathsFailures []string
 	fmt.Fprintf(out, "%-40s %21s %8s %9s %9s %7s %s\n",
@@ -183,12 +218,36 @@ func check(current []Benchmark, base map[string]Benchmark, maxRatio, maxPathsRat
 	if matched == 0 {
 		return fmt.Errorf("benchmc: no benchmark matched the baselines — regenerate with `make bench-json`")
 	}
+	var wallFailures []string
+	for name, secs := range maxWall {
+		found := false
+		for _, cur := range current {
+			if cur.Name != name {
+				continue
+			}
+			found = true
+			wall := cur.NsPerOp / 1e9
+			status := "ok"
+			if wall > secs {
+				status = "FAIL"
+				wallFailures = append(wallFailures, fmt.Sprintf("%s (%.3fs > %.3fs)", name, wall, secs))
+			}
+			fmt.Fprintf(out, "%-40s wall %.3fs (ceiling %.3fs) %s\n", name, wall, secs, status)
+		}
+		if !found {
+			wallFailures = append(wallFailures, fmt.Sprintf("%s (not in the run)", name))
+		}
+	}
+	sort.Strings(wallFailures)
 	var errs []string
 	if len(allocFailures) > 0 {
 		errs = append(errs, fmt.Sprintf("allocs/op regressed >%.1fx on: %s", maxRatio, strings.Join(allocFailures, ", ")))
 	}
 	if len(pathsFailures) > 0 {
 		errs = append(errs, fmt.Sprintf("paths-to-precision ratio exceeded %.2fx pseudo on: %s", maxPathsRatio, strings.Join(pathsFailures, ", ")))
+	}
+	if len(wallFailures) > 0 {
+		errs = append(errs, fmt.Sprintf("wall-time ceiling exceeded on: %s", strings.Join(wallFailures, ", ")))
 	}
 	if len(errs) > 0 {
 		return fmt.Errorf("benchmc: %s", strings.Join(errs, "; "))
@@ -203,6 +262,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		against  = fs.String("against", "", "comma-separated baseline files to check allocs/op against instead of writing JSON")
 		maxRatio = fs.Float64("max-alloc-ratio", 2, "with -against: fail when allocs/op exceeds baseline by this factor")
 		maxPaths = fs.Float64("max-paths-ratio", 0, "with -against: fail when a convergence benchmark's pathsratio exceeds this absolute ceiling (0 = no gate)")
+		maxWall  = fs.String("max-wall", "", "with -against: comma-separated Name=seconds pairs; fail when that benchmark's wall time per op exceeds the ceiling (or it is missing from the run)")
 		note     = fs.String("note", "Monte Carlo engine benchmark baseline; regenerate with `make bench-json`, CI gates allocs/op at 2x via `make bench-check`.",
 			"with -o: the note field written into the JSON artifact")
 	)
@@ -214,6 +274,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if *against != "" {
+		wallGates, err := parseMaxWall(*maxWall)
+		if err != nil {
+			return err
+		}
 		var files []File
 		for _, path := range strings.Split(*against, ",") {
 			path = strings.TrimSpace(path)
@@ -227,7 +291,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			files = append(files, baseline)
 		}
-		return check(benches, mergeBaselines(files), *maxRatio, *maxPaths, stdout)
+		return check(benches, mergeBaselines(files), *maxRatio, *maxPaths, wallGates, stdout)
 	}
 	f := File{
 		Note:       *note,

@@ -126,6 +126,53 @@ func TestPathsRatioGate(t *testing.T) {
 	}
 }
 
+func TestParseGroupsMetric(t *testing.T) {
+	line := "BenchmarkFiguresFull \t 1\t 610812345 ns/op\t 18.00 groups\t 123 B/op\t 45 allocs/op\n"
+	benches, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches[0].Groups != 18 {
+		t.Errorf("groups = %v, want 18", benches[0].Groups)
+	}
+}
+
+// TestMaxWallGate exercises the absolute wall-time ceiling: a benchmark
+// under its Name=seconds budget passes, one over it fails by name, and a
+// gate naming a benchmark absent from the run fails rather than silently
+// un-gating.
+func TestMaxWallGate(t *testing.T) {
+	path := writeBaseline(t)
+	// BenchmarkMC_EngineFixedN1Worker runs at 33094187 ns/op = 0.033s.
+	var out strings.Builder
+	if err := run([]string{"-against", path, "-max-wall", "BenchmarkMC_EngineFixedN1Worker=0.1"},
+		strings.NewReader(sample), &out); err != nil {
+		t.Errorf("0.033s wall failed a 0.1s ceiling: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "wall 0.033s (ceiling 0.100s) ok") {
+		t.Errorf("check output lacks the wall-gate line:\n%s", out.String())
+	}
+	err := run([]string{"-against", path, "-max-wall", "BenchmarkMC_EngineFixedN1Worker=0.01"},
+		strings.NewReader(sample), &strings.Builder{})
+	if err == nil {
+		t.Fatal("0.033s wall passed a 0.01s ceiling")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMC_EngineFixedN1Worker") {
+		t.Errorf("failure does not name the benchmark: %v", err)
+	}
+	err = run([]string{"-against", path, "-max-wall", "BenchmarkGone=1.0"},
+		strings.NewReader(sample), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "not in the run") {
+		t.Errorf("a gate on a missing benchmark must fail, got: %v", err)
+	}
+	for _, bad := range []string{"NoEquals", "=1.0", "Bench=abc", "Bench=0"} {
+		if err := run([]string{"-against", path, "-max-wall", bad},
+			strings.NewReader(sample), &strings.Builder{}); err == nil {
+			t.Errorf("malformed -max-wall %q accepted", bad)
+		}
+	}
+}
+
 func TestCheckFailsWhenNothingMatches(t *testing.T) {
 	path := writeBaseline(t)
 	foreign := "BenchmarkOther \t 10\t 5 ns/op\t 1 B/op\t 1 allocs/op\n"
