@@ -8,7 +8,8 @@ GO ?= go
 COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
 	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng \
 	repro/internal/variant repro/internal/packetized repro/internal/repeated \
-	repro/internal/baseline repro/internal/rpc repro/internal/qmc
+	repro/internal/baseline repro/internal/rpc repro/internal/qmc \
+	repro/internal/fault
 COVER_MIN  = 80
 
 # Pinned static-analysis toolchain versions (CI installs exactly these;
@@ -16,7 +17,7 @@ COVER_MIN  = 80
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build test race bench bench-smoke bench-json bench-rpc-json bench-check swapd-smoke pprof-smoke lint cover fuzz-smoke scenarios figures clean
+.PHONY: all build test race bench bench-smoke bench-json bench-rpc-json bench-check swapd-smoke chaos-smoke pprof-smoke lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
@@ -86,6 +87,30 @@ swapd-smoke:
 	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 10s -qps 1200 \
 		-min-qps 1000 -max-p99-ms 50 -require-coalesce -against BENCH_rpc.json
 
+# The chaos harness (CI's chaos-smoke job): build swapd with the race
+# detector, record a fault-free digest run, then replay the same seeded
+# request stream against a deliberately tiny admission controller with
+# seeded faults (latency, injected errors, injected panics) and retrying
+# clients. Gates: the daemon never crashes (loadgen fails if the child
+# dies early or refuses to drain), shedding actually engages
+# (-require-shed), goodput stays above a floor, p99 stays bounded, and
+# every request that succeeded in both runs solved to byte-identical
+# results (-digest-against) — faults may delay or shed work, never
+# corrupt it.
+chaos-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	$(GO) build -race -o $$dir/swapd ./cmd/swapd; \
+	echo "chaos-smoke: fault-free digest run"; \
+	$(GO) run ./tools/loadgen -spawn $$dir/swapd -duration 4s -qps 300 -seed 7 \
+		-dup-every 20 -dup-burst 8 -mc-runs 5000 -workers 16 \
+		-digest-out $$dir/digest.json -max-error-rate 0; \
+	echo "chaos-smoke: seeded-fault run against a saturated daemon"; \
+	$(GO) run ./tools/loadgen -spawn $$dir/swapd \
+		-spawn-args "-max-inflight 4 -queue-depth 4 -queue-wait 5ms -fault-seed 42 -fault rpc.latency=0.05:5ms,rpc.error=0.03,rpc.panic=0.01" \
+		-duration 6s -qps 300 -seed 7 -dup-every 20 -dup-burst 8 -mc-runs 5000 -workers 16 \
+		-chaos -digest-against $$dir/digest.json \
+		-require-shed -min-goodput 30 -max-p99-ms 5000 -max-error-rate 0.25
+
 # Profiling smoke: run one solve benchmark under -cpuprofile and assert
 # the profile came out non-empty, so the profiling workflow every perf PR
 # leans on cannot silently rot (CI runs this in bench-solve-regression).
@@ -127,6 +152,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLognormal -fuzztime=10s -run='^$$' ./internal/dist
 	$(GO) test -fuzz=FuzzScenarioJSON -fuzztime=10s -run='^$$' ./internal/scenario
 	$(GO) test -fuzz=FuzzRPCRequest -fuzztime=10s -run='^$$' ./internal/rpc
+	$(GO) test -fuzz=FuzzWSFrame -fuzztime=10s -run='^$$' ./internal/rpc
 	$(GO) test -fuzz=FuzzSobol -fuzztime=10s -run='^$$' ./internal/qmc
 
 # Batch-run every scenario preset across every registered variant (fails

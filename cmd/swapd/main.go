@@ -8,6 +8,9 @@
 //
 //	swapd [-addr :8547] [-budget-ms 2000] [-max-budget-ms 60000]
 //	      [-mc-workers 1] [-max-runs 1000000] [-quiet]
+//	      [-max-inflight 64] [-queue-depth 64] [-queue-wait 25ms]
+//	      [-ws-read-timeout 2m] [-ws-write-timeout 10s]
+//	      [-fault key=prob[:delay],...] [-fault-seed 1]
 //
 // Endpoints:
 //
@@ -24,6 +27,12 @@
 // -max-budget-ms). SIGINT/SIGTERM trigger a graceful shutdown: new
 // requests are rejected with code -32000, in-flight solves drain, and
 // streams end with a terminal error response.
+//
+// Expensive requests pass an admission controller (-max-inflight slots,
+// a -queue-depth x -queue-wait wait queue); saturation sheds with code
+// -32005 and a retryAfterMs hint, and /healthz degrades to 503 while
+// shedding. The -fault flags arm the deterministic chaos injector
+// (internal/fault) for harness runs — never in production.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rpc"
 )
 
@@ -60,9 +70,21 @@ func run(args []string, out io.Writer) error {
 		maxRuns     = fs.Int("max-runs", 1_000_000, "cap on the Monte Carlo runs/paths one request may demand")
 		drainFor    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 		quiet       = fs.Bool("quiet", false, "suppress the per-lifecycle-event log lines")
+
+		maxInflight    = fs.Int("max-inflight", 0, "cap on concurrent expensive requests (0 = default 64)")
+		queueDepth     = fs.Int("queue-depth", 0, "cap on requests waiting for an admission slot (0 = default 64)")
+		queueWait      = fs.Duration("queue-wait", 0, "longest a saturated request queues before being shed (0 = default 25ms)")
+		wsReadTimeout  = fs.Duration("ws-read-timeout", 0, "per-frame WebSocket read deadline (0 = default 2m)")
+		wsWriteTimeout = fs.Duration("ws-write-timeout", 0, "per-frame WebSocket write deadline (0 = default 10s)")
+		faultSpec      = fs.String("fault", "", "arm the chaos injector: key=prob[:delay],... (see internal/fault; empty = off)")
+		faultSeed      = fs.Int64("fault-seed", 1, "seed of the fault injector's deterministic draws")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	injector, err := fault.NewFromSpec(*faultSeed, *faultSpec)
+	if err != nil {
+		return fmt.Errorf("-fault: %w", err)
 	}
 	logger := log.New(out, "swapd: ", log.LstdFlags)
 	logf := logger.Printf
@@ -71,11 +93,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	srv := rpc.NewServer(rpc.Config{
-		DefaultBudget: time.Duration(*budgetMs) * time.Millisecond,
-		MaxBudget:     time.Duration(*maxBudgetMs) * time.Millisecond,
-		MCWorkers:     *mcWorkers,
-		MaxRuns:       *maxRuns,
-		Logf:          logf,
+		DefaultBudget:  time.Duration(*budgetMs) * time.Millisecond,
+		MaxBudget:      time.Duration(*maxBudgetMs) * time.Millisecond,
+		MCWorkers:      *mcWorkers,
+		MaxRuns:        *maxRuns,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		WSReadTimeout:  *wsReadTimeout,
+		WSWriteTimeout: *wsWriteTimeout,
+		Fault:          injector,
+		Logf:           logf,
 	})
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
@@ -85,6 +113,9 @@ func run(args []string, out io.Writer) error {
 	}
 	logf("listening on %s (budget %dms, max budget %dms, mc workers %d)",
 		ln.Addr(), *budgetMs, *maxBudgetMs, *mcWorkers)
+	if injector.Enabled() {
+		logf("CHAOS: fault injector armed (seed %d): %s", *faultSeed, *faultSpec)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

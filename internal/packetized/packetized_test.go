@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/qmc"
 	"repro/internal/utility"
 )
 
@@ -278,5 +279,68 @@ func TestForceInitiateConditionsOnInitiation(t *testing.T) {
 	if want < forced.FullCompletion.Lo-0.01 || want > forced.FullCompletion.Hi+0.01 {
 		t.Errorf("forced n=1 completion [%.4f, %.4f] should cover SR %.4f",
 			forced.FullCompletion.Lo, forced.FullCompletion.Hi, want)
+	}
+}
+
+// TestSamplerModesAgree runs the same experiment under every sampling
+// mode: the variance-reduced estimators must land inside (a slightly
+// widened) pseudo Wilson interval, and each mode must be deterministic
+// for a fixed seed. This also exercises the slab-fronted normal source
+// (Sobol points first, per-run pseudo tail, antithetic negation).
+func TestSamplerModesAgree(t *testing.T) {
+	base := baseConfig()
+	base.Runs = 40000
+	pseudo, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []qmc.Mode{qmc.ModeAntithetic, qmc.ModeSobol} {
+		cfg := base
+		cfg.Sampler = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.FullCompletion.P < pseudo.FullCompletion.Lo-0.01 ||
+			res.FullCompletion.P > pseudo.FullCompletion.Hi+0.01 {
+			t.Errorf("%s full completion %.4f outside pseudo interval [%.4f, %.4f]",
+				mode, res.FullCompletion.P, pseudo.FullCompletion.Lo, pseudo.FullCompletion.Hi)
+		}
+		if d := math.Abs(res.ExpectedFraction - pseudo.ExpectedFraction); d > 0.02 {
+			t.Errorf("%s fraction %.4f vs pseudo %.4f (|delta| = %.4f)",
+				mode, res.ExpectedFraction, pseudo.ExpectedFraction, d)
+		}
+		again, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", mode, err)
+		}
+		if again != res {
+			t.Errorf("%s not deterministic for a fixed seed:\n  %+v\n  %+v", mode, res, again)
+		}
+	}
+}
+
+// TestSamplerRequoteAndContinue drives the variance-reduced source
+// through the requoting and continue-after-failure paths, where packet
+// counts vary per run and the pseudo tail past the Sobol slab is hit.
+func TestSamplerRequoteAndContinue(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Runs = 8000
+	cfg.Packets = 8
+	cfg.Requote = true
+	cfg.ContinueAfterFailure = true
+	cfg.Sampler = qmc.ModeSobol
+	sobol, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sampler = qmc.ModePseudo
+	pseudo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sobol.ExpectedFraction - pseudo.ExpectedFraction); d > 0.03 {
+		t.Errorf("sobol requote fraction %.4f vs pseudo %.4f (|delta| = %.4f)",
+			sobol.ExpectedFraction, pseudo.ExpectedFraction, d)
 	}
 }

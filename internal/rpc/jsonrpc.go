@@ -43,6 +43,12 @@ const (
 	CodeBudgetExceeded = -32001
 	// CodeCanceled reports a client- or server-cancelled stream.
 	CodeCanceled = -32002
+	// CodeOverloaded sheds a request the admission controller could not
+	// seat: the in-flight semaphore and its wait queue are both full. The
+	// error's Data carries a retryAfterMs hint; over HTTP the response
+	// additionally arrives as 503 with a Retry-After header. See DESIGN.md
+	// ("Robustness") for the client contract.
+	CodeOverloaded = -32005
 )
 
 // Request is one JSON-RPC 2.0 request or notification.

@@ -260,6 +260,16 @@ func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Er
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
+		// A solve panic must not kill the daemon: Flight settles its
+		// waiters (they see ErrFlightPanicked) and re-raises on the
+		// leader, whose requester gets the recover below.
+		defer func() {
+			if r := recover(); r != nil {
+				s.stats.panics.Add(1)
+				s.cfg.Logf("rpc: solve panicked (recovered): %v", r)
+				ch <- outcome{err: Errorf(CodeInternalError, "internal error: solve panicked")}
+			}
+		}()
 		// Waiters select on baseCtx (so shutdown unblocks them); the
 		// requester's own deadline is enforced by the select below.
 		val, shared, err := s.flight.Do(s.baseCtx, solveKey(req), func() (solveValue, error) {
@@ -415,7 +425,12 @@ type StatsResult struct {
 		Total    uint64            `json:"total"`
 		Errors   uint64            `json:"errors"`
 		ByMethod map[string]uint64 `json:"byMethod"`
+		// PanicsRecovered counts handler panics converted to -32603
+		// responses instead of crashing the daemon.
+		PanicsRecovered uint64 `json:"panicsRecovered"`
 	} `json:"requests"`
+	// Admission is the load-shedding front door's state and tallies.
+	Admission  admissionStats `json:"admission"`
 	Coalescing struct {
 		Leaders  uint64  `json:"leaders"`
 		Waiters  uint64  `json:"waiters"`
@@ -426,7 +441,16 @@ type StatsResult struct {
 		Started   uint64 `json:"started"`
 		Active    int64  `json:"active"`
 		Snapshots uint64 `json:"snapshots"`
+		// WriteFailures counts streams cancelled after a progress write
+		// failed or timed out; WatchdogCloses counts connections
+		// force-closed after a stream outlived its budget by more than the
+		// grace period.
+		WriteFailures  uint64 `json:"writeFailures"`
+		WatchdogCloses uint64 `json:"watchdogCloses"`
 	} `json:"streams"`
+	// Faults tallies injected faults by registry key (absent when no
+	// injector is armed — the production default).
+	Faults     map[string]uint64 `json:"faults,omitempty"`
 	SolveCache struct {
 		Models      int    `json:"models"`
 		ModelHits   uint64 `json:"modelHits"`
@@ -444,6 +468,9 @@ func (s *Server) handleStats() (any, *Error) {
 	out.Draining = s.draining.Load()
 	out.Requests.Total = s.stats.requests.Load()
 	out.Requests.Errors = s.stats.errors.Load()
+	out.Requests.PanicsRecovered = s.stats.panics.Load()
+	out.Admission = s.adm.stats()
+	out.Faults = s.cfg.Fault.Counts()
 	out.Requests.ByMethod = make(map[string]uint64)
 	s.stats.methodMu.Lock()
 	for m, n := range s.stats.byMethod {
@@ -458,6 +485,8 @@ func (s *Server) handleStats() (any, *Error) {
 	out.Streams.Started = s.stats.streamsStarted.Load()
 	out.Streams.Active = s.stats.streamsActive.Load()
 	out.Streams.Snapshots = s.stats.snapshots.Load()
+	out.Streams.WriteFailures = s.stats.wsWriteFailures.Load()
+	out.Streams.WatchdogCloses = s.stats.watchdogCloses.Load()
 	cs := solvecache.ReadStats()
 	out.SolveCache.Models = cs.Models
 	out.SolveCache.ModelHits = cs.ModelHits

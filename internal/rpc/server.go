@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/solvecache"
 )
 
@@ -30,6 +31,35 @@ type Config struct {
 	// MaxRuns caps the Monte Carlo run/path count a single request may
 	// demand (default 1e6), so one client cannot monopolise the process.
 	MaxRuns int
+	// MaxInflight bounds the expensive requests (swap.solve,
+	// scenario.diff, swap.simulate streams) running concurrently (default
+	// 64). Beyond it, requests queue briefly and are then shed with
+	// CodeOverloaded — see admission.
+	MaxInflight int
+	// QueueDepth bounds how many saturated requests may wait for a slot
+	// (default 64); QueueWait bounds how long (default 25ms). Both small
+	// by design: under overload the daemon prefers fast explicit sheds
+	// over deep queues.
+	QueueDepth int
+	QueueWait  time.Duration
+	// ShedWindow is how long /healthz stays 503 after a shed (default 1s),
+	// so load balancers steer away while the daemon recovers.
+	ShedWindow time.Duration
+	// WSReadTimeout bounds each inbound WebSocket frame: a frame (and the
+	// idle gap before it) must complete within it or the connection is
+	// closed — the slow-loris guard (default 2m; keep it above MaxBudget
+	// so streaming clients idle-reading progress are not cut off).
+	WSReadTimeout time.Duration
+	// WSWriteTimeout bounds each outbound WebSocket frame write, so a
+	// stalled reader blocks a progress write for at most this long before
+	// the stream is cancelled (default 10s).
+	WSWriteTimeout time.Duration
+	// WatchdogGrace is how long past its budget a stream may linger before
+	// its connection is force-closed (default 5s).
+	WatchdogGrace time.Duration
+	// Fault is the chaos harness's injector; nil (the default) injects
+	// nothing. See internal/fault for the registry keys.
+	Fault *fault.Injector
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +77,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRuns <= 0 {
 		c.MaxRuns = 1_000_000
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 25 * time.Millisecond
+	}
+	if c.ShedWindow <= 0 {
+		c.ShedWindow = time.Second
+	}
+	if c.WSReadTimeout <= 0 {
+		c.WSReadTimeout = 2 * time.Minute
+	}
+	if c.WSWriteTimeout <= 0 {
+		c.WSWriteTimeout = 10 * time.Second
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 5 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -76,6 +127,13 @@ type Server struct {
 	// the real variant-registry solve.
 	solve func(req resolvedSolve) (solveValue, error)
 
+	// stream runs one simulate stream body; a test seam, defaulting to
+	// runStream.
+	stream func(ctx context.Context, cancel context.CancelFunc, sess *wsSession, id json.RawMessage, cfg simulateConfig)
+
+	// adm is the admission controller in front of the expensive methods.
+	adm *admission
+
 	// conns tracks live WebSocket connections for shutdown.
 	connMu sync.Mutex
 	conns  map[*WSConn]struct{}
@@ -91,6 +149,14 @@ type serverStats struct {
 	streamsStarted atomic.Uint64
 	streamsActive  atomic.Int64
 	snapshots      atomic.Uint64
+	// panics counts handler panics converted to CodeInternalError
+	// responses instead of killing the daemon.
+	panics atomic.Uint64
+	// wsWriteFailures counts streams cancelled because a progress write
+	// failed or timed out; watchdogCloses counts connections force-closed
+	// after their stream outlived its budget past the grace period.
+	wsWriteFailures atomic.Uint64
+	watchdogCloses  atomic.Uint64
 
 	methodMu sync.Mutex
 	byMethod map[string]uint64
@@ -113,7 +179,9 @@ func NewServer(cfg Config) *Server {
 		conns:      make(map[*WSConn]struct{}),
 		stats:      serverStats{start: time.Now(), byMethod: make(map[string]uint64)},
 	}
+	s.adm = newAdmission(s.cfg.MaxInflight, s.cfg.QueueDepth, s.cfg.QueueWait, s.cfg.ShedWindow)
 	s.solve = s.solveCell
+	s.stream = s.runStream
 	return s
 }
 
@@ -123,11 +191,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/rpc", s.handleHTTP)
 	mux.HandleFunc("/ws", s.handleWS)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
+		switch {
+		case s.draining.Load():
 			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+		case s.adm.overloaded():
+			// Degraded while shedding: load balancers steer away until a
+			// full shed window passes without a rejection.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.adm.retryAfterMs()))
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		default:
+			io.WriteString(w, "ok\n")
 		}
-		io.WriteString(w, "ok\n")
 	})
 	return mux
 }
@@ -179,10 +253,21 @@ func (s *Server) handleHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Read one byte past the cap so truncation is detectable: a body of
+	// exactly wsMaxMessage+1 read bytes means the client sent more than
+	// the cap, which is a size rejection (413), not a parse error.
 	body, err := io.ReadAll(io.LimitReader(r.Body, wsMaxMessage+1))
-	if err != nil || len(body) > wsMaxMessage {
+	if err != nil {
+		s.stats.errors.Add(1)
 		writeHTTPResponse(w, http.StatusBadRequest,
-			NewErrorResponse(nil, Errorf(CodeParseError, "unreadable or oversized body")))
+			NewErrorResponse(nil, Errorf(CodeParseError, "unreadable body: %v", err)))
+		return
+	}
+	if len(body) > wsMaxMessage {
+		s.stats.errors.Add(1)
+		writeHTTPResponse(w, http.StatusRequestEntityTooLarge,
+			NewErrorResponse(nil, Errorf(CodeInvalidRequest,
+				"request too large: body exceeds %d bytes", wsMaxMessage)))
 		return
 	}
 	req, rerr := ParseRequest(body)
@@ -203,7 +288,24 @@ func (s *Server) handleHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeHTTPResponse(w, http.StatusOK, resp)
+	status := http.StatusOK
+	if resp.Error != nil && resp.Error.Code == CodeOverloaded {
+		// Shed responses surface at the HTTP layer too, so plain HTTP
+		// clients and proxies can back off without parsing JSON-RPC.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.adm.retryAfterMs()))
+	}
+	writeHTTPResponse(w, status, resp)
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// rounded up, at least 1).
+func retryAfterSeconds(ms int) string {
+	secs := (ms + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 // writeHTTPResponse encodes one JSON-RPC response over HTTP.
@@ -222,10 +324,47 @@ func writeHTTPResponse(w http.ResponseWriter, status int, resp Response) {
 // arrived over the WebSocket channel (where swap.simulate is legal).
 func (s *Server) dispatch(ctx context.Context, req Request, ws bool) (Response, bool) {
 	s.stats.record(req.Method)
-	var (
-		result any
-		rerr   *Error
-	)
+	result, rerr := s.call(ctx, req)
+	if req.IsNotification() {
+		return Response{}, false
+	}
+	if rerr != nil {
+		s.stats.errors.Add(1)
+		return NewErrorResponse(req.ID, rerr), true
+	}
+	return NewResponse(req.ID, result), true
+}
+
+// call runs one method handler under the robustness envelope: admission
+// control for the expensive methods, fault injection when armed, and a
+// recover that converts a handler panic into CodeInternalError — the
+// daemon never dies for one request.
+func (s *Server) call(ctx context.Context, req Request) (result any, rerr *Error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
+			s.cfg.Logf("rpc: %s handler panicked (recovered): %v", req.Method, r)
+			result, rerr = nil, Errorf(CodeInternalError, "internal error: %s handler panicked", req.Method)
+		}
+	}()
+	switch req.Method {
+	case "swap.solve", "scenario.diff":
+		if rerr := s.adm.acquire(ctx); rerr != nil {
+			return nil, rerr
+		}
+		defer s.adm.release()
+	}
+	// Faults fire while the admission slot is held, so injected latency
+	// creates genuine in-flight pressure.
+	if d, ok := s.cfg.Fault.Delay(fault.KeyRPCLatency); ok {
+		sleepCtx(ctx, d)
+	}
+	if s.cfg.Fault.Fire(fault.KeyRPCError) {
+		return nil, Errorf(CodeInternalError, "injected fault: %s", fault.KeyRPCError)
+	}
+	if s.cfg.Fault.Fire(fault.KeyRPCPanic) {
+		panic("injected fault: " + fault.KeyRPCPanic)
+	}
 	switch req.Method {
 	case "swap.solve":
 		result, rerr = s.handleSolve(ctx, req.Params)
@@ -242,14 +381,17 @@ func (s *Server) dispatch(ctx context.Context, req Request, ws bool) (Response, 
 	default:
 		rerr = Errorf(CodeMethodNotFound, "unknown method %q", req.Method)
 	}
-	if req.IsNotification() {
-		return Response{}, false
+	return result, rerr
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
-	if rerr != nil {
-		s.stats.errors.Add(1)
-		return NewErrorResponse(req.ID, rerr), true
-	}
-	return NewResponse(req.ID, result), true
 }
 
 // asRPCError maps a handler error onto a JSON-RPC error object,
@@ -259,6 +401,10 @@ func (s *Server) asRPCError(err error) *Error {
 	switch {
 	case errors.As(err, &rerr):
 		return rerr
+	case errors.Is(err, solvecache.ErrFlightPanicked):
+		// The coalesced leader panicked; waiters get the same isolation
+		// contract the leader's own requester does.
+		return Errorf(CodeInternalError, "internal error: coalesced computation panicked")
 	case errors.Is(err, context.DeadlineExceeded):
 		return Errorf(CodeBudgetExceeded, "request budget exceeded")
 	case errors.Is(err, context.Canceled):

@@ -421,7 +421,9 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
-// TestOversizedBody checks the request size cap.
+// TestOversizedBody checks the request size cap: an oversized POST is
+// detected (not silently truncated and mis-parsed) and rejected with
+// 413 + -32600 naming the limit.
 func TestOversizedBody(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	big := bytes.Repeat([]byte("x"), wsMaxMessage+2)
@@ -430,11 +432,33 @@ func TestOversizedBody(t *testing.T) {
 		t.Fatalf("POST: %v", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
 	var r Response
 	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 		t.Fatalf("decoding: %v", err)
 	}
-	if r.Error == nil || r.Error.Code != CodeParseError {
-		t.Fatalf("error = %+v, want parse error", r.Error)
+	if r.Error == nil || r.Error.Code != CodeInvalidRequest {
+		t.Fatalf("error = %+v, want invalid request (too large)", r.Error)
+	}
+	if !strings.Contains(r.Error.Message, "request too large") {
+		t.Errorf("message = %q, want it to name the size cap", r.Error.Message)
+	}
+
+	// A body exactly at the cap still parses (as garbage JSON here, but
+	// through the normal parse path, not the size rejection).
+	exact := bytes.Repeat([]byte("x"), wsMaxMessage)
+	resp2, err := http.Post(ts.URL+"/rpc", "application/json", bytes.NewReader(exact))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp2.Body.Close()
+	var r2 Response
+	if err := json.NewDecoder(resp2.Body).Decode(&r2); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if r2.Error == nil || r2.Error.Code != CodeParseError {
+		t.Fatalf("at-cap error = %+v, want parse error", r2.Error)
 	}
 }

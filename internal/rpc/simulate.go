@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mc"
 	"repro/internal/qmc"
 	"repro/internal/solvecache"
@@ -140,6 +141,12 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // Upgrade already wrote the HTTP error
 	}
+	// Deadline hygiene: every inbound frame must complete within the read
+	// timeout (slow-loris guard), every outbound frame within the write
+	// timeout (stalled-reader guard).
+	conn.readTimeout = s.cfg.WSReadTimeout
+	conn.writeTimeout = s.cfg.WSWriteTimeout
+	conn.fault = s.cfg.Fault
 	s.connMu.Lock()
 	s.conns[conn] = struct{}{}
 	s.connMu.Unlock()
@@ -155,6 +162,17 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 		msg, err := conn.ReadMessage()
 		if err != nil {
 			return // closed or broken connection; deferred cleanup cancels streams
+		}
+		// Read-side fault points: a stalled reader, a lost frame, a
+		// corrupted frame. Truncation feeds the parse-error path below.
+		if d, ok := s.cfg.Fault.Delay(fault.KeyWSReadStall); ok {
+			sleepCtx(s.baseCtx, d)
+		}
+		if s.cfg.Fault.Fire(fault.KeyWSFrameDrop) {
+			continue
+		}
+		if s.cfg.Fault.Fire(fault.KeyWSFrameTruncate) {
+			msg = msg[:len(msg)/2]
 		}
 		req, rerr := ParseRequest(msg)
 		if rerr != nil {
@@ -216,12 +234,22 @@ func (s *Server) startStream(sess *wsSession, req Request) {
 		conn.WriteJSON(NewErrorResponse(req.ID, rerr))
 		return
 	}
+	// A stream is in-flight Monte Carlo work for its whole lifetime, so it
+	// holds an admission slot for its whole lifetime; saturation sheds it
+	// here with CodeOverloaded before any engine state is built. The
+	// bounded queue wait is the longest this can block the read loop.
+	if rerr := s.adm.acquire(s.baseCtx); rerr != nil {
+		s.stats.errors.Add(1)
+		conn.WriteJSON(NewErrorResponse(req.ID, rerr))
+		return
+	}
 	id := string(req.ID)
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.budget(p.BudgetMs))
 	sess.mu.Lock()
 	if _, dup := sess.streams[id]; dup {
 		sess.mu.Unlock()
 		cancel()
+		s.adm.release()
 		s.stats.errors.Add(1)
 		conn.WriteJSON(NewErrorResponse(req.ID, Errorf(CodeInvalidRequest, "a stream with id %s is already running", id)))
 		return
@@ -232,16 +260,49 @@ func (s *Server) startStream(sess *wsSession, req Request) {
 	s.stats.streamsStarted.Add(1)
 	s.stats.streamsActive.Add(1)
 	s.inflight.Add(1)
+	streamDone := make(chan struct{})
+	// Watchdog: a stream that outlives its budget by more than the grace
+	// period has a wedged connection (the terminal write should complete
+	// within the write timeout); force-close it so the goroutine and the
+	// admission slot cannot leak behind a peer that never reads.
+	go func() {
+		select {
+		case <-streamDone:
+			return
+		case <-ctx.Done():
+		}
+		grace := time.NewTimer(s.cfg.WatchdogGrace)
+		defer grace.Stop()
+		select {
+		case <-streamDone:
+		case <-grace.C:
+			s.stats.watchdogCloses.Add(1)
+			s.cfg.Logf("rpc: watchdog force-closing connection of stream %s", id)
+			conn.Close()
+		}
+	}()
 	go func() {
 		defer func() {
+			close(streamDone)
 			sess.mu.Lock()
 			delete(sess.streams, id)
 			sess.mu.Unlock()
 			cancel()
+			s.adm.release()
 			s.stats.streamsActive.Add(-1)
 			s.inflight.Done()
 		}()
-		s.runStream(ctx, sess, req.ID, cfg)
+		// Panic isolation: a stream panic becomes its terminal error
+		// response, never a dead daemon.
+		defer func() {
+			if r := recover(); r != nil {
+				s.stats.panics.Add(1)
+				s.cfg.Logf("rpc: stream %s panicked (recovered): %v", id, r)
+				conn.WriteJSON(NewErrorResponse(req.ID,
+					Errorf(CodeInternalError, "internal error: stream panicked")))
+			}
+		}()
+		s.stream(ctx, cancel, sess, req.ID, cfg)
 	}()
 }
 
@@ -324,20 +385,23 @@ func (s *Server) resolveSimulate(p SimulateParams) (simulateConfig, *Error) {
 
 // runStream executes one simulate stream: progress notifications while
 // the engine runs, then the terminal response (result, budget error, or
-// cancellation).
-func (s *Server) runStream(ctx context.Context, sess *wsSession, id json.RawMessage, cfg simulateConfig) {
+// cancellation). cancel aborts the engine when the peer stops reading: a
+// progress write that fails or times out cancels the stream instead of
+// blocking the Monte Carlo engine behind a dead connection.
+func (s *Server) runStream(ctx context.Context, cancel context.CancelFunc, sess *wsSession, id json.RawMessage, cfg simulateConfig) {
 	start := time.Now()
 	conn := sess.conn
 	snapshots := 0
 	lastSent := 0
+	writeFailed := false
 	cfg.mcc.OnProgress = func(p mc.Progress) {
-		if p.Paths-lastSent < cfg.everyPaths && !p.Stopped {
+		if writeFailed || (p.Paths-lastSent < cfg.everyPaths && !p.Stopped) {
 			return
 		}
 		lastSent = p.Paths
 		snapshots++
 		s.stats.snapshots.Add(1)
-		conn.WriteJSON(Notification{
+		err := conn.WriteJSON(Notification{
 			JSONRPC: Version,
 			Method:  "swap.progress",
 			Params: ProgressEvent{
@@ -346,6 +410,14 @@ func (s *Server) runStream(ctx context.Context, sess *wsSession, id json.RawMess
 				HalfWidth: p.HalfWidth(), Stopped: p.Stopped,
 			},
 		})
+		if err != nil {
+			// OnProgress runs between engine waves on one goroutine, so
+			// plain variables suffice; the cancel bites at the next wave.
+			writeFailed = true
+			s.stats.wsWriteFailures.Add(1)
+			s.cfg.Logf("rpc: stream %s progress write failed, cancelling: %v", id, err)
+			cancel()
+		}
 	}
 	res, err := swapsim.MonteCarloCtx(ctx, cfg.mcc)
 	if err != nil {

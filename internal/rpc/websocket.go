@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // wsGUID is the key-hashing constant of RFC 6455 §1.3.
@@ -55,6 +57,19 @@ type WSConn struct {
 	conn   net.Conn
 	br     *bufio.Reader
 	client bool // client connections mask their frames
+
+	// readTimeout, when > 0, bounds each inbound frame: the idle wait for
+	// its first byte and the read of its payload share one deadline, so a
+	// slow-loris peer drip-feeding bytes cannot hold the read loop past
+	// it. writeTimeout, when > 0, bounds each outbound frame write, so a
+	// stalled reader blocks a writer for at most that long. The server
+	// sets both from its Config; client connections leave them zero.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	// fault, when non-nil, arms the WebSocket write fault (server side
+	// only; the read-side faults live in the server's read loop).
+	fault *fault.Injector
 
 	wmu    sync.Mutex
 	closed bool
@@ -255,8 +270,15 @@ func (c *WSConn) Close() error {
 	return c.conn.Close()
 }
 
-// readFrame reads one frame, unmasking client frames server-side.
+// readFrame reads one frame, unmasking client frames server-side. With a
+// read timeout set, the whole frame — idle gap, header and payload — must
+// arrive within one deadline.
 func (c *WSConn) readFrame() (fin bool, opcode byte, payload []byte, err error) {
+	if c.readTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return false, 0, nil, err
+		}
+	}
 	var hdr [2]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return false, 0, nil, err
@@ -321,6 +343,14 @@ func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
 }
 
 func (c *WSConn) writeFrameLocked(opcode byte, payload []byte) error {
+	if c.fault.Fire(fault.KeyWSWriteError) {
+		return errors.New("rpc: websocket: injected fault: " + fault.KeyWSWriteError)
+	}
+	if c.writeTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	header := make([]byte, 0, 14)
 	header = append(header, 0x80|opcode)
 	maskBit := byte(0)

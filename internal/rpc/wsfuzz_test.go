@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// byteConn is a net.Conn whose read side replays a fixed byte stream and
+// whose write side discards — the harness FuzzWSFrame feeds raw frame
+// bytes through.
+type byteConn struct {
+	r *bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// maskFrame builds one masked client frame for the seed corpus.
+func maskFrame(fin bool, opcode byte, payload []byte) []byte {
+	var b []byte
+	first := opcode
+	if fin {
+		first |= 0x80
+	}
+	b = append(b, first)
+	switch {
+	case len(payload) < 126:
+		b = append(b, 0x80|byte(len(payload)))
+	case len(payload) <= 0xFFFF:
+		b = append(b, 0x80|126, byte(len(payload)>>8), byte(len(payload)))
+	default:
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(len(payload)))
+		b = append(b, 0x80|127)
+		b = append(b, ext[:]...)
+	}
+	key := [4]byte{0x12, 0x34, 0x56, 0x78}
+	b = append(b, key[:]...)
+	for i, p := range payload {
+		b = append(b, p^key[i%4])
+	}
+	return b
+}
+
+// FuzzWSFrame feeds arbitrary bytes through the server-side WebSocket
+// frame reader: whatever the wire carries, ReadMessage must return data
+// or an error — never panic, never allocate past the message cap.
+func FuzzWSFrame(f *testing.F) {
+	f.Add(maskFrame(true, opText, []byte(`{"jsonrpc":"2.0","id":1,"method":"scenario.list"}`)))
+	f.Add(maskFrame(true, opBinary, []byte{0x00, 0xFF}))
+	f.Add(maskFrame(true, opPing, []byte("ping")))
+	f.Add(maskFrame(true, opClose, nil))
+	// A fragmented message: text start + continuation finish.
+	f.Add(append(maskFrame(false, opText, []byte("hel")), maskFrame(true, opContinuation, []byte("lo"))...))
+	// Protocol violations: unmasked client frame, reserved bits, a frame
+	// whose declared length exceeds the cap, a bare continuation, and a
+	// truncated header.
+	f.Add([]byte{0x81, 0x05, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte{0xF1, 0x80, 0x12, 0x34, 0x56, 0x78})
+	f.Add([]byte{0x81, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(maskFrame(true, opContinuation, []byte("orphan")))
+	f.Add([]byte{0x81})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := &WSConn{
+			conn:        &byteConn{r: bytes.NewReader(data)},
+			br:          bufio.NewReader(bytes.NewReader(data)),
+			readTimeout: time.Second,
+		}
+		// Drain a bounded number of messages; a close frame, a protocol
+		// error, or stream exhaustion all end the loop.
+		for i := 0; i < 16; i++ {
+			msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if len(msg) > wsMaxMessage {
+				t.Fatalf("message of %d bytes escaped the %d cap", len(msg), wsMaxMessage)
+			}
+		}
+	})
+}

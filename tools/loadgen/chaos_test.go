@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedThenServe fakes a swapd that sheds the first n requests with
+// -32005 (carrying a retryAfterMs hint) and then answers.
+func shedThenServe(n int32) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if c <= n {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"jsonrpc":"2.0","id":1,"error":{"code":-32005,"message":"overloaded","data":{"retryAfterMs":1}}}`)
+			return
+		}
+		io.WriteString(w, `{"jsonrpc":"2.0","id":1,"result":{"scenario":"tableIII","variants":[],"coalesced":false,"elapsedUs":42}}`)
+	}))
+	return ts, &calls
+}
+
+// TestSendRetriesShedThenSucceeds checks the chaos retry loop: a shed
+// response is retried (honoring retryAfterMs) until the server admits
+// the request, and the outcome records the retries.
+func TestSendRetriesShedThenSucceeds(t *testing.T) {
+	ts, calls := shedThenServe(2)
+	defer ts.Close()
+	cfg := genConfig{seed: 7, chaos: true, wantDigests: true}
+	out := send(http.DefaultClient, ts.URL, job{id: 3, body: []byte(`{}`)}, cfg)
+	if !out.success() {
+		t.Fatalf("outcome = %+v, want success after retries", out)
+	}
+	if out.retries != 2 || out.attempts != 3 {
+		t.Errorf("retries/attempts = %d/%d, want 2/3", out.retries, out.attempts)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if out.result == nil {
+		t.Error("successful outcome carries no result payload for digesting")
+	}
+}
+
+// TestSendShedWithoutChaos checks the default mode takes the shed at
+// face value: one attempt, classified as shed, no retry.
+func TestSendShedWithoutChaos(t *testing.T) {
+	ts, calls := shedThenServe(100)
+	defer ts.Close()
+	out := send(http.DefaultClient, ts.URL, job{id: 1, body: []byte(`{}`)}, genConfig{seed: 1})
+	if !out.shed || out.rpcErr || out.transportErr {
+		t.Fatalf("outcome = %+v, want shed", out)
+	}
+	if out.attempts != 1 || calls.Load() != 1 {
+		t.Errorf("attempts = %d (server saw %d), want exactly 1", out.attempts, calls.Load())
+	}
+}
+
+// TestSendChaosGivesUp checks the retry budget is bounded: a server that
+// always sheds costs at most the attempt cap, and the terminal outcome
+// is still a shed.
+func TestSendChaosGivesUp(t *testing.T) {
+	ts, calls := shedThenServe(1 << 30)
+	defer ts.Close()
+	start := time.Now()
+	out := send(http.DefaultClient, ts.URL, job{id: 2, body: []byte(`{}`)}, genConfig{seed: 1, chaos: true})
+	if !out.shed {
+		t.Fatalf("outcome = %+v, want terminal shed", out)
+	}
+	if out.attempts != 6 || calls.Load() != 6 {
+		t.Errorf("attempts = %d (server saw %d), want the cap of 6", out.attempts, calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("retry loop took %v, want bounded backoff", elapsed)
+	}
+}
+
+// TestSendNoRetryOnClientError checks chaos mode does not retry
+// non-retryable RPC errors (a bad request stays bad).
+func TestSendNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		io.WriteString(w, `{"jsonrpc":"2.0","id":1,"error":{"code":-32602,"message":"bad params"}}`)
+	}))
+	defer ts.Close()
+	out := send(http.DefaultClient, ts.URL, job{id: 1, body: []byte(`{}`)}, genConfig{seed: 1, chaos: true})
+	if !out.rpcErr {
+		t.Fatalf("outcome = %+v, want rpc error", out)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on -32602)", calls.Load())
+	}
+}
+
+// TestDigestCanonicalization checks the digest ignores the volatile
+// fields and JSON key order, and catches a real value change.
+func TestDigestCanonicalization(t *testing.T) {
+	a, err := digestResult([]byte(`{"scenario":"x","variants":[{"sr":0.5}],"coalesced":false,"elapsedUs":42}`))
+	if err != nil {
+		t.Fatalf("digestResult: %v", err)
+	}
+	b, err := digestResult([]byte(`{"elapsedUs":99999,"coalesced":true,"variants":[{"sr":0.5}],"scenario":"x"}`))
+	if err != nil {
+		t.Fatalf("digestResult: %v", err)
+	}
+	if a != b {
+		t.Errorf("digests differ across volatile fields/key order:\n  %s\n  %s", a, b)
+	}
+	c, err := digestResult([]byte(`{"scenario":"x","variants":[{"sr":0.6}],"coalesced":false,"elapsedUs":42}`))
+	if err != nil {
+		t.Fatalf("digestResult: %v", err)
+	}
+	if a == c {
+		t.Error("digest missed a changed solve value")
+	}
+}
+
+// TestCompareDigests walks the digest gate: identical shared results
+// pass, a changed result fails, an empty intersection fails.
+func TestCompareDigests(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "digest.json")
+	if err := writeDigests(path, map[int]string{1: "aa", 2: "bb"}); err != nil {
+		t.Fatalf("writeDigests: %v", err)
+	}
+	var out strings.Builder
+	if err := compareDigests(&out, path, map[int]string{1: "aa", 3: "cc"}); err != nil {
+		t.Errorf("matching digests failed: %v", err)
+	}
+	if err := compareDigests(io.Discard, path, map[int]string{1: "XX"}); err == nil {
+		t.Error("mismatched digest passed")
+	}
+	if err := compareDigests(io.Discard, path, map[int]string{9: "zz"}); err == nil {
+		t.Error("empty intersection passed")
+	}
+	if err := compareDigests(io.Discard, filepath.Join(dir, "missing.json"), map[int]string{1: "aa"}); err == nil {
+		t.Error("missing baseline passed")
+	}
+}
+
+// TestDigestFileRoundTrip checks the on-disk schema.
+func TestDigestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := writeDigests(path, map[int]string{7: "abc"}); err != nil {
+		t.Fatalf("writeDigests: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var f digestFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if f.Digests["7"] != "abc" {
+		t.Errorf("digests = %v, want 7->abc", f.Digests)
+	}
+}
+
+// TestSendTransportError checks a dead endpoint is classified as a
+// transport error, not an RPC one.
+func TestSendTransportError(t *testing.T) {
+	out := send(&http.Client{Timeout: time.Second}, "http://127.0.0.1:1", job{id: 1, body: []byte(`{}`)}, genConfig{seed: 1})
+	if !out.transportErr {
+		t.Fatalf("outcome = %+v, want transport error", out)
+	}
+}

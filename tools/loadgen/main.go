@@ -1,14 +1,18 @@
 // Command loadgen drives cmd/swapd with a paced, seeded request stream
 // and emits a BENCH_rpc.json-style artifact: sustained QPS, latency
-// percentiles, and the single-flight coalescing hit rate. It is the RPC
-// layer's regression gate (`make bench-rpc-json` writes the baseline,
-// `make bench-check` and CI's swapd-smoke job replay it with gates).
+// percentiles, the single-flight coalescing hit rate, and an error
+// taxonomy (shed / RPC / transport). It is the RPC layer's regression
+// gate (`make bench-rpc-json` writes the baseline, `make bench-check`
+// and CI's swapd-smoke job replay it with gates) and, with -chaos, the
+// chaos harness's client (`make chaos-smoke`).
 //
 // Usage:
 //
 //	loadgen -spawn ./bin/swapd -duration 10s -qps 1200 -o BENCH_rpc.json
 //	loadgen -addr http://127.0.0.1:8547 -duration 5s -qps 800 \
 //	  -against BENCH_rpc.json -min-qps 600 -max-p99-ms 80 -require-coalesce
+//	loadgen -spawn ./bin/swapd -spawn-args "-fault rpc.error=0.05 -fault-seed 42" \
+//	  -chaos -duration 6s -require-shed -min-goodput 50 -digest-against d.json
 //
 // The stream mixes cheap cached solves across a weighted preset mix with
 // periodic bursts of identical Monte Carlo solves (every -dup-every
@@ -16,11 +20,23 @@
 // so the single-flight layer always sees coalesceable load: within one
 // burst exactly one request computes and the rest ride along with
 // coalesced=true. Everything is seeded; two runs with the same flags
-// issue the same request sequence.
+// issue the same request sequence — which is what the digest flags
+// exploit: -digest-out records a canonical hash of every successful
+// result by request index, and -digest-against fails the run if any
+// request that succeeded in both runs solved to different bytes (the
+// chaos harness's correctness gate: faults may shed or delay requests,
+// never corrupt them).
+//
+// In -chaos mode, shed (-32005), internal (-32603) and transport errors
+// are retried with jittered exponential backoff that honors the server's
+// retryAfterMs hint; the report then carries goodput (successful QPS)
+// and a retry histogram alongside the latency percentiles.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,8 +76,12 @@ type Report struct {
 		DupEvery  int     `json:"dup_every"`
 		DupBurst  int     `json:"dup_burst"`
 		MCRuns    int     `json:"mc_runs"`
+		// Chaos records that the run retried retryable errors with
+		// backoff (the chaos-smoke client mode).
+		Chaos bool `json:"chaos,omitempty"`
 	} `json:"config"`
-	// Results are the measured aggregates.
+	// Results are the measured aggregates. Latency percentiles are over
+	// successful responses only; errors are tallied separately, by class.
 	Results struct {
 		Requests     int     `json:"requests"`
 		Errors       int     `json:"errors"`
@@ -75,31 +95,60 @@ type Report struct {
 		// (leaders + waiters) over the whole run.
 		Coalesced int     `json:"coalesced"`
 		HitRate   float64 `json:"coalesce_hit_rate"`
+		// The error taxonomy: Shed counts requests that ended -32005
+		// overloaded, RPCErrors other JSON-RPC errors, TransportErrors
+		// requests that never produced a decodable response. The three
+		// sum to Errors. All are terminal outcomes — in chaos mode, after
+		// the retry budget.
+		Shed            int `json:"shed"`
+		RPCErrors       int `json:"rpc_errors"`
+		TransportErrors int `json:"transport_errors"`
+		// GoodputQPS is successful responses per second of wall clock —
+		// the chaos harness's floor metric. Attempts counts every HTTP
+		// round trip (retries included); Retries is attempts beyond each
+		// request's first. RetryHistogram[k] counts requests that
+		// succeeded after exactly k retries (omitted when no retries ran).
+		GoodputQPS     float64 `json:"goodput_qps"`
+		Attempts       int     `json:"attempts"`
+		Retries        int     `json:"retries"`
+		RetryHistogram []int   `json:"retry_histogram,omitempty"`
+		// ServerShed and PanicsRecovered mirror swapd.stats at the end of
+		// the run: the server-side shed tally (the -require-shed gate) and
+		// the panics the daemon absorbed instead of crashing.
+		ServerShed      uint64 `json:"server_shed"`
+		PanicsRecovered uint64 `json:"panics_recovered"`
 	} `json:"results"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "swapd base URL (e.g. http://127.0.0.1:8547); empty requires -spawn")
-		spawn    = fs.String("spawn", "", "path to a swapd binary to spawn on a free port for the run")
-		duration = fs.Duration("duration", 10*time.Second, "how long to generate load")
-		qps      = fs.Int("qps", 1200, "target request rate")
-		seed     = fs.Int64("seed", 1, "RNG seed for the request sequence")
-		mix      = fs.String("mix", "tableIII:4,high-vol:2,low-vol:2,fee-stress:1,deep-collateral:1",
+		addr      = fs.String("addr", "", "swapd base URL (e.g. http://127.0.0.1:8547); empty requires -spawn")
+		spawn     = fs.String("spawn", "", "path to a swapd binary to spawn on a free port for the run")
+		spawnArgs = fs.String("spawn-args", "", "extra arguments for the spawned swapd (space-separated)")
+		duration  = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		qps       = fs.Int("qps", 1200, "target request rate")
+		seed      = fs.Int64("seed", 1, "RNG seed for the request sequence")
+		mix       = fs.String("mix", "tableIII:4,high-vol:2,low-vol:2,fee-stress:1,deep-collateral:1",
 			"weighted preset mix (name:weight,...)")
 		dupEvery = fs.Int("dup-every", 100, "dispatch a coalesceable burst every N requests (0 disables)")
 		dupBurst = fs.Int("dup-burst", 4, "identical concurrent requests per burst")
 		mcRuns   = fs.Int("mc-runs", 2000, "Monte Carlo runs of each burst request (the coalesceable work)")
 		workers  = fs.Int("workers", 32, "sender goroutines")
+		chaos    = fs.Bool("chaos", false, "retry shed/internal/transport errors with jittered backoff honoring retryAfterMs")
 		output   = fs.String("o", "", "write the JSON report here ('-' or empty = stdout only)")
 		note     = fs.String("note", "regenerate with `make bench-rpc-json`", "note field of the report")
 		against  = fs.String("against", "", "baseline BENCH_rpc.json to report deltas against")
+
+		digestOut     = fs.String("digest-out", "", "write a result-digest file (request index -> canonical result hash)")
+		digestAgainst = fs.String("digest-against", "", "digest file to compare against: shared successes must hash identically")
 
 		minQPS          = fs.Float64("min-qps", 0, "fail unless sustained QPS >= this (0 = no gate)")
 		maxP99Ms        = fs.Float64("max-p99-ms", 0, "fail unless p99 latency <= this (0 = no gate)")
 		requireCoalesce = fs.Bool("require-coalesce", false, "fail unless the coalescing hit rate is > 0")
 		maxErrorRate    = fs.Float64("max-error-rate", 0.01, "fail when errors/requests exceeds this")
+		requireShed     = fs.Bool("require-shed", false, "fail unless the server shed at least one request (overload proof)")
+		minGoodput      = fs.Float64("min-goodput", 0, "fail unless goodput (successful QPS) >= this (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,14 +162,24 @@ func run(args []string, out io.Writer) error {
 	}
 
 	base := *addr
+	var stop func() error
 	if *spawn != "" {
-		stop, url, err := spawnSwapd(*spawn)
+		var url string
+		stop, url, err = spawnSwapd(*spawn, strings.Fields(*spawnArgs))
 		if err != nil {
 			return err
 		}
-		defer stop()
 		base = url
 	}
+	stopDaemon := func() error {
+		if stop == nil {
+			return nil
+		}
+		s := stop
+		stop = nil
+		return s()
+	}
+	defer stopDaemon()
 	if base == "" {
 		return fmt.Errorf("need -addr or -spawn")
 	}
@@ -128,9 +187,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	rep := generate(base, genConfig{
+	rep, digests := generate(base, genConfig{
 		qps: *qps, duration: *duration, seed: *seed, weights: weights,
 		dupEvery: *dupEvery, dupBurst: *dupBurst, mcRuns: *mcRuns, workers: *workers,
+		chaos: *chaos, wantDigests: *digestOut != "" || *digestAgainst != "",
 	})
 	rep.Note = *note
 	rep.Config.QPS = *qps
@@ -140,6 +200,7 @@ func run(args []string, out io.Writer) error {
 	rep.Config.DupEvery = *dupEvery
 	rep.Config.DupBurst = *dupBurst
 	rep.Config.MCRuns = *mcRuns
+	rep.Config.Chaos = *chaos
 
 	printReport(out, rep)
 	if *against != "" {
@@ -157,9 +218,22 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *output)
 	}
+	if *digestOut != "" {
+		if err := writeDigests(*digestOut, digests); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d result digests)\n", *digestOut, len(digests))
+	}
+
+	// A spawned daemon must exit cleanly on SIGINT — a premature death or
+	// a refusal to drain is a crash (the chaos harness's zero-escaped-
+	// panics gate).
+	var failures []string
+	if err := stopDaemon(); err != nil {
+		failures = append(failures, err.Error())
+	}
 
 	r := rep.Results
-	var failures []string
 	if frac := errorRate(r.Errors, r.Requests); frac > *maxErrorRate {
 		failures = append(failures, fmt.Sprintf("error rate %.2f%% > %.2f%%", frac*100, *maxErrorRate*100))
 	}
@@ -174,6 +248,17 @@ func run(args []string, out io.Writer) error {
 	}
 	if *requireCoalesce && r.HitRate <= 0 {
 		failures = append(failures, "coalescing hit rate is 0")
+	}
+	if *requireShed && r.ServerShed == 0 {
+		failures = append(failures, "server shed 0 requests (overload never engaged admission control)")
+	}
+	if *minGoodput > 0 && r.GoodputQPS < *minGoodput {
+		failures = append(failures, fmt.Sprintf("goodput %.0f QPS < required %.0f", r.GoodputQPS, *minGoodput))
+	}
+	if *digestAgainst != "" {
+		if err := compareDigests(out, *digestAgainst, digests); err != nil {
+			failures = append(failures, err.Error())
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("gates failed:\n  %s", strings.Join(failures, "\n  "))
@@ -219,28 +304,37 @@ func parseMix(s string) ([]string, error) {
 }
 
 // spawnSwapd starts a swapd child on a free loopback port and returns a
-// stop function plus the base URL.
-func spawnSwapd(bin string) (func(), string, error) {
+// stop function plus the base URL. The stop function reports a daemon
+// that died before being asked to — a crash under load is a failed run,
+// not a silent restart.
+func spawnSwapd(bin string, extraArgs []string) (func() error, string, error) {
 	port, err := freePort()
 	if err != nil {
 		return nil, "", err
 	}
 	hostport := fmt.Sprintf("127.0.0.1:%d", port)
-	cmd := exec.Command(bin, "-addr", hostport)
+	cmd := exec.Command(bin, append([]string{"-addr", hostport}, extraArgs...)...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, "", fmt.Errorf("spawning %s: %w", bin, err)
 	}
-	stop := func() {
-		cmd.Process.Signal(os.Interrupt)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	stop := func() error {
 		select {
-		case <-done:
+		case err := <-waited:
+			return fmt.Errorf("swapd crashed mid-run: %v", err)
+		default:
+		}
+		cmd.Process.Signal(os.Interrupt)
+		select {
+		case <-waited:
+			return nil
 		case <-time.After(10 * time.Second):
 			cmd.Process.Kill()
-			<-done
+			<-waited
+			return fmt.Errorf("swapd did not drain within 10s of SIGINT")
 		}
 	}
 	return stop, "http://" + hostport, nil
@@ -284,15 +378,35 @@ type genConfig struct {
 	dupBurst int
 	mcRuns   int
 	workers  int
+	// chaos enables the retry loop; wantDigests turns on canonical result
+	// hashing (skipped otherwise — it re-parses every response).
+	chaos       bool
+	wantDigests bool
 }
 
-// job is one dispatched request (burst jobs share a body).
+// job is one dispatched request (burst jobs share a body; id is the
+// request index in the seeded sequence, the digest key).
 type job struct {
+	id   int
 	body []byte
 }
 
+// outcome classifies one request's terminal result.
+type outcome struct {
+	latencyUs    float64
+	coalesced    bool
+	shed         bool
+	rpcErr       bool
+	transportErr bool
+	retries      int
+	attempts     int
+	result       json.RawMessage // successful result payload (digesting only)
+}
+
+func (o outcome) success() bool { return !o.shed && !o.rpcErr && !o.transportErr }
+
 // generate runs the paced stream and aggregates the measurements.
-func generate(base string, cfg genConfig) Report {
+func generate(base string, cfg genConfig) (Report, map[int]string) {
 	client := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        cfg.workers * 2,
@@ -304,19 +418,41 @@ func generate(base string, cfg genConfig) Report {
 	var (
 		mu        sync.Mutex
 		latencies []float64
-		errs      int
 		coalesced int
+		shed      int
+		rpcErrs   int
+		transport int
+		retries   int
+		attempts  int
+		histogram []int
+		digests   = make(map[int]string)
 	)
-	record := func(us float64, coal bool, err error) {
+	record := func(id int, o outcome) {
 		mu.Lock()
 		defer mu.Unlock()
-		if err != nil {
-			errs++
-			return
-		}
-		latencies = append(latencies, us)
-		if coal {
-			coalesced++
+		attempts += o.attempts
+		retries += o.retries
+		switch {
+		case o.transportErr:
+			transport++
+		case o.shed:
+			shed++
+		case o.rpcErr:
+			rpcErrs++
+		default:
+			latencies = append(latencies, o.latencyUs)
+			if o.coalesced {
+				coalesced++
+			}
+			for len(histogram) <= o.retries {
+				histogram = append(histogram, 0)
+			}
+			histogram[o.retries]++
+			if cfg.wantDigests && o.result != nil {
+				if d, err := digestResult(o.result); err == nil {
+					digests[id] = d
+				}
+			}
 		}
 	}
 
@@ -327,9 +463,7 @@ func generate(base string, cfg genConfig) Report {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				start := time.Now()
-				coal, err := post(client, base, j.body)
-				record(float64(time.Since(start).Microseconds()), coal, err)
+				record(j.id, send(client, base, j, cfg))
 			}
 		}()
 	}
@@ -351,11 +485,11 @@ func generate(base string, cfg genConfig) Report {
 		if cfg.dupEvery > 0 && i%cfg.dupEvery == 0 {
 			body := burstBody(rng, cfg, i)
 			for b := 0; b < cfg.dupBurst; b++ {
-				jobs <- job{body: body}
+				jobs <- job{id: i, body: body}
 			}
 			continue
 		}
-		jobs <- job{body: solveBody(cfg.weights[rng.Intn(len(cfg.weights))], i)}
+		jobs <- job{id: i, body: solveBody(cfg.weights[rng.Intn(len(cfg.weights))], i)}
 	}
 	close(jobs)
 	wg.Wait()
@@ -363,20 +497,32 @@ func generate(base string, cfg genConfig) Report {
 
 	var rep Report
 	sort.Float64s(latencies)
+	errs := shed + rpcErrs + transport
 	rep.Results.Requests = len(latencies) + errs
 	rep.Results.Errors = errs
-	rep.Results.SustainedQPS = float64(len(latencies)) / elapsed.Seconds()
+	rep.Results.Shed = shed
+	rep.Results.RPCErrors = rpcErrs
+	rep.Results.TransportErrors = transport
+	rep.Results.SustainedQPS = float64(rep.Results.Requests) / elapsed.Seconds()
+	rep.Results.GoodputQPS = float64(len(latencies)) / elapsed.Seconds()
+	rep.Results.Attempts = attempts
+	rep.Results.Retries = retries
+	if retries > 0 {
+		rep.Results.RetryHistogram = histogram
+	}
 	rep.Results.P50Us = percentile(latencies, 0.50)
 	rep.Results.P90Us = percentile(latencies, 0.90)
 	rep.Results.P99Us = percentile(latencies, 0.99)
 	rep.Results.MaxUs = percentile(latencies, 1)
 	rep.Results.Coalesced = coalesced
-	if hr, ok := fetchHitRate(client, base); ok {
-		rep.Results.HitRate = hr
+	if st, ok := fetchStats(client, base); ok {
+		rep.Results.HitRate = st.hitRate
+		rep.Results.ServerShed = st.shed
+		rep.Results.PanicsRecovered = st.panics
 	} else if len(latencies) > 0 {
 		rep.Results.HitRate = float64(coalesced) / float64(len(latencies))
 	}
-	return rep
+	return rep, digests
 }
 
 // solveBody builds a cheap cached solve of a preset.
@@ -406,50 +552,218 @@ func burstBody(rng *rand.Rand, cfg genConfig, id int) []byte {
 		id, inline))
 }
 
-// post sends one request and reports whether the response was coalesced.
-func post(client *http.Client, base string, body []byte) (coalesced bool, err error) {
+// Error codes the client reacts to (mirrors internal/rpc).
+const (
+	codeOverloaded    = -32005
+	codeInternalError = -32603
+)
+
+// postResult is one HTTP attempt's classified response.
+type postResult struct {
+	coalesced    bool
+	result       json.RawMessage
+	errCode      int
+	errSet       bool
+	retryAfterMs int
+	transportErr error
+}
+
+// send issues one request, retrying retryable failures when chaos mode
+// is on: shed (-32005, honoring the server's retryAfterMs hint),
+// injected/internal (-32603), and transport errors, under jittered
+// exponential backoff. The jitter is seeded per job, so the retry
+// schedule is as reproducible as the request stream.
+func send(client *http.Client, base string, j job, cfg genConfig) outcome {
+	maxAttempts := 1
+	if cfg.chaos {
+		maxAttempts = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.seed ^ int64(j.id)*0x5851f42d4c957f2d))
+	backoff := 5 * time.Millisecond
+	var out outcome
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		res := post(client, base, j.body)
+		latency := float64(time.Since(start).Microseconds())
+		out.attempts = attempt + 1
+		out.retries = attempt
+		switch {
+		case res.transportErr != nil:
+			out.transportErr, out.shed, out.rpcErr = true, false, false
+		case res.errSet:
+			out.shed = res.errCode == codeOverloaded
+			out.rpcErr = !out.shed
+			out.transportErr = false
+		default:
+			out.latencyUs = latency
+			out.coalesced = res.coalesced
+			out.result = res.result
+			out.shed, out.rpcErr, out.transportErr = false, false, false
+			return out
+		}
+		retryable := res.transportErr != nil || res.errCode == codeOverloaded || res.errCode == codeInternalError
+		if !cfg.chaos || !retryable || attempt == maxAttempts-1 {
+			return out
+		}
+		delay := backoff
+		if hint := time.Duration(res.retryAfterMs) * time.Millisecond; hint > delay {
+			delay = hint
+		}
+		// Full jitter on top of the floor, so retry storms decorrelate.
+		delay += time.Duration(rng.Int63n(int64(delay) + 1))
+		time.Sleep(delay)
+		backoff *= 2
+	}
+}
+
+// post sends one request and classifies the response.
+func post(client *http.Client, base string, body []byte) postResult {
 	resp, err := client.Post(base+"/rpc", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return postResult{transportErr: err}
 	}
 	defer resp.Body.Close()
 	var envelope struct {
-		Result struct {
-			Coalesced bool `json:"coalesced"`
-		} `json:"result"`
-		Error *struct {
-			Code    int    `json:"code"`
-			Message string `json:"message"`
+		Result json.RawMessage `json:"result"`
+		Error  *struct {
+			Code    int             `json:"code"`
+			Message string          `json:"message"`
+			Data    json.RawMessage `json:"data"`
 		} `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		return false, err
+		return postResult{transportErr: err}
 	}
 	if envelope.Error != nil {
-		return false, fmt.Errorf("rpc %d: %s", envelope.Error.Code, envelope.Error.Message)
+		out := postResult{errCode: envelope.Error.Code, errSet: true}
+		if len(envelope.Error.Data) > 0 {
+			var hint struct {
+				RetryAfterMs int `json:"retryAfterMs"`
+			}
+			if json.Unmarshal(envelope.Error.Data, &hint) == nil {
+				out.retryAfterMs = hint.RetryAfterMs
+			}
+		}
+		return out
 	}
-	return envelope.Result.Coalesced, nil
+	var coal struct {
+		Coalesced bool `json:"coalesced"`
+	}
+	json.Unmarshal(envelope.Result, &coal)
+	return postResult{coalesced: coal.Coalesced, result: envelope.Result}
 }
 
-// fetchHitRate reads the server's own coalescing counters.
-func fetchHitRate(client *http.Client, base string) (float64, bool) {
+// serverStats is the slice of swapd.stats the report carries.
+type serverStats struct {
+	hitRate float64
+	shed    uint64
+	panics  uint64
+}
+
+// fetchStats reads the server's own counters at the end of a run.
+func fetchStats(client *http.Client, base string) (serverStats, bool) {
 	body := []byte(`{"jsonrpc":"2.0","id":"stats","method":"swapd.stats"}`)
 	resp, err := client.Post(base+"/rpc", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, false
+		return serverStats{}, false
 	}
 	defer resp.Body.Close()
 	var envelope struct {
 		Result struct {
+			Requests struct {
+				PanicsRecovered uint64 `json:"panicsRecovered"`
+			} `json:"requests"`
+			Admission struct {
+				Shed uint64 `json:"shed"`
+			} `json:"admission"`
 			Coalescing struct {
 				HitRate float64 `json:"hitRate"`
 			} `json:"coalescing"`
 		} `json:"result"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		return 0, false
+		return serverStats{}, false
 	}
-	return envelope.Result.Coalescing.HitRate, true
+	return serverStats{
+		hitRate: envelope.Result.Coalescing.HitRate,
+		shed:    envelope.Result.Admission.Shed,
+		panics:  envelope.Result.Requests.PanicsRecovered,
+	}, true
+}
+
+// digestResult canonicalises one solve result and hashes it: volatile
+// per-request fields (latency, coalescing luck) are dropped, the rest is
+// re-marshalled (Go sorts object keys) and SHA-256'd. Two runs of the
+// same seeded request must digest identically — faults may delay or shed
+// a request, never change what it solves to.
+func digestResult(result json.RawMessage) (string, error) {
+	var v map[string]any
+	if err := json.Unmarshal(result, &v); err != nil {
+		return "", err
+	}
+	delete(v, "elapsedUs")
+	delete(v, "coalesced")
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// digestFile is the -digest-out schema.
+type digestFile struct {
+	Note    string            `json:"note"`
+	Digests map[string]string `json:"digests"`
+}
+
+// writeDigests persists the run's result digests.
+func writeDigests(path string, digests map[int]string) error {
+	out := digestFile{
+		Note:    "canonical solve-result hashes by request index; compare with -digest-against",
+		Digests: make(map[string]string, len(digests)),
+	}
+	for id, d := range digests {
+		out.Digests[strconv.Itoa(id)] = d
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareDigests checks every request that succeeded in both runs solved
+// to byte-identical canonical results — the chaos correctness gate.
+func compareDigests(out io.Writer, path string, digests map[int]string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("digest baseline: %v", err)
+	}
+	var base digestFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("digest baseline %s: %v", path, err)
+	}
+	shared, mismatched := 0, 0
+	for id, d := range digests {
+		want, ok := base.Digests[strconv.Itoa(id)]
+		if !ok {
+			continue
+		}
+		shared++
+		if d != want {
+			mismatched++
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("digest compare vs %s: no shared successful requests", path)
+	}
+	if mismatched > 0 {
+		return fmt.Errorf("digest compare vs %s: %d of %d shared results differ (faults corrupted a solve)",
+			path, mismatched, shared)
+	}
+	fmt.Fprintf(out, "digest compare vs %s: %d shared results byte-identical\n", path, shared)
+	return nil
 }
 
 // percentile reads the q-quantile from sorted data by the nearest-rank
@@ -474,12 +788,16 @@ func percentile(sorted []float64, q float64) float64 {
 // printReport renders the human-readable summary.
 func printReport(out io.Writer, rep Report) {
 	r := rep.Results
-	fmt.Fprintf(out, "loadgen: %d requests (%d errors), sustained %.0f QPS\n",
-		r.Requests, r.Errors, r.SustainedQPS)
+	fmt.Fprintf(out, "loadgen: %d requests (%d errors: %d shed, %d rpc, %d transport), sustained %.0f QPS, goodput %.0f QPS\n",
+		r.Requests, r.Errors, r.Shed, r.RPCErrors, r.TransportErrors, r.SustainedQPS, r.GoodputQPS)
 	fmt.Fprintf(out, "latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		r.P50Us/1000, r.P90Us/1000, r.P99Us/1000, r.MaxUs/1000)
 	fmt.Fprintf(out, "coalescing: %d coalesced responses, server hit rate %.1f%%\n",
 		r.Coalesced, r.HitRate*100)
+	if r.Retries > 0 {
+		fmt.Fprintf(out, "chaos: %d attempts, %d retries, histogram %v, server shed %d, panics recovered %d\n",
+			r.Attempts, r.Retries, r.RetryHistogram, r.ServerShed, r.PanicsRecovered)
+	}
 }
 
 // printDeltas reports the run against a committed baseline (informational:
