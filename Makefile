@@ -9,7 +9,8 @@ COVER_PKGS = repro/internal/scenario repro/internal/core repro/internal/mc \
 	repro/internal/memo repro/internal/solvecache repro/internal/lazyrng \
 	repro/internal/variant repro/internal/packetized repro/internal/repeated \
 	repro/internal/baseline repro/internal/rpc repro/internal/qmc \
-	repro/internal/fault
+	repro/internal/fault repro/internal/store repro/internal/config \
+	repro/internal/atlas
 COVER_MIN  = 80
 
 # Pinned static-analysis toolchain versions (CI installs exactly these;
@@ -17,7 +18,7 @@ COVER_MIN  = 80
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all build test race bench bench-smoke bench-json bench-rpc-json bench-check swapd-smoke chaos-smoke pprof-smoke lint cover fuzz-smoke scenarios figures clean
+.PHONY: all build test race bench bench-smoke bench-json bench-rpc-json bench-check swapd-smoke chaos-smoke atlas-smoke pprof-smoke lint cover fuzz-smoke scenarios figures clean
 
 all: lint build test
 
@@ -70,13 +71,21 @@ bench-check:
 	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
 	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
 	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 5s -qps 1200 \
-		-min-qps 500 -max-p99-ms 100 -require-coalesce -against BENCH_rpc.json
+		-min-qps 500 -max-p99-ms 100 -require-coalesce -against BENCH_rpc.json; \
+	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -spawn-args "-resp-cache 16384" \
+		-duration 4s -qps 400 -hot-frac 0.5 -hot-keys 8 -mc-runs 1000 -warm \
+		-min-warm-hit 0.9 -warm-faster -against BENCH_rpc.json
 
 # Regenerate the RPC-layer baseline (commit the result; see tools/loadgen).
+# The hot-key + -warm run makes the artifact carry a cold row (results)
+# and a warm row (warm): the same seeded stream replayed against the
+# populated response cache. -resp-cache is sized above the stream's
+# unique-key count so the replay measures hits, not LRU churn.
 bench-rpc-json:
 	@set -e; bindir=$$(mktemp -d); trap 'rm -rf '$$bindir EXIT; \
 	$(GO) build -o $$bindir/swapd ./cmd/swapd; \
-	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -duration 10s -qps 1200 -o BENCH_rpc.json
+	$(GO) run ./tools/loadgen -spawn $$bindir/swapd -spawn-args "-resp-cache 16384" \
+		-duration 10s -qps 800 -hot-frac 0.5 -hot-keys 8 -mc-runs 1000 -warm -o BENCH_rpc.json
 
 # The quote daemon's acceptance gate (CI's swapd-smoke job): spawn swapd,
 # drive it for 10s at 1200 QPS, and require >= 1000 sustained QPS, p99
@@ -110,6 +119,29 @@ chaos-smoke:
 		-duration 6s -qps 300 -seed 7 -dup-every 20 -dup-burst 8 -mc-runs 5000 -workers 16 \
 		-chaos -digest-against $$dir/digest.json \
 		-require-shed -min-goodput 30 -max-p99-ms 5000 -max-error-rate 0.25
+
+# The scenario-universe atlas's incrementality gate (CI's atlas-smoke
+# job): sweep the default universe twice against one persistent store.
+# The second sweep must load every cell from disk (-max-solved 0 fails
+# the run if even one cell re-solves), produce byte-identical artifacts,
+# and finish at least 10x faster than the cold sweep — the whole point
+# of content-addressed results.
+atlas-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf '$$dir EXIT; \
+	$(GO) build -o $$dir/scenarios ./cmd/scenarios; \
+	echo "atlas-smoke: cold sweep"; \
+	start=$$(date +%s%N); \
+	$$dir/scenarios atlas -store $$dir/store -out $$dir/cold; \
+	cold_ms=$$(( ($$(date +%s%N) - start) / 1000000 )); \
+	echo "atlas-smoke: warm sweep (must solve 0 cells)"; \
+	start=$$(date +%s%N); \
+	$$dir/scenarios atlas -store $$dir/store -out $$dir/warm -max-solved 0; \
+	warm_ms=$$(( ($$(date +%s%N) - start) / 1000000 )); \
+	cmp $$dir/cold/atlas_cells.json $$dir/warm/atlas_cells.json; \
+	cmp $$dir/cold/atlas_frontier.txt $$dir/warm/atlas_frontier.txt; \
+	echo "atlas-smoke: cold $${cold_ms}ms, warm $${warm_ms}ms"; \
+	if [ $$(( warm_ms * 10 )) -gt $$cold_ms ]; then \
+		echo "atlas-smoke: warm sweep is not 10x faster than cold" >&2; exit 1; fi
 
 # Profiling smoke: run one solve benchmark under -cpuprofile and assert
 # the profile came out non-empty, so the profiling workflow every perf PR

@@ -16,6 +16,16 @@
 //	scenarios -export tableIII -o my.json   # template for custom scenarios
 //	scenarios -file my.json                 # run a user-defined scenario
 //
+// The atlas subcommand sweeps a generated chain-pair universe (see
+// internal/config) through the persistent content-addressed store and
+// renders success-rate frontier artifacts. Only cells whose content key is
+// absent from the store are solved, so a repeat run over an unchanged
+// universe solves nothing and re-renders identical bytes:
+//
+//	scenarios atlas -store .atlas-store -out artifacts/atlas
+//	scenarios atlas -store .atlas-store -out artifacts/atlas -max-solved 0  # warm gate
+//	scenarios atlas -chains btc,evm -samples 64 -seed 7 -variant all
+//
 // Without -variant a scenario runs its own variant selection (the classic
 // basic/collateral/uncertain trio when it names none). Batch runs
 // parallelise across (scenario × variant) cells through the internal/sweep
@@ -32,9 +42,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/atlas"
+	"repro/internal/config"
 	"repro/internal/qmc"
 	"repro/internal/scenario"
 	"repro/internal/solvecache"
+	"repro/internal/store"
 	"repro/internal/variant"
 )
 
@@ -46,6 +59,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "atlas" {
+		return runAtlas(args[1:], out)
+	}
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
 	var (
 		list     = fs.Bool("list", false, "list the registered scenario presets and variant games")
@@ -101,6 +117,76 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("nothing to do: pass -list, -run, -diff, -export or -file (see -help)")
 	}
+}
+
+// runAtlas sweeps a generated universe through the content-addressed store
+// and renders the frontier artifacts (scenarios atlas ...).
+func runAtlas(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenarios atlas", flag.ContinueOnError)
+	var (
+		storeDir  = fs.String("store", "", "persistent cell-store directory (empty = uncached: every cell solves)")
+		outDir    = fs.String("out", "", "artifact directory for atlas_cells.json and atlas_frontier.txt (empty = print the frontier)")
+		chains    = fs.String("chains", "btc,ltc,doge,evm", "comma-separated chain profiles; every ordered pair becomes a swap direction")
+		samples   = fs.Int("samples", 32, "Sobol samples per ordered chain pair")
+		seed      = fs.Int64("seed", 1, "universe seed (scrambles sampling and seeds MC validation)")
+		variants  = fs.String("variant", "basic", `variants solved per cell: "all" or a comma-separated key list`)
+		runs      = fs.Int("runs", 0, "Monte Carlo run count per cell when -mc is set (0 = per-scenario default)")
+		ciWidth   = fs.Float64("ci-width", 0, "adaptive Monte Carlo half-width target (0 = fixed run count)")
+		maxPaths  = fs.Int("max-paths", 0, "hard cap on adaptive sampling per cell")
+		mc        = fs.Bool("mc", false, "run each cell's Monte Carlo validation (default: analytic solves only)")
+		workers   = fs.Int("workers", 0, "cross-cell worker-pool size (0 = all CPUs)")
+		maxSolved = fs.Int("max-solved", -1, "fail if more than this many cells had to be solved (-1 = no gate; 0 gates a fully warm run)")
+		stats     = fs.Bool("cache-stats", false, "print solve-cache and quadrature-table counters after the sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stats {
+		defer solvecache.WriteStats(out)
+	}
+	opts := atlas.Options{
+		Spec: config.UniverseSpec{
+			Chains:  strings.Split(*chains, ","),
+			Samples: *samples,
+			Seed:    *seed,
+			MCRuns:  *runs,
+		},
+		Variants: *variants,
+		Runs:     *runs,
+		CIWidth:  *ciWidth,
+		MaxPaths: *maxPaths,
+		SkipMC:   !*mc,
+		Workers:  *workers,
+	}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = s
+	}
+	res, err := atlas.Run(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.Summary())
+	if opts.Store != nil {
+		st := opts.Store.Stats()
+		fmt.Fprintf(out, "store: %d hits, %d misses, %d corrupt, %d puts (%s)\n",
+			st.Hits, st.Misses, st.Corrupt, st.Puts, opts.Store.Dir())
+	}
+	if *outDir != "" {
+		if err := res.WriteArtifacts(*outDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "artifacts written to %s\n", *outDir)
+	} else {
+		fmt.Fprint(out, res.Frontier())
+	}
+	if *maxSolved >= 0 && res.Solved > *maxSolved {
+		return fmt.Errorf("atlas solved %d cells, gate allows %d (store not warm?)", res.Solved, *maxSolved)
+	}
+	return nil
 }
 
 // runList prints the preset table and the variant registry.

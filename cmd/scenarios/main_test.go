@@ -162,3 +162,44 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAtlasSubcommandIncremental(t *testing.T) {
+	storeDir, outDir := t.TempDir(), t.TempDir()
+	base := []string{"atlas", "-chains", "btc,evm", "-samples", "2", "-seed", "3", "-store", storeDir, "-out", outDir}
+	var cold strings.Builder
+	if err := run(base, &cold); err != nil {
+		t.Fatalf("cold run: %v\n%s", err, cold.String())
+	}
+	if !strings.Contains(cold.String(), "solved 4, loaded 0") {
+		t.Errorf("cold output lacks solved-4 marker:\n%s", cold.String())
+	}
+	for _, name := range []string{"atlas_cells.json", "atlas_frontier.txt"} {
+		if _, err := os.Stat(filepath.Join(outDir, name)); err != nil {
+			t.Errorf("artifact %s not written: %v", name, err)
+		}
+	}
+	var warm strings.Builder
+	if err := run(append(base, "-max-solved", "0"), &warm); err != nil {
+		t.Fatalf("warm run: %v\n%s", err, warm.String())
+	}
+	if !strings.Contains(warm.String(), "solved 0, loaded 4") {
+		t.Errorf("warm output lacks solved-0 marker:\n%s", warm.String())
+	}
+	// The warm gate must fail against a cold store.
+	var sb strings.Builder
+	err := run([]string{"atlas", "-chains", "btc,evm", "-samples", "2", "-seed", "3",
+		"-store", t.TempDir(), "-max-solved", "0"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "gate allows 0") {
+		t.Errorf("cold store with -max-solved 0 returned %v, want gate failure", err)
+	}
+}
+
+func TestAtlasRejectsBadSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"atlas", "-chains", "btc"}, &sb); err == nil {
+		t.Error("single-chain universe should be rejected")
+	}
+	if err := run([]string{"atlas", "-chains", "btc,nope", "-samples", "1"}, &sb); err == nil {
+		t.Error("unknown chain should be rejected")
+	}
+}

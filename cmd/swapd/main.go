@@ -10,6 +10,7 @@
 //	      [-mc-workers 1] [-max-runs 1000000] [-quiet]
 //	      [-max-inflight 64] [-queue-depth 64] [-queue-wait 25ms]
 //	      [-ws-read-timeout 2m] [-ws-write-timeout 10s]
+//	      [-store dir] [-resp-cache 1024] [-cache-max-models 512]
 //	      [-fault key=prob[:delay],...] [-fault-seed 1]
 //
 // Endpoints:
@@ -22,7 +23,12 @@
 //	GET  /healthz  liveness (503 while draining)
 //
 // Concurrent identical swap.solve requests coalesce through a
-// single-flight layer in front of the process-wide solve cache; every
+// single-flight layer in front of the process-wide solve cache; repeat
+// requests are answered from a serialized-response byte cache
+// (-resp-cache entries, 0 disables), and -store points at a persistent
+// content-addressed result store shared with `scenarios atlas`, so a
+// restarted daemon starts warm. -cache-max-models bounds the shared
+// solve-model cache (0 = default 512, negative = unbounded). Every
 // request runs under a context budget (budgetMs per request, capped at
 // -max-budget-ms). SIGINT/SIGTERM trigger a graceful shutdown: new
 // requests are rejected with code -32000, in-flight solves drain, and
@@ -51,6 +57,8 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/rpc"
+	"repro/internal/solvecache"
+	"repro/internal/store"
 )
 
 func main() {
@@ -78,6 +86,10 @@ func run(args []string, out io.Writer) error {
 		wsWriteTimeout = fs.Duration("ws-write-timeout", 0, "per-frame WebSocket write deadline (0 = default 10s)")
 		faultSpec      = fs.String("fault", "", "arm the chaos injector: key=prob[:delay],... (see internal/fault; empty = off)")
 		faultSeed      = fs.Int64("fault-seed", 1, "seed of the fault injector's deterministic draws")
+
+		storeDir  = fs.String("store", "", "persistent solve-store directory (empty = no on-disk tier)")
+		respCache = fs.Int("resp-cache", 1024, "serialized-response cache entries for swap.solve (0 = disabled)")
+		maxModels = fs.Int("cache-max-models", 0, "bound on shared solve models (0 = default 512, negative = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +97,20 @@ func run(args []string, out io.Writer) error {
 	injector, err := fault.NewFromSpec(*faultSeed, *faultSpec)
 	if err != nil {
 		return fmt.Errorf("-fault: %w", err)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+	}
+	if *maxModels != 0 {
+		solvecache.SetMaxModels(*maxModels)
+	}
+	respSize := *respCache
+	if respSize == 0 {
+		respSize = -1 // Config treats 0 as "use the default"; the user said off.
 	}
 	logger := log.New(out, "swapd: ", log.LstdFlags)
 	logf := logger.Printf
@@ -104,6 +130,8 @@ func run(args []string, out io.Writer) error {
 		WSWriteTimeout: *wsWriteTimeout,
 		Fault:          injector,
 		Logf:           logf,
+		Store:          st,
+		RespCacheSize:  respSize,
 	})
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
@@ -113,6 +141,9 @@ func run(args []string, out io.Writer) error {
 	}
 	logf("listening on %s (budget %dms, max budget %dms, mc workers %d)",
 		ln.Addr(), *budgetMs, *maxBudgetMs, *mcWorkers)
+	if st != nil {
+		logf("solve store: %s (%d entries)", *storeDir, st.Len())
+	}
 	if injector.Enabled() {
 		logf("CHAOS: fault injector armed (seed %d): %s", *faultSeed, *faultSpec)
 	}

@@ -1,0 +1,252 @@
+// Package config is the chain-profile layer under the generated scenario
+// universe: named profiles of real chain families (block cadence,
+// confirmation depth, relative fee level) and a deterministic generator
+// that crosses ordered chain pairs with Sobol-sampled market parameters to
+// produce thousands of scenario cells for the sweep atlas.
+//
+// A profile maps onto the paper's timing model directly: τ (TauA/TauB) is
+// the chain's confirmation latency in hours — block time × confirmation
+// depth, scaled by a sampled congestion multiplier and quantized *up* to
+// whole blocks, because a chain cannot confirm in a fraction of a block
+// (that quantization is what makes timelock granularity a real, per-chain
+// effect rather than a continuous knob). ε_b is the mempool-discoverability
+// latency on chain B, a small number of B-blocks, so Eq. 3 (ε_b < τ_b)
+// holds by construction for every generated cell. Fee level scales the
+// sampled success premium α: trading across expensive chains leaves less
+// net premium for completing the swap.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"repro/internal/qmc"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/utility"
+)
+
+// Errors returned by the package.
+var (
+	// ErrUnknownChain reports a chain name with no registered profile.
+	ErrUnknownChain = errors.New("config: unknown chain profile")
+	// ErrBadSpec reports an invalid universe specification.
+	ErrBadSpec = errors.New("config: invalid universe spec")
+)
+
+// ChainProfile describes one chain family's operational characteristics —
+// everything the scenario generator needs to turn "a swap between chain A
+// and chain B" into the paper's timing parameters.
+type ChainProfile struct {
+	// Name identifies the profile ("btc", "evm").
+	Name string `json:"name"`
+	// BlockMinutes is the expected block interval in minutes. It is the
+	// chain's timelock granularity: confirmation latencies are whole
+	// multiples of it.
+	BlockMinutes float64 `json:"blockMinutes"`
+	// Confirmations is the depth at which a transaction is considered
+	// final for swap purposes.
+	Confirmations int `json:"confirmations"`
+	// FeeLevel is the chain's relative on-chain cost level in (0, 1]: 1 is
+	// cheap, lower is more expensive. It scales the sampled success
+	// premium α of the agent transacting on the chain.
+	FeeLevel float64 `json:"feeLevel"`
+}
+
+// Validate checks the profile's ranges.
+func (c ChainProfile) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadSpec)
+	}
+	if !(c.BlockMinutes > 0) || math.IsInf(c.BlockMinutes, 0) {
+		return fmt.Errorf("%w: %s: blockMinutes=%g must be > 0", ErrBadSpec, c.Name, c.BlockMinutes)
+	}
+	if c.Confirmations < 6 {
+		// ε_b is at most maxCongestion (4) B-blocks; ≥ 6 confirmation
+		// blocks keeps ε_b < τ_b (Eq. 3) true by construction.
+		return fmt.Errorf("%w: %s: confirmations=%d must be >= 6", ErrBadSpec, c.Name, c.Confirmations)
+	}
+	if !(c.FeeLevel > 0 && c.FeeLevel <= 1) {
+		return fmt.Errorf("%w: %s: feeLevel=%g must be in (0, 1]", ErrBadSpec, c.Name, c.FeeLevel)
+	}
+	return nil
+}
+
+// BlockHours is the block interval in hours.
+func (c ChainProfile) BlockHours() float64 { return c.BlockMinutes / 60 }
+
+// ConfHours returns the confirmation latency in hours under a congestion
+// multiplier ≥ 1, quantized up to whole blocks.
+func (c ChainProfile) ConfHours(congestion float64) float64 {
+	blocks := math.Ceil(float64(c.Confirmations) * congestion)
+	return blocks * c.BlockHours()
+}
+
+// Profiles returns the registered chain profiles, in canonical order. The
+// numbers are stylized but shaped like the real families: BTC's 10-minute
+// blocks and 6-deep finality, Litecoin's 2.5-minute blocks, Dogecoin's
+// 1-minute blocks with deeper required depth, and an EVM-style chain with
+// 12-second slots and a ~32-slot finality window.
+func Profiles() []ChainProfile {
+	return []ChainProfile{
+		{Name: "btc", BlockMinutes: 10, Confirmations: 6, FeeLevel: 0.7},
+		{Name: "ltc", BlockMinutes: 2.5, Confirmations: 12, FeeLevel: 0.95},
+		{Name: "doge", BlockMinutes: 1, Confirmations: 20, FeeLevel: 0.9},
+		{Name: "evm", BlockMinutes: 0.2, Confirmations: 32, FeeLevel: 0.8},
+	}
+}
+
+// Lookup returns the profile registered under name.
+func Lookup(name string) (ChainProfile, error) {
+	for _, c := range Profiles() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return ChainProfile{}, fmt.Errorf("%w: %q", ErrUnknownChain, name)
+}
+
+// Sampled market-parameter ranges. Each Sobol coordinate u ∈ (0, 1) maps
+// affinely onto its range; the bounds bracket the preset point cloud
+// (σ 0.04–0.2, α 0.02–0.3, r 0.01–0.05 across the ten presets) so the
+// generated universe covers and extends the regimes the repo already pins.
+const (
+	minSigma, maxSigma           = 0.04, 0.25
+	minMu, maxMu                 = -0.004, 0.004
+	minAlpha, maxAlpha           = 0.05, 0.5
+	minR, maxR                   = 0.002, 0.05
+	minCongestion, maxCongestion = 1.0, 4.0
+)
+
+// universeDims is the Sobol dimension of one cell draw:
+// σ, µ, αA, αB, rA, rB, congestion.
+const universeDims = 7
+
+// UniverseSpec describes a generated scenario universe: which chains
+// participate, how many market-parameter samples to draw per ordered chain
+// pair, and the seed that makes the whole universe a pure function of the
+// spec.
+type UniverseSpec struct {
+	// Chains are profile names (see Profiles); every ordered pair (a, b)
+	// with a ≠ b becomes a swap direction.
+	Chains []string `json:"chains"`
+	// Samples is the number of Sobol draws per ordered pair.
+	Samples int `json:"samples"`
+	// Seed scrambles the Sobol randomization and seeds each scenario's
+	// Monte Carlo validation stream.
+	Seed int64 `json:"seed"`
+	// MCRuns sizes each generated scenario's MC validation (0 = the
+	// scenario default).
+	MCRuns int `json:"mcRuns,omitempty"`
+}
+
+// Validate checks the spec.
+func (u UniverseSpec) Validate() error {
+	if len(u.Chains) < 2 {
+		return fmt.Errorf("%w: need at least 2 chains, have %d", ErrBadSpec, len(u.Chains))
+	}
+	seen := make(map[string]bool, len(u.Chains))
+	for _, name := range u.Chains {
+		if _, err := Lookup(name); err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("%w: duplicate chain %q", ErrBadSpec, name)
+		}
+		seen[name] = true
+	}
+	if u.Samples < 1 {
+		return fmt.Errorf("%w: samples=%d must be >= 1", ErrBadSpec, u.Samples)
+	}
+	if u.MCRuns < 0 {
+		return fmt.Errorf("%w: mcRuns=%d must be >= 0", ErrBadSpec, u.MCRuns)
+	}
+	return nil
+}
+
+// Cells is the number of scenarios Generate will produce:
+// ordered pairs × samples.
+func (u UniverseSpec) Cells() int {
+	n := len(u.Chains)
+	return n * (n - 1) * u.Samples
+}
+
+// lerp maps a unit coordinate onto [lo, hi].
+func lerp(u, lo, hi float64) float64 { return lo + u*(hi-lo) }
+
+// pairShard derives a stable per-pair stream shard from the pair's names,
+// so a pair's samples do not depend on its position in the chain list:
+// adding a chain to a spec extends the universe without disturbing any
+// existing pair's cells (the atlas re-solves only the new ones).
+func pairShard(a, b string) int {
+	h := fnv.New32a()
+	io.WriteString(h, a)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, b)
+	return int(h.Sum32())
+}
+
+// Generate produces the universe: for every ordered chain pair (a, b) a
+// Sobol-sampled set of market regimes, each a complete, validated
+// scenario. The result is a pure function of the spec — same spec, same
+// scenarios, bit for bit — which is what lets the atlas content-address
+// each cell and re-solve only what changed. Each pair draws from the
+// decorrelated scramble stream sweep.Seed(spec.Seed, pairShard(a, b)), so
+// adding a chain extends the universe without disturbing existing pairs'
+// samples.
+func (u UniverseSpec) Generate() ([]scenario.Scenario, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]scenario.Scenario, 0, u.Cells())
+	for _, an := range u.Chains {
+		for _, bn := range u.Chains {
+			if an == bn {
+				continue
+			}
+			a, _ := Lookup(an)
+			b, _ := Lookup(bn)
+			shard := pairShard(an, bn)
+			sob, err := qmc.NewSobol(universeDims, sweep.Seed(u.Seed, shard))
+			if err != nil {
+				return nil, err
+			}
+			var pt [universeDims]float64
+			for i := 0; i < u.Samples; i++ {
+				sob.Point(uint32(i), pt[:])
+				cong := lerp(pt[6], minCongestion, maxCongestion)
+				p := utility.Default()
+				p.Price.Sigma = lerp(pt[0], minSigma, maxSigma)
+				p.Price.Mu = lerp(pt[1], minMu, maxMu)
+				p.Alice.Alpha = lerp(pt[2], minAlpha, maxAlpha) * a.FeeLevel
+				p.Bob.Alpha = lerp(pt[3], minAlpha, maxAlpha) * b.FeeLevel
+				p.Alice.R = lerp(pt[4], minR, maxR)
+				p.Bob.R = lerp(pt[5], minR, maxR)
+				p.Chains.TauA = a.ConfHours(cong)
+				p.Chains.TauB = b.ConfHours(cong)
+				// Discoverability on chain B: ceil(congestion) B-blocks.
+				// Always < τ_b because confirmations ≥ 6 > maxCongestion.
+				p.Chains.EpsB = math.Ceil(cong) * b.BlockHours()
+				sc := scenario.Scenario{
+					Name: fmt.Sprintf("u-%s-%s-%03d", an, bn, i),
+					Description: fmt.Sprintf("generated: %s→%s swap, congestion %.2fx",
+						an, bn, cong),
+					Params:     p,
+					PStar:      2.0,
+					Collateral: 0.1,
+					BobBudget:  5,
+					MCRuns:     u.MCRuns,
+					Seed:       sweep.Seed(u.Seed, shard+i+1),
+				}
+				if err := sc.Validate(); err != nil {
+					return nil, fmt.Errorf("config: generated cell %s: %w", sc.Name, err)
+				}
+				out = append(out, sc)
+			}
+		}
+	}
+	return out, nil
+}

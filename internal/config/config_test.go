@@ -1,0 +1,152 @@
+package config
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfilesValidateAndLookup(t *testing.T) {
+	for _, c := range Profiles() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("profile %s: %v", c.Name, err)
+		}
+		got, err := Lookup(c.Name)
+		if err != nil || got != c {
+			t.Errorf("Lookup(%s) = %+v, %v", c.Name, got, err)
+		}
+	}
+	if _, err := Lookup("sol"); err == nil {
+		t.Error("Lookup of an unregistered chain should error")
+	}
+}
+
+func TestConfHoursQuantizesUpToWholeBlocks(t *testing.T) {
+	btc, _ := Lookup("btc")
+	// 6 confirmations × 1.1 congestion = 6.6 blocks → 7 blocks of 10 min.
+	if got, want := btc.ConfHours(1.1), 7*btc.BlockHours(); got != want {
+		t.Errorf("ConfHours(1.1) = %g, want %g", got, want)
+	}
+	if got, want := btc.ConfHours(1), 1.0; got != want {
+		t.Errorf("ConfHours(1) = %g, want %g (6 blocks × 10 min)", got, want)
+	}
+	// Quantization means tiny congestion differences inside one block snap
+	// to the same latency — granularity is real, not a continuous knob.
+	if btc.ConfHours(1.01) != btc.ConfHours(1.15) {
+		t.Error("congestions within one block did not snap together")
+	}
+}
+
+func TestValidateSpec(t *testing.T) {
+	bad := []UniverseSpec{
+		{Chains: []string{"btc"}, Samples: 4},
+		{Chains: []string{"btc", "nope"}, Samples: 4},
+		{Chains: []string{"btc", "btc"}, Samples: 4},
+		{Chains: []string{"btc", "evm"}, Samples: 0},
+		{Chains: []string{"btc", "evm"}, Samples: 4, MCRuns: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid: %+v", i, spec)
+		}
+	}
+	ok := UniverseSpec{Chains: []string{"btc", "evm"}, Samples: 4, Seed: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGenerateShapeAndValidity(t *testing.T) {
+	spec := UniverseSpec{Chains: []string{"btc", "ltc", "evm"}, Samples: 5, Seed: 42}
+	scs, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != spec.Cells() || spec.Cells() != 3*2*5 {
+		t.Fatalf("generated %d cells, want %d", len(scs), spec.Cells())
+	}
+	names := make(map[string]bool, len(scs))
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if names[sc.Name] {
+			t.Errorf("duplicate name %s", sc.Name)
+		}
+		names[sc.Name] = true
+		c := sc.Params.Chains
+		if c.EpsB >= c.TauB {
+			t.Errorf("%s: Eq. 3 violated: eps %g >= tauB %g", sc.Name, c.EpsB, c.TauB)
+		}
+		if sc.Params.Price.Sigma < minSigma || sc.Params.Price.Sigma > maxSigma {
+			t.Errorf("%s: sigma %g out of range", sc.Name, sc.Params.Price.Sigma)
+		}
+	}
+	// Timelock granularity: every latency is a whole number of blocks.
+	for _, sc := range scs {
+		if !strings.HasPrefix(sc.Name, "u-btc-ltc-") {
+			continue
+		}
+		ltc, _ := Lookup("ltc")
+		blocks := sc.Params.Chains.TauB / ltc.BlockHours()
+		if math.Abs(blocks-math.Round(blocks)) > 1e-9 {
+			t.Errorf("%s: tauB %g is not whole ltc blocks", sc.Name, sc.Params.Chains.TauB)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	spec := UniverseSpec{Chains: []string{"doge", "evm"}, Samples: 3, Seed: 7}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same spec generated different universes")
+	}
+	spec.Seed = 8
+	c, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds generated identical universes")
+	}
+}
+
+// TestGenerateExtensionStability pins the decorrelated per-pair streams:
+// adding a chain to the spec must not disturb the samples of pairs whose
+// (a, b, pair index) are unchanged — the atlas relies on this so extending
+// the universe re-solves only new cells.
+func TestGenerateExtensionStability(t *testing.T) {
+	small := UniverseSpec{Chains: []string{"btc", "ltc"}, Samples: 4, Seed: 5}
+	big := UniverseSpec{Chains: []string{"btc", "ltc", "doge"}, Samples: 4, Seed: 5}
+	a, err := small.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := big.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]string, len(b))
+	for _, sc := range b {
+		j, _ := json.Marshal(sc.Params)
+		byName[sc.Name] = string(j)
+	}
+	// btc↔ltc keep pair indices 0 and 1 in both specs (doge appends).
+	for _, sc := range a {
+		j, _ := json.Marshal(sc.Params)
+		if got, ok := byName[sc.Name]; !ok || got != string(j) {
+			t.Errorf("%s changed when the universe was extended", sc.Name)
+		}
+	}
+}

@@ -113,6 +113,15 @@ func (c *Map[K, V]) Range(fn func(key K, val V) bool) {
 	})
 }
 
+// Delete removes the entry for key, if any. Waiters already blocked on the
+// entry's first computation are unaffected (they hold the entry and still
+// receive its value); a Do racing the delete may recompute, which is
+// harmless duplicate work for pure compute functions. Intended for callers
+// that bound a Map's size by evicting entries.
+func (c *Map[K, V]) Delete(key K) {
+	c.m.Delete(key)
+}
+
 // Len reports the number of cached entries (including in-flight ones).
 func (c *Map[K, V]) Len() int {
 	n := 0

@@ -70,7 +70,10 @@ type MCCheckJSON struct {
 	Sampler string `json:"sampler,omitempty"`
 }
 
-// SolveResult is swap.solve's result.
+// SolveResult is swap.solve's result as a client decodes it. The server
+// side responds with solveResultWire — identical JSON, with the variants
+// block carried as preserialized bytes so cached responses skip the
+// marshal; the two must stay field-compatible (see TestSolveResultWire).
 type SolveResult struct {
 	// Scenario echoes the solved scenario's name.
 	Scenario string `json:"scenario"`
@@ -79,8 +82,22 @@ type SolveResult struct {
 	// Coalesced reports that this response was served from another
 	// request's in-flight computation (single-flight dedup).
 	Coalesced bool `json:"coalesced"`
+	// Cached reports that this response was served from the daemon's
+	// serialized-response cache without solving.
+	Cached bool `json:"cached,omitempty"`
 	// ElapsedUs is the request's server-side latency in microseconds.
 	ElapsedUs int64 `json:"elapsedUs"`
+}
+
+// solveResultWire is the server-side form of SolveResult: the variants
+// block is the bytes marshaled once at solve time (and served verbatim on
+// every response-cache hit thereafter).
+type solveResultWire struct {
+	Scenario  string          `json:"scenario"`
+	Variants  json.RawMessage `json:"variants"`
+	Coalesced bool            `json:"coalesced"`
+	Cached    bool            `json:"cached,omitempty"`
+	ElapsedUs int64           `json:"elapsedUs"`
 }
 
 // resolvedSolve is a fully resolved solve request: the scenario, the
@@ -91,10 +108,11 @@ type resolvedSolve struct {
 	opts variant.RunOpts
 }
 
-// solveValue is the shared (coalesceable) part of a solve response.
+// solveValue is the shared (coalesceable, cacheable) part of a solve
+// response: the scenario name and the variants block already marshaled.
 type solveValue struct {
 	Scenario string
-	Variants []ReportJSON
+	Variants json.RawMessage
 }
 
 // decodeParams decodes a params object strictly (unknown fields are
@@ -165,6 +183,9 @@ func (s *Server) resolveSolve(p SolveParams) (resolvedSolve, *Error) {
 		MCWorkers: s.cfg.MCWorkers,
 		SkipMC:    !p.MC,
 		Sampler:   sampler,
+		// The persistent store rides along unserialized (json:"-"), so the
+		// canonical solve key below is unchanged by its presence.
+		Store: s.cfg.Store,
 	}
 	return resolvedSolve{sc: sc, keys: keys, opts: opts}, nil
 }
@@ -197,11 +218,15 @@ func (s *Server) solveCell(req resolvedSolve) (solveValue, error) {
 	if err != nil {
 		return solveValue{}, err
 	}
-	out := solveValue{Scenario: sc.Name, Variants: make([]ReportJSON, len(row.Reports))}
+	reports := make([]ReportJSON, len(row.Reports))
 	for i, r := range row.Reports {
-		out.Variants[i] = reportJSON(r)
+		reports[i] = reportJSON(r)
 	}
-	return out, nil
+	data, err := json.Marshal(reports)
+	if err != nil {
+		return solveValue{}, err
+	}
+	return solveValue{Scenario: sc.Name, Variants: data}, nil
 }
 
 // reportJSON converts a variant report to its wire form.
@@ -235,9 +260,12 @@ func reportJSON(r variant.Report) ReportJSON {
 	return out
 }
 
-// handleSolve serves swap.solve: resolve, coalesce, solve, respond. The
-// requester waits under its budget; the leader's computation runs to
-// completion regardless, because its result serves every waiter.
+// handleSolve serves swap.solve: resolve, hit the serialized-response
+// cache, else admit, coalesce, solve, respond. The requester waits under
+// its budget; the leader's computation runs to completion regardless,
+// because its result serves every waiter. Admission control and fault
+// injection run here rather than in call(): a response-cache hit answers
+// from memory and must not burn an admission slot.
 func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Error) {
 	start := time.Now()
 	var p SolveParams
@@ -248,8 +276,26 @@ func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Er
 	if rerr != nil {
 		return nil, rerr
 	}
+	key := solveKey(req)
+	if val, ok := s.resp.get(key); ok {
+		return solveResultWire{
+			Scenario:  val.Scenario,
+			Variants:  val.Variants,
+			Cached:    true,
+			ElapsedUs: time.Since(start).Microseconds(),
+		}, nil
+	}
 	ctx, cancel := context.WithTimeout(ctx, s.budget(p.BudgetMs))
 	defer cancel()
+	if rerr := s.adm.acquire(ctx); rerr != nil {
+		return nil, rerr
+	}
+	defer s.adm.release()
+	// Faults fire while the admission slot is held, so injected latency
+	// creates genuine in-flight pressure.
+	if rerr := s.injectFaults(ctx); rerr != nil {
+		return nil, rerr
+	}
 
 	type outcome struct {
 		val    solveValue
@@ -272,7 +318,7 @@ func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Er
 		}()
 		// Waiters select on baseCtx (so shutdown unblocks them); the
 		// requester's own deadline is enforced by the select below.
-		val, shared, err := s.flight.Do(s.baseCtx, solveKey(req), func() (solveValue, error) {
+		val, shared, err := s.flight.Do(s.baseCtx, key, func() (solveValue, error) {
 			return s.solve(req)
 		})
 		ch <- outcome{val, shared, err}
@@ -282,7 +328,8 @@ func (s *Server) handleSolve(ctx context.Context, raw json.RawMessage) (any, *Er
 		if o.err != nil {
 			return nil, s.asRPCError(o.err)
 		}
-		return SolveResult{
+		s.resp.put(key, o.val)
+		return solveResultWire{
 			Scenario:  o.val.Scenario,
 			Variants:  o.val.Variants,
 			Coalesced: o.shared,
@@ -453,12 +500,30 @@ type StatsResult struct {
 	Faults     map[string]uint64 `json:"faults,omitempty"`
 	SolveCache struct {
 		Models      int    `json:"models"`
+		Limit       int    `json:"limit"`
 		ModelHits   uint64 `json:"modelHits"`
 		ModelMisses uint64 `json:"modelMisses"`
 		Bypassed    uint64 `json:"bypassed"`
+		Evicted     uint64 `json:"evicted"`
 		SolveHits   uint64 `json:"solveHits"`
 		SolveMisses uint64 `json:"solveMisses"`
 	} `json:"solveCache"`
+	// RespCache is the serialized-response byte cache in front of the
+	// solve path (hits skip admission, solve and marshal).
+	RespCache respCacheStats `json:"respCache"`
+	// Store reports the persistent content-addressed store, when one is
+	// configured.
+	Store *StoreStatsJSON `json:"store,omitempty"`
+}
+
+// StoreStatsJSON is the persistent store's swapd.stats block.
+type StoreStatsJSON struct {
+	Dir       string `json:"dir"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Corrupt   uint64 `json:"corrupt"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"putErrors"`
 }
 
 // handleStats serves swapd.stats.
@@ -489,10 +554,24 @@ func (s *Server) handleStats() (any, *Error) {
 	out.Streams.WatchdogCloses = s.stats.watchdogCloses.Load()
 	cs := solvecache.ReadStats()
 	out.SolveCache.Models = cs.Models
+	out.SolveCache.Limit = cs.Limit
 	out.SolveCache.ModelHits = cs.ModelHits
 	out.SolveCache.ModelMisses = cs.ModelMisses
 	out.SolveCache.Bypassed = cs.Bypassed
+	out.SolveCache.Evicted = cs.Evicted
 	out.SolveCache.SolveHits = cs.SolveHits
 	out.SolveCache.SolveMisses = cs.SolveMisses
+	out.RespCache = s.resp.stats()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		out.Store = &StoreStatsJSON{
+			Dir:       s.cfg.Store.Dir(),
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Corrupt:   st.Corrupt,
+			Puts:      st.Puts,
+			PutErrors: st.PutErrors,
+		}
+	}
 	return out, nil
 }

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is the daemon-local serialized-response byte cache in front of
+// the solve path: canonical solve key → the already-marshaled variants
+// block of the response. A hit skips admission, the solver *and* the
+// per-report marshal — the daemon answers a repeat quote with stored
+// bytes. It complements, not duplicates, the other tiers: single-flight
+// collapses only concurrent repeats, solvecache amortizes models but still
+// re-runs the per-variant assembly and marshal, and the persistent store
+// amortizes across processes but costs a disk read and decode per hit.
+//
+// Entries can never go stale — the key hashes every solve input — so
+// eviction is purely a memory bound: least-recently-used, because quote
+// traffic is hot-key skewed (the whole reason the cache exists).
+type respCache struct {
+	mu    sync.Mutex
+	max   int
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// respEntry is one cached response body.
+type respEntry struct {
+	key string
+	val solveValue
+}
+
+// newRespCache builds a cache bounded to max entries; max <= 0 disables
+// caching (every get misses, puts are dropped).
+func newRespCache(max int) *respCache {
+	c := &respCache{max: max}
+	if max > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, max)
+	}
+	return c
+}
+
+// get returns the cached response under key, marking it most recently
+// used.
+func (c *respCache) get(key string) (solveValue, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		c.misses++
+		return solveValue{}, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return solveValue{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*respEntry).val, true
+}
+
+// put stores a response under key, evicting the least recently used
+// entries beyond the bound.
+func (c *respCache) put(key string, val solveValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*respEntry)
+		c.bytes += int64(len(val.Variants)) - int64(len(ent.val.Variants))
+		ent.val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&respEntry{key: key, val: val})
+	c.bytes += int64(len(val.Variants))
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		ent := back.Value.(*respEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val.Variants))
+		c.evictions++
+	}
+}
+
+// respCacheStats is the cache's swapd.stats block.
+type respCacheStats struct {
+	// Entries and Bytes describe the current contents; MaxEntries the
+	// configured bound (0 = disabled).
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"maxEntries"`
+	Bytes      int64 `json:"bytes"`
+	// Hits, Misses and Evictions are cumulative.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// stats snapshots the cache.
+func (c *respCache) stats() respCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := respCacheStats{
+		MaxEntries: c.max,
+		Bytes:      c.bytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
+	if st.MaxEntries < 0 {
+		st.MaxEntries = 0
+	}
+	if c.ll != nil {
+		st.Entries = c.ll.Len()
+	}
+	return st
+}

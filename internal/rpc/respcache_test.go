@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestRespCacheLRU(t *testing.T) {
+	c := newRespCache(2)
+	val := func(s string) solveValue {
+		return solveValue{Scenario: s, Variants: json.RawMessage(`[{"key":"` + s + `"}]`)}
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.put("a", val("a"))
+	c.put("b", val("b"))
+	if v, ok := c.get("a"); !ok || v.Scenario != "a" {
+		t.Fatal("a not served back")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.put("c", val("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU victim b still cached")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if st.Bytes != int64(len(val("a").Variants)+len(val("c").Variants)) {
+		t.Fatalf("bytes = %d, want exact payload accounting", st.Bytes)
+	}
+	// Overwrite adjusts byte accounting instead of double counting.
+	c.put("a", solveValue{Scenario: "a", Variants: json.RawMessage(`[]`)})
+	if st := c.stats(); st.Bytes != int64(2+len(val("c").Variants)) {
+		t.Fatalf("bytes after overwrite = %d", st.Bytes)
+	}
+}
+
+func TestRespCacheDisabled(t *testing.T) {
+	c := newRespCache(-1)
+	c.put("a", solveValue{Scenario: "a"})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache served a hit")
+	}
+	if st := c.stats(); st.MaxEntries != 0 || st.Entries != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSolveResultWire pins the field compatibility between the server's
+// preserialized response form and the client-facing SolveResult.
+func TestSolveResultWire(t *testing.T) {
+	wire := solveResultWire{
+		Scenario:  "tableIII",
+		Variants:  json.RawMessage(`[{"key":"basic","desc":"d","sr":0.5,"srLabel":"l","values":{"sr":0.5},"lines":["x"]}]`),
+		Coalesced: true,
+		Cached:    true,
+		ElapsedUs: 7,
+	}
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SolveResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "tableIII" || !res.Coalesced || !res.Cached || res.ElapsedUs != 7 {
+		t.Fatalf("decoded %+v", res)
+	}
+	if len(res.Variants) != 1 || res.Variants[0].Key != "basic" || res.Variants[0].SR != 0.5 {
+		t.Fatalf("variants decoded as %+v", res.Variants)
+	}
+	// Same JSON field set both ways (wire must never grow a field the
+	// client type cannot see, or vice versa).
+	var wireMap, resMap map[string]any
+	resData, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &wireMap); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resData, &resMap); err != nil {
+		t.Fatal(err)
+	}
+	wk := make([]string, 0)
+	for k := range wireMap {
+		wk = append(wk, k)
+	}
+	for _, k := range wk {
+		if _, ok := resMap[k]; !ok {
+			t.Errorf("wire field %q missing from SolveResult", k)
+		}
+	}
+	if len(wireMap) != len(resMap) {
+		t.Errorf("field sets differ: wire %d, client %d", len(wireMap), len(resMap))
+	}
+}
+
+// TestRepeatSolveServedFromResponseCache pins the warm path: an identical
+// repeat request is answered from cached bytes (cached:true, identical
+// variants block) without consuming an admission slot, and the counters
+// surface in swapd.stats.
+func TestRepeatSolveServedFromResponseCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := rpcCall(1, "swap.solve", `{"scenario":"tableIII","variant":"basic"}`)
+	resp, status := post(t, ts.URL, body)
+	if status != http.StatusOK || resp.Error != nil {
+		t.Fatalf("cold solve: status=%d error=%+v", status, resp.Error)
+	}
+	var cold SolveResult
+	if err := json.Unmarshal(resp.Result, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first request reported cached")
+	}
+	admitted := s.adm.stats().Admitted
+
+	resp, _ = post(t, ts.URL, body)
+	if resp.Error != nil {
+		t.Fatalf("warm solve: %+v", resp.Error)
+	}
+	var warm SolveResult
+	if err := json.Unmarshal(resp.Result, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat request not served from the response cache")
+	}
+	if !reflect.DeepEqual(cold.Variants, warm.Variants) {
+		t.Fatal("cached variants differ from the solved ones")
+	}
+	if got := s.adm.stats().Admitted; got != admitted {
+		t.Errorf("cache hit consumed an admission slot (admitted %d -> %d)", admitted, got)
+	}
+	if st := s.resp.stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("resp cache stats = %+v, want 1 hit, 1 entry", st)
+	}
+	// A different request must not hit the cache.
+	resp, _ = post(t, ts.URL, rpcCall(2, "swap.solve", `{"scenario":"high-vol","variant":"basic"}`))
+	if resp.Error != nil {
+		t.Fatalf("distinct solve: %+v", resp.Error)
+	}
+	var other SolveResult
+	if err := json.Unmarshal(resp.Result, &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("distinct request wrongly served from cache")
+	}
+}
+
+// TestSolveReadsThroughStore pins the cross-restart warm path: a fresh
+// daemon pointed at a populated store dir answers from disk instead of
+// re-solving, and swapd.stats carries the store counters.
+func TestSolveReadsThroughStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Store: s1})
+	body := rpcCall(1, "swap.solve", `{"scenario":"tableIII","variant":"basic"}`)
+	resp, _ := post(t, ts1.URL, body)
+	if resp.Error != nil {
+		t.Fatalf("cold solve: %+v", resp.Error)
+	}
+	var cold SolveResult
+	if err := json.Unmarshal(resp.Result, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.Puts == 0 {
+		t.Fatalf("store stats after cold solve = %+v, want puts > 0", st)
+	}
+
+	// "Restart": a new server over a new handle to the same directory. Its
+	// response cache is empty, so the request walks down to the store tier.
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Store: s2})
+	resp, _ = post(t, ts2.URL, body)
+	if resp.Error != nil {
+		t.Fatalf("warm solve: %+v", resp.Error)
+	}
+	var warm SolveResult
+	if err := json.Unmarshal(resp.Result, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cached {
+		t.Error("store-served solve flagged as response-cache hit")
+	}
+	if !reflect.DeepEqual(cold.Variants, warm.Variants) {
+		t.Fatal("store-served variants differ from the solved ones")
+	}
+	if st := s2.Stats(); st.Hits == 0 || st.Puts != 0 {
+		t.Fatalf("warm store stats = %+v, want hits > 0 and no puts", st)
+	}
+
+	statsResp, _ := post(t, ts2.URL, rpcCall(2, "swapd.stats", ""))
+	var st StatsResult
+	if err := json.Unmarshal(statsResp.Result, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil || st.Store.Hits == 0 || st.Store.Dir != dir {
+		t.Fatalf("swapd.stats store block = %+v", st.Store)
+	}
+}
+
+// TestStatsCarriesCacheAndStoreBlocks exercises swapd.stats' new blocks.
+func TestStatsCarriesCacheAndStoreBlocks(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL, rpcCall(1, "swapd.stats", ""))
+	if resp.Error != nil {
+		t.Fatalf("stats: %+v", resp.Error)
+	}
+	var st StatsResult
+	if err := json.Unmarshal(resp.Result, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RespCache.MaxEntries != 1024 {
+		t.Errorf("respCache.maxEntries = %d, want the 1024 default", st.RespCache.MaxEntries)
+	}
+	if st.Store != nil {
+		t.Error("store block present without a configured store")
+	}
+	if st.SolveCache.Limit == 0 {
+		t.Error("solveCache.limit missing")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/solvecache"
+	"repro/internal/store"
 )
 
 // Config parameterises a Server. The zero value selects the defaults.
@@ -57,6 +58,15 @@ type Config struct {
 	// WatchdogGrace is how long past its budget a stream may linger before
 	// its connection is force-closed (default 5s).
 	WatchdogGrace time.Duration
+	// Store, when non-nil, is the persistent content-addressed result
+	// store the solve path reads through (variant.RunOpts.Store): a
+	// restarted daemon sharing a store directory serves warm quotes from
+	// its first request.
+	Store *store.Store
+	// RespCacheSize bounds the serialized-response byte cache for
+	// swap.solve, in entries (default 1024; negative disables). A hit
+	// skips admission, solve and marshal — see respCache.
+	RespCacheSize int
 	// Fault is the chaos harness's injector; nil (the default) injects
 	// nothing. See internal/fault for the registry keys.
 	Fault *fault.Injector
@@ -99,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogGrace <= 0 {
 		c.WatchdogGrace = 5 * time.Second
 	}
+	if c.RespCacheSize == 0 {
+		c.RespCacheSize = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -122,6 +135,10 @@ type Server struct {
 	// flight coalesces concurrent identical solve requests in front of
 	// the process-wide solvecache (see solveKey).
 	flight solvecache.Flight[string, solveValue]
+
+	// resp is the serialized-response byte cache for swap.solve, keyed by
+	// the same canonical solve key the single-flight layer uses.
+	resp *respCache
 
 	// solve computes one coalesced solve cell; a test seam, defaulting to
 	// the real variant-registry solve.
@@ -180,6 +197,7 @@ func NewServer(cfg Config) *Server {
 		stats:      serverStats{start: time.Now(), byMethod: make(map[string]uint64)},
 	}
 	s.adm = newAdmission(s.cfg.MaxInflight, s.cfg.QueueDepth, s.cfg.QueueWait, s.cfg.ShedWindow)
+	s.resp = newRespCache(s.cfg.RespCacheSize)
 	s.solve = s.solveCell
 	s.stream = s.runStream
 	return s
@@ -347,23 +365,22 @@ func (s *Server) call(ctx context.Context, req Request) (result any, rerr *Error
 			result, rerr = nil, Errorf(CodeInternalError, "internal error: %s handler panicked", req.Method)
 		}
 	}()
-	switch req.Method {
-	case "swap.solve", "scenario.diff":
-		if rerr := s.adm.acquire(ctx); rerr != nil {
+	// swap.solve runs its own admission + fault sequence inside
+	// handleSolve, after the response-cache lookup: a cached repeat quote
+	// must not burn an admission slot (or an injected fault) on work the
+	// daemon is not doing.
+	if req.Method != "swap.solve" {
+		if req.Method == "scenario.diff" {
+			if rerr := s.adm.acquire(ctx); rerr != nil {
+				return nil, rerr
+			}
+			defer s.adm.release()
+		}
+		// Faults fire while the admission slot is held, so injected
+		// latency creates genuine in-flight pressure.
+		if rerr := s.injectFaults(ctx); rerr != nil {
 			return nil, rerr
 		}
-		defer s.adm.release()
-	}
-	// Faults fire while the admission slot is held, so injected latency
-	// creates genuine in-flight pressure.
-	if d, ok := s.cfg.Fault.Delay(fault.KeyRPCLatency); ok {
-		sleepCtx(ctx, d)
-	}
-	if s.cfg.Fault.Fire(fault.KeyRPCError) {
-		return nil, Errorf(CodeInternalError, "injected fault: %s", fault.KeyRPCError)
-	}
-	if s.cfg.Fault.Fire(fault.KeyRPCPanic) {
-		panic("injected fault: " + fault.KeyRPCPanic)
 	}
 	switch req.Method {
 	case "swap.solve":
@@ -382,6 +399,21 @@ func (s *Server) call(ctx context.Context, req Request) (result any, rerr *Error
 		rerr = Errorf(CodeMethodNotFound, "unknown method %q", req.Method)
 	}
 	return result, rerr
+}
+
+// injectFaults fires the armed RPC faults (latency, error, panic), in
+// that order. It returns the injected error, if any.
+func (s *Server) injectFaults(ctx context.Context) *Error {
+	if d, ok := s.cfg.Fault.Delay(fault.KeyRPCLatency); ok {
+		sleepCtx(ctx, d)
+	}
+	if s.cfg.Fault.Fire(fault.KeyRPCError) {
+		return Errorf(CodeInternalError, "injected fault: %s", fault.KeyRPCError)
+	}
+	if s.cfg.Fault.Fire(fault.KeyRPCPanic) {
+		panic("injected fault: " + fault.KeyRPCPanic)
+	}
+	return nil
 }
 
 // sleepCtx sleeps for d or until ctx is done, whichever comes first.

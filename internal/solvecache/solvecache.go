@@ -26,13 +26,13 @@ import (
 	"repro/internal/utility"
 )
 
-// maxSharedModels bounds the cache. Workloads with more distinct parameter
-// sets than this (randomised fuzzing, adversarial sweeps) fall back to
-// private, uncached models once the cache is full, which keeps memory
-// bounded without any invalidation machinery. The bound comfortably covers
-// the repository's own workloads: the 18 artifact groups plus the scenario
-// presets touch well under a hundred distinct parameter sets.
-const maxSharedModels = 512
+// DefaultMaxModels is the default bound on the number of cached models.
+// It comfortably covers the repository's fixed workloads — the 18 artifact
+// groups plus the scenario presets touch well under a hundred distinct
+// parameter sets — while atlas-scale generated universes (thousands of
+// distinct parameter sets) raise it via SetMaxModels (swapd's
+// -cache-max-models flag) instead of thrashing.
+const DefaultMaxModels = 512
 
 // QuadOpts are the solver options that participate in the cache key
 // alongside the parameter set. The zero value selects core's defaults.
@@ -59,11 +59,65 @@ type cacheEntry struct {
 }
 
 var (
-	seed   = maphash.MakeSeed()
-	models memo.Map[uint64, cacheEntry]
-	full   atomic.Bool
-	bypass atomic.Uint64
+	seed    = maphash.MakeSeed()
+	models  memo.Map[uint64, cacheEntry]
+	limit   atomic.Int64 // 0 = DefaultMaxModels, <0 = unbounded
+	bypass  atomic.Uint64
+	evicted atomic.Uint64
 )
+
+// MaxModels returns the current bound on the number of cached models
+// (0 = unbounded).
+func MaxModels() int {
+	n := limit.Load()
+	switch {
+	case n == 0:
+		return DefaultMaxModels
+	case n < 0:
+		return 0
+	default:
+		return int(n)
+	}
+}
+
+// SetMaxModels sets the bound on the number of cached models. n <= 0
+// removes the bound. Lowering the bound takes effect on subsequent inserts;
+// already-cached models above the new bound are evicted lazily.
+func SetMaxModels(n int) {
+	if n <= 0 {
+		limit.Store(-1)
+		return
+	}
+	limit.Store(int64(n))
+}
+
+// enforceBound evicts completed entries (never keep, the key just served)
+// until the cache is within its bound. Eviction order is arbitrary — the
+// cache is content-addressed and every entry is equally re-creatable, so
+// recency bookkeeping on the lock-free hit path would cost more than the
+// occasional rebuild it avoids. Concurrent inserts can briefly overshoot
+// the bound; it is a memory bound, not an invariant.
+func enforceBound(keep uint64) {
+	max := MaxModels()
+	if max == 0 {
+		return
+	}
+	for models.Len() > max {
+		victim, found := uint64(0), false
+		models.Range(func(k uint64, _ cacheEntry) bool {
+			if k == keep {
+				return true
+			}
+			victim, found = k, true
+			return false
+		})
+		if !found {
+			return
+		}
+		models.Delete(victim)
+		evicted.Add(1)
+	}
+}
 
 // Key returns the canonical solve-cache key of a parameter set under the
 // given quadrature options: a 64-bit hash over the exact float bit patterns
@@ -101,8 +155,10 @@ func Key(p utility.Params, q QuadOpts) uint64 {
 // core's default quadrature options, constructing and caching it on first
 // use. The returned model is shared: callers must treat it (and the
 // strategies/interval sets it returns) as read-only, which every core API
-// already guarantees. When the cache is full, a private uncached model is
-// returned instead, so unbounded parameter streams cannot grow memory.
+// already guarantees. The cache holds at most MaxModels models — inserting
+// beyond the bound evicts an arbitrary cached model (see enforceBound), so
+// unbounded parameter streams cannot grow memory and hot workloads larger
+// than the old hard cap no longer degrade to uncached private models.
 func SharedModel(p utility.Params) (*core.Model, error) {
 	return SharedModelQuad(p, QuadOpts{})
 }
@@ -115,12 +171,6 @@ func SharedModelQuad(p utility.Params, q QuadOpts) (*core.Model, error) {
 		return core.New(p)
 	}
 	key := Key(p, q)
-	if full.Load() {
-		if _, ok := models.Get(key); !ok {
-			bypass.Add(1)
-			return newModel(p, q)
-		}
-	}
 	ent := models.Do(key, func() cacheEntry {
 		// Construction cannot fail here: the parameters were validated
 		// above and the quadrature orders are gated to positive values.
@@ -137,9 +187,7 @@ func SharedModelQuad(p utility.Params, q QuadOpts) (*core.Model, error) {
 		bypass.Add(1)
 		return newModel(p, q)
 	}
-	if !full.Load() && models.Len() >= maxSharedModels {
-		full.Store(true)
-	}
+	enforceBound(key)
 	return ent.m, nil
 }
 
@@ -158,16 +206,20 @@ func newModel(p utility.Params, q QuadOpts) (*core.Model, error) {
 }
 
 // Stats reports the cache's cumulative behaviour: model-level hits and
-// misses, the number of requests served uncached after the cache filled,
-// and the aggregate solve-memo hits/misses across every cached model.
+// misses, the eviction and private-model fallback counters, and the
+// aggregate solve-memo hits/misses across every cached model.
 type Stats struct {
 	// ModelHits and ModelMisses count SharedModel lookups.
 	ModelHits, ModelMisses uint64
-	// Bypassed counts requests served with a private model after the cache
-	// reached its size bound.
+	// Bypassed counts requests served with a private model defensively: a
+	// 64-bit key collision between distinct parameter sets, or a cached
+	// construction failure.
 	Bypassed uint64
-	// Models is the number of cached models.
-	Models int
+	// Evicted counts models dropped to keep the cache within its bound.
+	Evicted uint64
+	// Models is the number of cached models; Limit is the configured bound
+	// (0 = unbounded).
+	Models, Limit int
 	// SolveHits and SolveMisses aggregate the per-model solve-memo
 	// counters of every cached model.
 	SolveHits, SolveMisses uint64
@@ -177,8 +229,8 @@ type Stats struct {
 // the diagnostic block behind the CLIs' -cache-stats flag.
 func WriteStats(w io.Writer) {
 	s := ReadStats()
-	fmt.Fprintf(w, "solve cache: %d models (hits %d, misses %d, bypassed %d); solve cells: hits %d, misses %d\n",
-		s.Models, s.ModelHits, s.ModelMisses, s.Bypassed, s.SolveHits, s.SolveMisses)
+	fmt.Fprintf(w, "solve cache: %d/%d models (hits %d, misses %d, bypassed %d, evicted %d); solve cells: hits %d, misses %d\n",
+		s.Models, s.Limit, s.ModelHits, s.ModelMisses, s.Bypassed, s.Evicted, s.SolveHits, s.SolveMisses)
 	glH, glM, ghH, ghM := mathx.QuadCacheStats()
 	fmt.Fprintf(w, "quadrature tables: Gauss-Legendre hits %d, misses %d; Gauss-Hermite hits %d, misses %d\n",
 		glH, glM, ghH, ghM)
@@ -186,7 +238,12 @@ func WriteStats(w io.Writer) {
 
 // ReadStats snapshots the cache counters.
 func ReadStats() Stats {
-	s := Stats{Bypassed: bypass.Load(), Models: models.Len()}
+	s := Stats{
+		Bypassed: bypass.Load(),
+		Evicted:  evicted.Load(),
+		Models:   models.Len(),
+		Limit:    MaxModels(),
+	}
 	s.ModelHits, s.ModelMisses = models.Stats()
 	models.Range(func(_ uint64, ent cacheEntry) bool {
 		if ent.m != nil {

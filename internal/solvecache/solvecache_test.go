@@ -159,6 +159,84 @@ func TestConcurrentSharedModel(t *testing.T) {
 	}
 }
 
+func TestMaxModelsSettable(t *testing.T) {
+	defer SetMaxModels(DefaultMaxModels)
+	if MaxModels() != DefaultMaxModels {
+		t.Fatalf("default bound = %d, want %d", MaxModels(), DefaultMaxModels)
+	}
+	SetMaxModels(7)
+	if MaxModels() != 7 {
+		t.Fatalf("bound = %d after SetMaxModels(7)", MaxModels())
+	}
+	SetMaxModels(0)
+	if MaxModels() != 0 {
+		t.Fatalf("bound = %d after SetMaxModels(0), want 0 (unbounded)", MaxModels())
+	}
+}
+
+// TestBoundEvictsInsteadOfBypassing pins the over-capacity behaviour: the
+// cache evicts to stay within its bound (and keeps serving shared models)
+// rather than permanently degrading to private uncached models, and an
+// evicted cell recomputes bit-identically on re-request.
+func TestBoundEvictsInsteadOfBypassing(t *testing.T) {
+	defer SetMaxModels(DefaultMaxModels)
+	SetMaxModels(4)
+	before := ReadStats()
+	base := utility.Default()
+	alpha := func(i int) float64 { return 0.20 + 0.005*float64(i) }
+	var last *core.Model
+	for i := 0; i < 12; i++ {
+		p := base
+		p.Alice.Alpha = alpha(i)
+		m, err := SharedModelQuad(p, QuadOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = m
+	}
+	st := ReadStats()
+	if st.Models > 4 {
+		t.Errorf("cache holds %d models, bound is 4", st.Models)
+	}
+	if st.Evicted <= before.Evicted {
+		t.Error("no evictions recorded while inserting past the bound")
+	}
+	if st.Limit != 4 {
+		t.Errorf("Stats.Limit = %d, want 4", st.Limit)
+	}
+	// The just-inserted entry is never the eviction victim.
+	p := base
+	p.Alice.Alpha = alpha(11)
+	if m, err := SharedModelQuad(p, QuadOpts{}); err != nil || m != last {
+		t.Errorf("most recent insert was evicted (m == last: %v, err %v)", m == last, err)
+	}
+	// An evicted cell is re-solved, not bypassed, and matches a direct solve.
+	q := base
+	q.Alice.Alpha = alpha(0)
+	m, err := SharedModelQuad(q, QuadOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := m.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srDirect, err := direct.SuccessRate(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sr) != math.Float64bits(srDirect) {
+		t.Fatalf("re-solved evicted cell SR %v != direct SR %v", sr, srDirect)
+	}
+	if got := ReadStats(); got.Bypassed != st.Bypassed {
+		t.Errorf("eviction path incremented Bypassed (%d -> %d)", st.Bypassed, got.Bypassed)
+	}
+}
+
 func TestReadStatsCounts(t *testing.T) {
 	p := utility.Default()
 	before := ReadStats()

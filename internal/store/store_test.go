@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	type in struct {
+		A float64
+		B string
+	}
+	k1, err := Key(in{A: 1.5, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(in{A: 1.5, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("equal values keyed differently: %s vs %s", k1, k2)
+	}
+	k3, err := Key(in{A: 1.5000000001, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Fatalf("distinct values collided on %s", k1)
+	}
+	if !validKey(k1) || len(k1) != 64 {
+		t.Fatalf("Key produced a non-canonical key %q", k1)
+	}
+}
+
+func TestKeyRejectsUnencodable(t *testing.T) {
+	if _, err := Key(func() {}); err == nil {
+		t.Fatal("Key of a func value should error")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyBytes([]byte("cell-1"))
+	payload := []byte(`{"sr":0.9163,"lines":["a","b"]}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	// Overwrite with different bytes (a schema bump under the same key is
+	// the caller's bug, but the store must still behave): last write wins.
+	payload2 := []byte(`{"sr":0.5}`)
+	if err := s.Put(key, payload2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload2) {
+		t.Fatalf("after rewrite Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Puts != 2 || st.Hits != 2 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", "UPPERCASEUPPERCASE", "../../../../etc/passwd",
+		strings.Repeat("a", 65), "zzzzzzzzzzzzzzzzzz",
+	} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on an invalid key", key)
+		}
+	}
+	if err := s.Put(KeyBytes([]byte("k")), nil); err == nil {
+		t.Error("Put of an empty payload should error")
+	}
+}
+
+// corrupt helpers: every corruption must read as a miss (never partial
+// bytes), count as corrupt, remove the bad file, and a following Put must
+// rewrite the entry cleanly.
+func checkCorruptionIsMiss(t *testing.T, name string, mutate func(path string) error) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyBytes([]byte(name))
+	payload := []byte(`{"value":"` + name + `"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := mutate(s.path(key)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("%s: Get served %q from a corrupt entry", name, got)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("%s: corrupt counter = %d, want 1", name, st.Corrupt)
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("%s: corrupt entry not removed (err=%v)", name, err)
+	}
+	// Clean rewrite: the store must accept the cell again and serve it.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("%s: rewrite after corruption: %v", name, err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("%s: rewrite not served back (got %q, %v)", name, got, ok)
+	}
+}
+
+func TestTruncatedFileIsMiss(t *testing.T) {
+	checkCorruptionIsMiss(t, "truncated", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data[:len(data)-3], 0o644)
+	})
+}
+
+func TestTruncatedToHeaderlessIsMiss(t *testing.T) {
+	checkCorruptionIsMiss(t, "headerless", func(path string) error {
+		return os.WriteFile(path, []byte("swapstore"), 0o644) // no newline survived
+	})
+}
+
+func TestBadVersionHeaderIsMiss(t *testing.T) {
+	checkCorruptionIsMiss(t, "badversion", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, bytes.Replace(data, []byte("swapstore 1 "), []byte("swapstore 999 "), 1), 0o644)
+	})
+}
+
+func TestBadMagicIsMiss(t *testing.T) {
+	checkCorruptionIsMiss(t, "badmagic", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, bytes.Replace(data, []byte("swapstore"), []byte("SWAPSTORE"), 1), 0o644)
+	})
+}
+
+func TestBitFlippedPayloadIsMiss(t *testing.T) {
+	checkCorruptionIsMiss(t, "bitflip", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)-1] ^= 0x40 // flip one payload bit; length still matches
+		return os.WriteFile(path, data, 0o644)
+	})
+}
+
+func TestWrongKeyAddressIsMiss(t *testing.T) {
+	// An entry copied to a path it was not addressed to (or a key-material
+	// bug) must not be served under the wrong key.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, keyB := KeyBytes([]byte("a")), KeyBytes([]byte("b"))
+	if err := s.Put(keyA, []byte(`{"cell":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(keyB)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(keyB), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(keyB); ok {
+		t.Fatalf("Get served %q from a wrongly addressed entry", got)
+	}
+}
+
+// TestConcurrentWritersAndReaders hammers a small key space from many
+// goroutines: readers must only ever observe complete, checksum-valid
+// payloads (the store API cannot return anything else, so the assertion is
+// that hits decode to one of the written payloads), and the store must
+// leak no goroutines — the implementation is synchronous by construction.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, writers, rounds = 8, 8, 50
+	payloads := make(map[string][]byte, keys)
+	keyList := make([]string, keys)
+	for i := range keyList {
+		k := KeyBytes([]byte(fmt.Sprintf("cell-%d", i)))
+		keyList[i] = k
+		payloads[k] = []byte(fmt.Sprintf(`{"cell":%d,"payload":"%s"}`, i, strings.Repeat("x", 100+i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := keyList[(w+r)%keys]
+				if err := s.Put(k, payloads[k]); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, payloads[k]) {
+					t.Errorf("Get(%s) = %q, want the written payload", k[:8], got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, k := range keyList {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, payloads[k]) {
+			t.Fatalf("after the storm, Get(%s) = %v", k[:8], ok)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 0 || st.PutErrors != 0 {
+		t.Fatalf("storm produced corruption or put errors: %+v", st)
+	}
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+	// Goroutine-leak check: allow the runtime a moment to retire helpers.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestNoTempFilesLeftBehind: every Put cleans up its temp file whether it
+// renamed or failed.
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyBytes([]byte("tmp-check"))
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key, []byte(`{"i":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") should error")
+	}
+}

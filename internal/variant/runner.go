@@ -2,6 +2,7 @@ package variant
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/qmc"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/swapsim"
 	"repro/internal/sweep"
 )
@@ -45,6 +47,54 @@ type RunOpts struct {
 	// SkipMC skips the Monte Carlo validations (analytic solves only) —
 	// the mode cmd/swapsolve's -variant runs in.
 	SkipMC bool
+	// Store, when non-nil, is the persistent content-addressed L2 the
+	// runner reads each cell through: a cell whose CellKey is present is
+	// loaded instead of solved, and every freshly solved cell is written
+	// back. Excluded from serialization — the store is plumbing, not part
+	// of any cell's solve input.
+	Store *store.Store `json:"-"`
+}
+
+// cellSchema versions the serialized Report payload stored under a cell
+// key. Bump it whenever the Report schema (or anything influencing a solve
+// that is not captured in cellKeyMaterial) changes shape or meaning: old
+// entries then read as misses and re-solve, instead of decoding into a
+// struct they no longer match.
+const cellSchema = 1
+
+// cellKeyMaterial is the complete solve input of one (scenario × variant)
+// cell, in canonical field order. MCWorkers is deliberately absent —
+// results are bit-reproducible per (seed, chunk) at any worker count — and
+// so is Variants, which selects cells but does not parameterize one.
+type cellKeyMaterial struct {
+	Schema   int               `json:"schema"`
+	Scenario scenario.Scenario `json:"scenario"`
+	Variant  string            `json:"variant"`
+	Runs     int               `json:"runs"`
+	CIWidth  float64           `json:"ciWidth"`
+	Chunk    int               `json:"chunk"`
+	MaxPaths int               `json:"maxPaths"`
+	Sampler  qmc.Mode          `json:"sampler"`
+	SkipMC   bool              `json:"skipMC"`
+}
+
+// CellKey returns the canonical content key of one (scenario × variant)
+// cell under the given run options: the store.Key of everything that
+// determines the cell's Report. Two invocations produce the same key iff
+// they would produce the same report, so a key lookup can never serve a
+// stale result — a changed input is a different key.
+func CellKey(sc scenario.Scenario, variantKey string, opts RunOpts) (string, error) {
+	return store.Key(cellKeyMaterial{
+		Schema:   cellSchema,
+		Scenario: sc,
+		Variant:  variantKey,
+		Runs:     opts.Runs,
+		CIWidth:  opts.CIWidth,
+		Chunk:    opts.ChunkSize,
+		MaxPaths: opts.MaxPaths,
+		Sampler:  opts.Sampler,
+		SkipMC:   opts.SkipMC,
+	})
 }
 
 // ScenarioReport is the solved (scenario × variant) row of one scenario:
@@ -88,9 +138,42 @@ func (sr ScenarioReport) Report(key string) (Report, bool) {
 	return Report{}, false
 }
 
-// runCell solves one (scenario × variant) cell: the analytic solve, then
-// the variant's Monte Carlo validation when it has one.
+// runCell produces one (scenario × variant) cell's report, reading through
+// the persistent store when RunOpts.Store is set: a present, decodable
+// entry is returned without solving; otherwise the cell is solved and the
+// report written back (best effort — a failed Put costs nothing but the
+// amortization).
 func runCell(g Game, sc scenario.Scenario, opts RunOpts) (Report, error) {
+	if opts.Store == nil {
+		return solveCell(g, sc, opts)
+	}
+	key, err := CellKey(sc, g.Key(), opts)
+	if err != nil {
+		// Unkeyable cell (cannot happen for validated scenarios, but a
+		// keying failure must never fail the run): solve uncached.
+		return solveCell(g, sc, opts)
+	}
+	if data, ok := opts.Store.Get(key); ok {
+		var r Report
+		if err := json.Unmarshal(data, &r); err == nil {
+			return r, nil
+		}
+		// Undecodable payload under a valid key (schema drift without a
+		// cellSchema bump): fall through, re-solve, overwrite.
+	}
+	r, err := solveCell(g, sc, opts)
+	if err != nil {
+		return r, err
+	}
+	if data, err := json.Marshal(r); err == nil {
+		opts.Store.Put(key, data)
+	}
+	return r, nil
+}
+
+// solveCell solves one (scenario × variant) cell: the analytic solve, then
+// the variant's Monte Carlo validation when it has one.
+func solveCell(g Game, sc scenario.Scenario, opts RunOpts) (Report, error) {
 	ctx := &Context{Opts: opts}
 	r, err := g.Solve(ctx, sc)
 	if err != nil {

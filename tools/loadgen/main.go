@@ -13,6 +13,8 @@
 //	  -against BENCH_rpc.json -min-qps 600 -max-p99-ms 80 -require-coalesce
 //	loadgen -spawn ./bin/swapd -spawn-args "-fault rpc.error=0.05 -fault-seed 42" \
 //	  -chaos -duration 6s -require-shed -min-goodput 50 -digest-against d.json
+//	loadgen -spawn ./bin/swapd -hot-frac 0.6 -hot-keys 8 -warm \
+//	  -duration 5s -qps 400 -min-warm-hit 0.5 -warm-faster
 //
 // The stream mixes cheap cached solves across a weighted preset mix with
 // periodic bursts of identical Monte Carlo solves (every -dup-every
@@ -31,6 +33,14 @@
 // are retried with jittered exponential backoff that honors the server's
 // retryAfterMs hint; the report then carries goodput (successful QPS)
 // and a retry histogram alongside the latency percentiles.
+//
+// -hot-frac switches the non-burst stream to a hot-key mix (that
+// fraction of requests draws Zipf-style from -hot-keys stable keyed
+// solves, the rest are unique per request) and -warm replays the
+// byte-identical seeded stream a second time against the same daemon:
+// the report grows a warm row with per-pass response-cache and
+// solve-store hit deltas, gated by -min-warm-hit and -warm-faster —
+// the cache tiers' regression checks.
 package main
 
 import (
@@ -79,45 +89,64 @@ type Report struct {
 		// Chaos records that the run retried retryable errors with
 		// backoff (the chaos-smoke client mode).
 		Chaos bool `json:"chaos,omitempty"`
+		// HotFrac/HotKeys describe the hot-key mix: HotFrac of non-burst
+		// requests draw Zipf-style from HotKeys distinct keyed solves, the
+		// rest are unique per request (0 = the classic preset mix).
+		HotFrac float64 `json:"hot_frac,omitempty"`
+		HotKeys int     `json:"hot_keys,omitempty"`
+		// WarmReplay records that the identical seeded stream ran twice
+		// against the same daemon; the second pass is the warm row.
+		WarmReplay bool `json:"warm_replay,omitempty"`
 	} `json:"config"`
-	// Results are the measured aggregates. Latency percentiles are over
-	// successful responses only; errors are tallied separately, by class.
-	Results struct {
-		Requests     int     `json:"requests"`
-		Errors       int     `json:"errors"`
-		SustainedQPS float64 `json:"sustained_qps"`
-		P50Us        float64 `json:"p50_us"`
-		P90Us        float64 `json:"p90_us"`
-		P99Us        float64 `json:"p99_us"`
-		MaxUs        float64 `json:"max_us"`
-		// Coalesced counts responses served from another request's
-		// in-flight computation; HitRate is the server's waiters /
-		// (leaders + waiters) over the whole run.
-		Coalesced int     `json:"coalesced"`
-		HitRate   float64 `json:"coalesce_hit_rate"`
-		// The error taxonomy: Shed counts requests that ended -32005
-		// overloaded, RPCErrors other JSON-RPC errors, TransportErrors
-		// requests that never produced a decodable response. The three
-		// sum to Errors. All are terminal outcomes — in chaos mode, after
-		// the retry budget.
-		Shed            int `json:"shed"`
-		RPCErrors       int `json:"rpc_errors"`
-		TransportErrors int `json:"transport_errors"`
-		// GoodputQPS is successful responses per second of wall clock —
-		// the chaos harness's floor metric. Attempts counts every HTTP
-		// round trip (retries included); Retries is attempts beyond each
-		// request's first. RetryHistogram[k] counts requests that
-		// succeeded after exactly k retries (omitted when no retries ran).
-		GoodputQPS     float64 `json:"goodput_qps"`
-		Attempts       int     `json:"attempts"`
-		Retries        int     `json:"retries"`
-		RetryHistogram []int   `json:"retry_histogram,omitempty"`
-		// ServerShed and PanicsRecovered mirror swapd.stats at the end of
-		// the run: the server-side shed tally (the -require-shed gate) and
-		// the panics the daemon absorbed instead of crashing.
-		ServerShed      uint64 `json:"server_shed"`
-		PanicsRecovered uint64 `json:"panics_recovered"`
-	} `json:"results"`
+	// Results is the first (cold) pass; Warm, when -warm replayed the
+	// stream, the second pass against the already-populated caches.
+	Results Results  `json:"results"`
+	Warm    *Results `json:"warm,omitempty"`
+}
+
+// Results are one pass's measured aggregates. Latency percentiles are
+// over successful responses only; errors are tallied separately, by
+// class.
+type Results struct {
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	SustainedQPS float64 `json:"sustained_qps"`
+	P50Us        float64 `json:"p50_us"`
+	P90Us        float64 `json:"p90_us"`
+	P99Us        float64 `json:"p99_us"`
+	MaxUs        float64 `json:"max_us"`
+	// Coalesced counts responses served from another request's
+	// in-flight computation; HitRate is the server's waiters /
+	// (leaders + waiters) over the whole run.
+	Coalesced int     `json:"coalesced"`
+	HitRate   float64 `json:"coalesce_hit_rate"`
+	// The error taxonomy: Shed counts requests that ended -32005
+	// overloaded, RPCErrors other JSON-RPC errors, TransportErrors
+	// requests that never produced a decodable response. The three
+	// sum to Errors. All are terminal outcomes — in chaos mode, after
+	// the retry budget.
+	Shed            int `json:"shed"`
+	RPCErrors       int `json:"rpc_errors"`
+	TransportErrors int `json:"transport_errors"`
+	// GoodputQPS is successful responses per second of wall clock —
+	// the chaos harness's floor metric. Attempts counts every HTTP
+	// round trip (retries included); Retries is attempts beyond each
+	// request's first. RetryHistogram[k] counts requests that
+	// succeeded after exactly k retries (omitted when no retries ran).
+	GoodputQPS     float64 `json:"goodput_qps"`
+	Attempts       int     `json:"attempts"`
+	Retries        int     `json:"retries"`
+	RetryHistogram []int   `json:"retry_histogram,omitempty"`
+	// ServerShed and PanicsRecovered mirror swapd.stats at the end of
+	// the run: the server-side shed tally (the -require-shed gate) and
+	// the panics the daemon absorbed instead of crashing.
+	ServerShed      uint64 `json:"server_shed"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// RespCacheHits and StoreHits are this pass's deltas of the server's
+	// response-cache and solve-store hit counters (swapd.stats snapshots
+	// bracketing the pass) — the warm-path gates read these.
+	RespCacheHits uint64 `json:"resp_cache_hits"`
+	StoreHits     uint64 `json:"store_hits"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -134,6 +163,9 @@ func run(args []string, out io.Writer) error {
 		dupEvery = fs.Int("dup-every", 100, "dispatch a coalesceable burst every N requests (0 disables)")
 		dupBurst = fs.Int("dup-burst", 4, "identical concurrent requests per burst")
 		mcRuns   = fs.Int("mc-runs", 2000, "Monte Carlo runs of each burst request (the coalesceable work)")
+		hotFrac  = fs.Float64("hot-frac", 0, "fraction of non-burst requests drawn Zipf-style from -hot-keys keyed solves; the rest get a unique key each (0 = classic preset mix)")
+		hotKeys  = fs.Int("hot-keys", 8, "distinct hot keys behind -hot-frac")
+		warm     = fs.Bool("warm", false, "replay the identical seeded stream a second time against the same daemon and report it as the warm row")
 		workers  = fs.Int("workers", 32, "sender goroutines")
 		chaos    = fs.Bool("chaos", false, "retry shed/internal/transport errors with jittered backoff honoring retryAfterMs")
 		output   = fs.String("o", "", "write the JSON report here ('-' or empty = stdout only)")
@@ -149,6 +181,8 @@ func run(args []string, out io.Writer) error {
 		maxErrorRate    = fs.Float64("max-error-rate", 0.01, "fail when errors/requests exceeds this")
 		requireShed     = fs.Bool("require-shed", false, "fail unless the server shed at least one request (overload proof)")
 		minGoodput      = fs.Float64("min-goodput", 0, "fail unless goodput (successful QPS) >= this (0 = no gate)")
+		minWarmHit      = fs.Float64("min-warm-hit", 0, "fail unless the warm pass's resp-cache hits / requests >= this (needs -warm; 0 = no gate)")
+		warmFaster      = fs.Bool("warm-faster", false, "fail unless the warm pass's p50 and p99 beat the cold pass (needs -warm)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +193,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *qps <= 0 || *duration <= 0 || *workers <= 0 {
 		return fmt.Errorf("qps, duration and workers must be > 0")
+	}
+	if *hotFrac < 0 || *hotFrac > 1 {
+		return fmt.Errorf("-hot-frac %v out of [0,1]", *hotFrac)
+	}
+	if *hotFrac > 0 && *hotKeys < 1 {
+		return fmt.Errorf("-hot-keys must be >= 1 with -hot-frac")
 	}
 
 	base := *addr
@@ -187,11 +227,40 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	rep, digests := generate(base, genConfig{
+	cfg := genConfig{
 		qps: *qps, duration: *duration, seed: *seed, weights: weights,
 		dupEvery: *dupEvery, dupBurst: *dupBurst, mcRuns: *mcRuns, workers: *workers,
-		chaos: *chaos, wantDigests: *digestOut != "" || *digestAgainst != "",
-	})
+		hotFrac: *hotFrac, hotKeys: *hotKeys,
+		chaos:       *chaos,
+		wantDigests: *digestOut != "" || *digestAgainst != "" || *warm,
+	}
+	before, _ := snapshotCounters(base)
+	rep, digests := generate(base, cfg)
+	after, ok := snapshotCounters(base)
+	if ok {
+		rep.Results.RespCacheHits = after.respHits - before.respHits
+		rep.Results.StoreHits = after.storeHits - before.storeHits
+	}
+	// A -warm replay reissues the byte-identical seeded stream; the deltas
+	// of the server's cache counters across the pass are the warm row.
+	var warmDiverged int
+	if *warm {
+		wrep, wdigests := generate(base, cfg)
+		warmAfter, ok := snapshotCounters(base)
+		w := wrep.Results
+		if ok {
+			w.RespCacheHits = warmAfter.respHits - after.respHits
+			w.StoreHits = warmAfter.storeHits - after.storeHits
+		}
+		rep.Warm = &w
+		// Cached bytes must decode to exactly what the cold pass solved:
+		// any request that succeeded in both passes must digest identically.
+		for id, d := range wdigests {
+			if cold, ok := digests[id]; ok && cold != d {
+				warmDiverged++
+			}
+		}
+	}
 	rep.Note = *note
 	rep.Config.QPS = *qps
 	rep.Config.DurationS = duration.Seconds()
@@ -201,6 +270,12 @@ func run(args []string, out io.Writer) error {
 	rep.Config.DupBurst = *dupBurst
 	rep.Config.MCRuns = *mcRuns
 	rep.Config.Chaos = *chaos
+	rep.Config.HotFrac = *hotFrac
+	rep.Config.HotKeys = 0
+	if *hotFrac > 0 {
+		rep.Config.HotKeys = *hotKeys
+	}
+	rep.Config.WarmReplay = *warm
 
 	printReport(out, rep)
 	if *against != "" {
@@ -254,6 +329,27 @@ func run(args []string, out io.Writer) error {
 	}
 	if *minGoodput > 0 && r.GoodputQPS < *minGoodput {
 		failures = append(failures, fmt.Sprintf("goodput %.0f QPS < required %.0f", r.GoodputQPS, *minGoodput))
+	}
+	if warmDiverged > 0 {
+		failures = append(failures, fmt.Sprintf("%d warm results differ from the cold pass (cache served wrong bytes)", warmDiverged))
+	}
+	if *minWarmHit > 0 {
+		switch w := rep.Warm; {
+		case w == nil:
+			failures = append(failures, "-min-warm-hit needs -warm")
+		case w.Requests == 0 || float64(w.RespCacheHits)/float64(w.Requests) < *minWarmHit:
+			failures = append(failures, fmt.Sprintf("warm resp-cache hit rate %d/%d < required %.2f",
+				w.RespCacheHits, w.Requests, *minWarmHit))
+		}
+	}
+	if *warmFaster {
+		switch w := rep.Warm; {
+		case w == nil:
+			failures = append(failures, "-warm-faster needs -warm")
+		case w.P50Us >= r.P50Us || w.P99Us >= r.P99Us:
+			failures = append(failures, fmt.Sprintf("warm pass not faster: p50 %.0fus vs cold %.0fus, p99 %.0fus vs cold %.0fus",
+				w.P50Us, r.P50Us, w.P99Us, r.P99Us))
+		}
 	}
 	if *digestAgainst != "" {
 		if err := compareDigests(out, *digestAgainst, digests); err != nil {
@@ -378,6 +474,11 @@ type genConfig struct {
 	dupBurst int
 	mcRuns   int
 	workers  int
+	// hotFrac > 0 switches the non-burst stream to the hot-key mix:
+	// hotFrac of dispatches draw Zipf-style from hotKeys stable keyed
+	// solves, the rest carry a unique key each.
+	hotFrac float64
+	hotKeys int
 	// chaos enables the retry loop; wantDigests turns on canonical result
 	// hashing (skipped otherwise — it re-parses every response).
 	chaos       bool
@@ -471,6 +572,10 @@ func generate(base string, cfg genConfig) (Report, map[int]string) {
 	// Paced dispatch: each request has a target send time; the dispatcher
 	// catches up after stalls instead of silently lagging the rate.
 	rng := rand.New(rand.NewSource(cfg.seed))
+	var zipf *rand.Zipf
+	if cfg.hotFrac > 0 {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(cfg.hotKeys-1))
+	}
 	interval := time.Second / time.Duration(cfg.qps)
 	start := time.Now()
 	end := start.Add(cfg.duration)
@@ -486,6 +591,14 @@ func generate(base string, cfg genConfig) (Report, map[int]string) {
 			body := burstBody(rng, cfg, i)
 			for b := 0; b < cfg.dupBurst; b++ {
 				jobs <- job{id: i, body: body}
+			}
+			continue
+		}
+		if zipf != nil {
+			if rng.Float64() < cfg.hotFrac {
+				jobs <- job{id: i, body: keyedBody(cfg, i, int64(zipf.Uint64()))}
+			} else {
+				jobs <- job{id: i, body: keyedBody(cfg, i, coldKeyBase+int64(i))}
 			}
 			continue
 		}
@@ -530,6 +643,32 @@ func solveBody(preset string, id int) []byte {
 	return []byte(fmt.Sprintf(
 		`{"jsonrpc":"2.0","id":%d,"method":"swap.solve","params":{"scenario":%q,"budgetMs":20000}}`,
 		id, preset))
+}
+
+// coldKeyBase offsets per-request unique keys past every hot slot, so
+// the hot and cold halves of the mix can never collide on a solve key.
+const coldKeyBase = int64(1) << 32
+
+// keyedBody builds a keyed inline-scenario solve: the key picks the
+// preset and becomes the seed, so equal keys are byte-identical params
+// (a cache-hittable repeat) and distinct keys are distinct solve keys.
+// id is only the JSON-RPC envelope id — the server's solve key hashes
+// params alone.
+func keyedBody(cfg genConfig, id int, key int64) []byte {
+	sc, err := scenario.Lookup(cfg.weights[int(uint64(key)%uint64(len(cfg.weights)))])
+	if err != nil { // mix is pre-validated; defensive only
+		panic(err)
+	}
+	sc.Seed = key + 1
+	sc.MCRuns = cfg.mcRuns
+	sc.Variants = []string{"basic"}
+	inline, err := json.Marshal(sc)
+	if err != nil {
+		panic(err)
+	}
+	return []byte(fmt.Sprintf(
+		`{"jsonrpc":"2.0","id":%d,"method":"swap.solve","params":{"scenario":%s,"mc":true,"budgetMs":20000}}`,
+		id, inline))
 }
 
 // burstBody builds one burst's shared request: an inline scenario with a
@@ -691,8 +830,43 @@ func fetchStats(client *http.Client, base string) (serverStats, bool) {
 	}, true
 }
 
+// cacheCounters are the cumulative server-side cache counters a pass is
+// delta'd against (swapd.stats snapshots bracket each pass).
+type cacheCounters struct {
+	respHits  uint64
+	storeHits uint64
+}
+
+// snapshotCounters reads the server's response-cache and solve-store hit
+// counters.
+func snapshotCounters(base string) (cacheCounters, bool) {
+	body := []byte(`{"jsonrpc":"2.0","id":"counters","method":"swapd.stats"}`)
+	resp, err := http.Post(base+"/rpc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return cacheCounters{}, false
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Result struct {
+			RespCache struct {
+				Hits uint64 `json:"hits"`
+			} `json:"respCache"`
+			Store struct {
+				Hits uint64 `json:"hits"`
+			} `json:"store"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return cacheCounters{}, false
+	}
+	return cacheCounters{
+		respHits:  envelope.Result.RespCache.Hits,
+		storeHits: envelope.Result.Store.Hits,
+	}, true
+}
+
 // digestResult canonicalises one solve result and hashes it: volatile
-// per-request fields (latency, coalescing luck) are dropped, the rest is
+// per-request fields (latency, coalescing luck, cache luck) are dropped, the rest is
 // re-marshalled (Go sorts object keys) and SHA-256'd. Two runs of the
 // same seeded request must digest identically — faults may delay or shed
 // a request, never change what it solves to.
@@ -703,6 +877,7 @@ func digestResult(result json.RawMessage) (string, error) {
 	}
 	delete(v, "elapsedUs")
 	delete(v, "coalesced")
+	delete(v, "cached")
 	data, err := json.Marshal(v)
 	if err != nil {
 		return "", err
@@ -797,6 +972,13 @@ func printReport(out io.Writer, rep Report) {
 	if r.Retries > 0 {
 		fmt.Fprintf(out, "chaos: %d attempts, %d retries, histogram %v, server shed %d, panics recovered %d\n",
 			r.Attempts, r.Retries, r.RetryHistogram, r.ServerShed, r.PanicsRecovered)
+	}
+	if r.RespCacheHits > 0 || r.StoreHits > 0 {
+		fmt.Fprintf(out, "caches: %d resp-cache hits, %d store hits\n", r.RespCacheHits, r.StoreHits)
+	}
+	if w := rep.Warm; w != nil {
+		fmt.Fprintf(out, "warm: %d requests (%d errors), p50 %.2fms  p99 %.2fms, %d resp-cache hits, %d store hits\n",
+			w.Requests, w.Errors, w.P50Us/1000, w.P99Us/1000, w.RespCacheHits, w.StoreHits)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -34,5 +35,32 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestKeyedBodyStableAndDistinct(t *testing.T) {
+	cfg := genConfig{weights: []string{"tableIII", "high-vol"}, mcRuns: 500}
+	// Same key, different envelope ids: params must be byte-identical
+	// (the server's solve key hashes params alone).
+	a, b := keyedBody(cfg, 1, 3), keyedBody(cfg, 2, 3)
+	paramsOf := func(body []byte) string {
+		var env struct {
+			Params json.RawMessage `json:"params"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("unmarshal %s: %v", body, err)
+		}
+		return string(env.Params)
+	}
+	if paramsOf(a) != paramsOf(b) {
+		t.Error("same key produced different params")
+	}
+	// Distinct keys must differ, including a hot slot vs the cold key
+	// sharing its low bits.
+	if paramsOf(keyedBody(cfg, 1, 0)) == paramsOf(keyedBody(cfg, 1, coldKeyBase)) {
+		t.Error("hot slot 0 collides with cold key 0")
+	}
+	if paramsOf(keyedBody(cfg, 1, 4)) == paramsOf(keyedBody(cfg, 1, 5)) {
+		t.Error("adjacent keys collide")
 	}
 }
